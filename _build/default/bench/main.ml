@@ -1,0 +1,379 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) on the simulated system.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe table1     -- one experiment
+     (table1 table2 table3 fig4 fig5 syscalls initdb ablation
+      cachestudy bugs simulator)
+
+   Absolute numbers come from a synthetic cycle model; EXPERIMENTS.md
+   records the paper-vs-measured comparison for each experiment. *)
+
+open Cheri_workloads
+
+module Abi = Cheri_core.Abi
+module G = Cheri_core.Granularity
+
+let line = String.make 78 '-'
+
+let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* --- Table 1: test suites ----------------------------------------------------------- *)
+
+let table1 () =
+  header "Table 1: test-suite results (pass / fail / skip / total)";
+  let row label (c : Testsuite.counts) =
+    Printf.printf "%-26s %5d %5d %5d %6d\n" label c.Testsuite.passed
+      c.Testsuite.failed c.Testsuite.skipped (Testsuite.total_of c)
+  in
+  Printf.printf "%-26s %5s %5s %5s %6s\n" "" "Pass" "Fail" "Skip" "Total";
+  let sys_m = Testsuite.run_system_suite ~abi:Abi.Mips64 in
+  let sys_c = Testsuite.run_system_suite ~abi:Abi.Cheriabi in
+  row "System MIPS" sys_m;
+  row "System CheriABI" sys_c;
+  let pg_m = Testsuite.run_pg_suite ~abi:Abi.Mips64 in
+  let pg_c = Testsuite.run_pg_suite ~abi:Abi.Cheriabi in
+  row "PostgreSQL MIPS" pg_m;
+  row "PostgreSQL CheriABI" pg_c;
+  let xx_m = Testsuite.run_xx_suite ~abi:Abi.Mips64 in
+  let xx_c = Testsuite.run_xx_suite ~abi:Abi.Cheriabi in
+  row "libc++-like MIPS" xx_m;
+  row "libc++-like CheriABI" xx_c;
+  Printf.printf "\nCheriABI-only failures, by cause:\n";
+  List.iter
+    (fun (suite, c) ->
+      List.iter
+        (fun (n, why) -> Printf.printf "  [%s] %s: %s\n" suite n why)
+        c.Testsuite.failures)
+    [ "system", sys_c; "postgres", pg_c; "libc++", xx_c ];
+  Printf.printf
+    "\nPaper: FreeBSD 3501/90/244 -> 3301/122/246; PostgreSQL 167/0/0 ->\n\
+     150/16/1; libc++ 5338/29 -> 5333/34 (missing atomics runtime fn).\n\
+     Shape: CheriABI adds failures from C idioms and one missing library\n\
+     function, plus a skip for sbrk.\n"
+
+(* --- Table 2: compatibility changes --------------------------------------------------- *)
+
+let table2 () =
+  header "Table 2: CheriABI compatibility idioms, by category";
+  let cats = Compat.categories in
+  let print_matrix title rows =
+    Printf.printf "\n%s\n%-16s" title "";
+    List.iter (fun c -> Printf.printf "%4s" (Compat.cat_name c)) cats;
+    print_newline ();
+    List.iter
+      (fun (group, counts) ->
+        Printf.printf "%-16s" group;
+        List.iter (fun (_, n) -> Printf.printf "%4d" n) counts;
+        print_newline ())
+      rows
+  in
+  print_matrix "Analyzer over the legacy-C corpus:"
+    (List.map (fun (g, files) -> g, Compat.analyze_group files) Compat.corpus);
+  print_matrix "Analyzer over this repository's own CSmall sources:"
+    (List.map
+       (fun (g, files) -> g, Compat.analyze_group files)
+       (Compat.own_sources ()));
+  Printf.printf "\nPaper's counts for the FreeBSD tree:\n%-16s" "";
+  List.iter (fun c -> Printf.printf "%4s" (Compat.cat_name c)) cats;
+  print_newline ();
+  List.iter
+    (fun (g, ns) ->
+      Printf.printf "%-16s" g;
+      List.iter (fun n -> Printf.printf "%4d" n) ns;
+      print_newline ())
+    Compat.paper_counts;
+  Printf.printf "\nCategories: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun c ->
+            Printf.sprintf "%s=%s" (Compat.cat_name c)
+              (Compat.cat_description c))
+          cats))
+
+(* --- Table 3: BOdiagsuite -------------------------------------------------------------- *)
+
+let table3 () =
+  header "Table 3: BOdiagsuite detected errors (of 291 tests)";
+  Printf.printf "%-10s %5s %5s %5s   (ok-variant sanity: pass/291)\n" "" "min"
+    "med" "large";
+  List.iter
+    (fun abi ->
+      let t = Bodiag.run_suite ~abi () in
+      Printf.printf "%-10s %5d %5d %5d   ok=%d/%d\n%!" (Abi.to_string abi)
+        t.Bodiag.detected_min t.Bodiag.detected_med t.Bodiag.detected_large
+        t.Bodiag.ok_passed Bodiag.count;
+      List.iter
+        (fun (id, v, e) -> Printf.printf "    error: test %d/%s: %s\n" id v e)
+        t.Bodiag.errors)
+    [ Abi.Mips64; Abi.Cheriabi; Abi.Asan ];
+  Printf.printf "\nPaper:\n";
+  List.iter
+    (fun (n, (a, b, c)) -> Printf.printf "%-10s %5d %5d %5d\n" n a b c)
+    [ "mips64", (4, 8, 175); "cheriabi", (279, 289, 291);
+      "asan", (276, 286, 286) ]
+
+(* --- Figure 4: benchmark overheads ------------------------------------------------------ *)
+
+let fig4 () =
+  header
+    "Figure 4: MiBench / SPEC / initdb overheads, CheriABI vs MIPS baseline";
+  Printf.printf "%-22s %12s %8s %19s %8s\n" "benchmark" "base insns" "insns"
+    "cycles [IQR]" "L2 miss";
+  List.iter
+    (fun (name, src) ->
+      let s = Harness.compare_abis_spread ~runs:3 ~name src in
+      Printf.printf "%-22s %12d %+7.2f%% %+7.2f%% [%+.2f %+.2f] %+7.2f%%\n%!"
+        name s.Harness.s_base_insns s.Harness.s_insn_med s.Harness.s_cycle_med
+        s.Harness.s_cycle_q1 s.Harness.s_cycle_q3 s.Harness.s_l2_med)
+    Mibench.benchmarks;
+  let base = Minipg.run ~abi:Abi.Mips64 () in
+  let cheri = Minipg.run ~abi:Abi.Cheriabi () in
+  let pct a b = 100.0 *. (float_of_int a -. float_of_int b) /. float_of_int b in
+  Printf.printf "%-22s %12d %+8.2f%% %+8.2f%% %+8.2f%%\n" "initdb-dynamic"
+    base.Harness.m_instructions
+    (pct cheri.Harness.m_instructions base.Harness.m_instructions)
+    (pct cheri.Harness.m_cycles base.Harness.m_cycles)
+    (pct cheri.Harness.m_l2_misses base.Harness.m_l2_misses);
+  Printf.printf
+    "\nPaper: most benchmarks within compiler/cache noise; pointer-heavy\n\
+     workloads see the largest cache-miss growth; initdb +6.8%% cycles.\n"
+
+(* --- Figure 5: capability granularity ---------------------------------------------------- *)
+
+let fig5 () =
+  header "Figure 5: cumulative capabilities vs bounds size (openssl s_server)";
+  let status, out, events = Openssl_sim.run_traced () in
+  (match status with
+   | Some (Cheri_kernel.Proc.Exited 0) -> ()
+   | _ -> Printf.printf "warning: traced run did not exit cleanly (%s)\n" out);
+  let regions =
+    G.regions_of_trace ~stack_range:Openssl_sim.stack_range events
+  in
+  let es = G.entries regions events in
+  let all, per_source = G.analyze regions events in
+  let buckets = [ 16; 64; 256; 1024; 4096; 16384; 65536; 1 lsl 20; 1 lsl 24 ] in
+  Printf.printf "%-12s" "size <=";
+  List.iter
+    (fun b ->
+      let label =
+        if b >= 1 lsl 20 then Printf.sprintf "%dM" (b lsr 20)
+        else if b >= 1024 then Printf.sprintf "%dK" (b lsr 10)
+        else string_of_int b
+      in
+      Printf.printf "%7s" label)
+    buckets;
+  print_newline ();
+  let count_le (cdf : G.cdf) b =
+    List.fold_left
+      (fun acc (sz, n) -> if sz <= b then max acc n else acc)
+      0 cdf.G.c_points
+  in
+  let row label (cdf : G.cdf) =
+    Printf.printf "%-12s" label;
+    List.iter (fun b -> Printf.printf "%7d" (count_le cdf b)) buckets;
+    Printf.printf "  (max %d)\n" cdf.G.c_max_size
+  in
+  row "all" all;
+  List.iter
+    (fun c ->
+      row (match c.G.c_source with Some s -> G.source_name s | None -> "?") c)
+    per_source;
+  let f = Cheri_core.Provenance.build events in
+  Printf.printf "\nDerivation chains: %d roots (kernel grants), max depth %d,\n                 mean depth %.2f; histogram:" f.Cheri_core.Provenance.roots
+    f.Cheri_core.Provenance.max_depth f.Cheri_core.Provenance.mean_depth;
+  List.iter (fun (d, c) -> Printf.printf " d%d:%d" d c)
+    (Cheri_core.Provenance.depth_histogram f);
+  print_newline ();
+  let s = G.summarize es in
+  Printf.printf
+    "\nTotal %d capabilities; %.1f%% grant <= 1KiB; largest %d bytes\n\
+     (paper: ~90%% under 1KiB, none over 16MiB: %s here).\n"
+    s.G.s_total s.G.s_pct_under_1k s.G.s_largest
+    (if s.G.s_largest_under_16m then "holds" else "VIOLATED")
+
+(* --- Syscall micro-benchmarks -------------------------------------------------------------- *)
+
+let syscalls () =
+  header "System-call micro-benchmarks (cycles per call)";
+  Printf.printf "%-10s %10s %10s %9s\n" "syscall" "mips64" "cheriabi" "delta";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %10.1f %10.1f %+8.2f%%\n" r.Sysbench.r_name
+        r.Sysbench.r_cycles_legacy r.Sysbench.r_cycles_cheri r.Sysbench.r_pct)
+    (Sysbench.run_all ());
+  Printf.printf
+    "\nPaper: from +3.4%% (fork) to -9.8%% (select); select is faster under\n\
+     CheriABI because the legacy kernel must construct capabilities from\n\
+     four integer pointer arguments.\n"
+
+(* --- initdb macro-benchmark + CLC ablation --------------------------------------------------- *)
+
+let initdb () =
+  header "PostgreSQL initdb macro-benchmark";
+  let base = Minipg.run ~abi:Abi.Mips64 () in
+  let cheri = Minipg.run ~abi:Abi.Cheriabi () in
+  let asan = Minipg.run ~abi:Abi.Asan () in
+  let pct a b = 100.0 *. (float_of_int a -. float_of_int b) /. float_of_int b in
+  Printf.printf "%-18s %12s %12s %9s\n" "" "insns" "cycles" "vs mips64";
+  let row name (m : Harness.measurement) =
+    Printf.printf "%-18s %12d %12d %+8.2f%%\n" name m.Harness.m_instructions
+      m.Harness.m_cycles
+      (pct m.Harness.m_cycles base.Harness.m_cycles)
+  in
+  row "mips64" base;
+  row "cheriabi" cheri;
+  row "asan" asan;
+  Printf.printf
+    "\nASan/mips64 cycle ratio: %.2fx (paper: 3.29x more cycles).\n\
+     Paper: CheriABI initdb +6.8%% cycles.\n"
+    (float_of_int asan.Harness.m_cycles /. float_of_int base.Harness.m_cycles)
+
+let ablation () =
+  header "CLC immediate-range ablation (the paper's ISA extension, 5.2)";
+  let base = Minipg.run ~abi:Abi.Mips64 () in
+  let big = Minipg.run ~abi:Abi.Cheriabi () in
+  let small =
+    Minipg.run
+      ~opts:
+        (Some { (Cheri_cc.Compile.default_options Abi.Cheriabi) with clc_large_imm = false })
+      ~abi:Abi.Cheriabi ()
+  in
+  let pct a b = 100.0 *. (float_of_int a -. float_of_int b) /. float_of_int b in
+  Printf.printf "%-24s %12s %10s %11s\n" "configuration" "cycles" "vs mips64"
+    "code bytes";
+  Printf.printf "%-24s %12d %10s %11d\n" "mips64 baseline" base.Harness.m_cycles
+    "" base.Harness.m_code_bytes;
+  Printf.printf "%-24s %12d %+9.2f%% %11d\n" "cheriabi, small CLC imm"
+    small.Harness.m_cycles
+    (pct small.Harness.m_cycles base.Harness.m_cycles)
+    small.Harness.m_code_bytes;
+  Printf.printf "%-24s %12d %+9.2f%% %11d\n" "cheriabi, large CLC imm"
+    big.Harness.m_cycles
+    (pct big.Harness.m_cycles base.Harness.m_cycles)
+    big.Harness.m_code_bytes;
+  Printf.printf
+    "\nLarge-immediate CLC shrinks code by %.1f%% and cuts the overhead\n\
+     (paper: initdb 11%% -> 6.8%%; >10%% code-size reduction).\n"
+    (100.0
+    *. float_of_int (small.Harness.m_code_bytes - big.Harness.m_code_bytes)
+    /. float_of_int small.Harness.m_code_bytes)
+
+(* --- Cache study ----------------------------------------------------------------------------------
+
+   The paper's 6 proposes trace-based cache analysis as future work: here
+   we sweep the shared L2 over the pointer-heavy patricia benchmark. *)
+
+let cachestudy () =
+  header "Cache study (6): CheriABI overhead vs L2 size, network-patricia";
+  Printf.printf "%-8s %12s %14s %14s\n" "L2" "cycle ovh" "L2miss mips64"
+    "L2miss cheri";
+  List.iter
+    (fun (kib, ovh, bm, cm) ->
+      Printf.printf "%5dK %+10.2f%% %14d %14d\n" kib ovh bm cm)
+    (Harness.cache_study ~name:"patricia"
+       (Option.get (Mibench.find "network-patricia")));
+  Printf.printf
+    "\nLarger pointers enlarge the working set: the overhead is a cache\n\
+     phenomenon and fades once the L2 holds both ABIs' footprints.\n"
+
+(* --- Real-bug census ---------------------------------------------------------------------------- *)
+
+let bugs () =
+  header "Bug census (5.4): FreeBSD bugs found by CheriABI, re-created";
+  Printf.printf "%-28s %-12s %-24s\n" "bug" "mips64" "cheriabi";
+  List.iter
+    (fun v ->
+      Printf.printf "%-28s %-12s %-24s\n" v.Bugs.v_name v.Bugs.v_mips64
+        v.Bugs.v_cheriabi)
+    (Bugs.run_all ());
+  Printf.printf "\nAll are detected under CheriABI; the legacy ABI runs on.\n"
+
+(* --- Bechamel micro-benchmarks of the simulator itself -------------------------------------------- *)
+
+let simulator () =
+  header "Simulator micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let cap_test =
+    Test.make ~name:"cap-derive"
+      (Staged.stage (fun () ->
+           let root = Cheri_cap.Cap.make_root ~base:0 ~top:(1 lsl 30) () in
+           let c =
+             Cheri_cap.Cap.set_bounds (Cheri_cap.Cap.set_addr root 4096)
+               ~len:256
+           in
+           ignore (Cheri_cap.Cap.and_perms c Cheri_cap.Perms.data)))
+  in
+  let mem = Cheri_tagmem.Tagmem.create ~size:(1 lsl 16) in
+  let tag_test =
+    Test.make ~name:"tagmem-rw"
+      (Staged.stage (fun () ->
+           Cheri_tagmem.Tagmem.write_int mem 256 ~len:8 42;
+           ignore (Cheri_tagmem.Tagmem.read_int mem 256 ~len:8)))
+  in
+  let compile_test =
+    Test.make ~name:"compile-unit"
+      (Staged.stage (fun () ->
+           ignore
+             (Cheri_cc.Compile.compile_source ~name:"bench"
+                ~opts:(Cheri_cc.Compile.default_options Abi.Cheriabi)
+                "int main(int argc, char **argv) { return argc; }")))
+  in
+  let exec_test =
+    Test.make ~name:"sim-hello"
+      (Staged.stage (fun () ->
+           let k = Cheri_kernel.Kernel.boot ~mem_size:(8 * 1024 * 1024) () in
+           Cheri_libc.Runtime.install k;
+           Cheri_cc.Compile.install k ~path:"/bin/t" ~abi:Abi.Cheriabi
+             "int main(int argc, char **argv) { return 0; }";
+           ignore
+             (Cheri_kernel.Kernel.run_program k ~path:"/bin/t" ~argv:[ "t" ])))
+  in
+  let run test =
+    let results =
+      Benchmark.all
+        (Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ())
+        Toolkit.Instance.[ monotonic_clock ]
+        test
+    in
+    Hashtbl.iter
+      (fun name result ->
+        let stats =
+          Analyze.one
+            (Analyze.ols ~bootstrap:0 ~r_square:false
+               ~predictors:[| Measure.run |])
+            Toolkit.Instance.monotonic_clock result
+        in
+        match Analyze.OLS.estimates stats with
+        | Some [ est ] -> Printf.printf "%-16s %12.1f ns/run\n" name est
+        | _ -> Printf.printf "%-16s (no estimate)\n" name)
+      results
+  in
+  List.iter run [ cap_test; tag_test; compile_test; exec_test ]
+
+(* --- Driver ------------------------------------------------------------------------------------------ *)
+
+let experiments =
+  [ "table1", table1; "table2", table2; "table3", table3; "fig4", fig4;
+    "fig5", fig5; "syscalls", syscalls; "initdb", initdb;
+    "ablation", ablation; "cachestudy", cachestudy; "bugs", bugs;
+    "simulator", simulator ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match args with
+    | [] | [ "all" ] -> List.map fst experiments
+    | picks -> picks
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+      | None ->
+        Printf.printf "unknown experiment %S; available: %s\n" name
+          (String.concat " " (List.map fst experiments)))
+    selected

@@ -1,0 +1,142 @@
+(* cheri_run: compile a CSmall source file and run it on the simulated
+   CheriABI system.
+
+     dune exec bin/cheri_run.exe -- prog.c
+     dune exec bin/cheri_run.exe -- --abi mips64 --stats prog.c
+     dune exec bin/cheri_run.exe -- --trace --abi cheriabi prog.c
+     dune exec bin/cheri_run.exe -- --dump-asm prog.c *)
+
+open Cmdliner
+
+module Abi = Cheri_core.Abi
+module Kernel = Cheri_kernel.Kernel
+module Proc = Cheri_kernel.Proc
+module Signo = Cheri_kernel.Signo
+module Cpu = Cheri_isa.Cpu
+module Cache = Cheri_tagmem.Cache
+module Trace = Cheri_isa.Trace
+module G = Cheri_core.Granularity
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let abi_conv =
+  let parse = function
+    | "mips64" -> Ok Abi.Mips64
+    | "cheriabi" -> Ok Abi.Cheriabi
+    | "asan" -> Ok Abi.Asan
+    | s -> Error (`Msg (Printf.sprintf "unknown ABI %S" s))
+  in
+  Arg.conv (parse, fun ppf a -> Fmt.string ppf (Abi.to_string a))
+
+let run file abi args dump_asm stats trace no_libc clc_small =
+  let src = read_file file in
+  let opts =
+    { (Cheri_cc.Compile.default_options abi) with clc_large_imm = not clc_small }
+  in
+  if dump_asm then begin
+    let obj =
+      Cheri_cc.Compile.compile_source ~name:"prog" ~opts
+        (if no_libc then src
+         else Cheri_workloads.Stdlib_src.libc_externs ^ src)
+    in
+    let asmd = Cheri_isa.Asm.assemble ~extern:(fun _ -> Some 0) ~base:0
+        obj.Cheri_rtld.Sobj.so_code in
+    Fmt.pr "%a" Cheri_isa.Asm.pp asmd;
+    0
+  end
+  else begin
+    let k = Kernel.boot () in
+    Cheri_libc.Runtime.install k;
+    let collector = Trace.collector () in
+    if trace then begin
+      k.Cheri_kernel.Kstate.tracer <- Some (Trace.sink_of collector);
+      k.Cheri_kernel.Kstate.trace_pid <- Some k.Cheri_kernel.Kstate.next_pid
+    end;
+    (if no_libc then Cheri_cc.Compile.install k ~path:"/bin/prog" ~abi src
+     else
+       Cheri_workloads.Stdlib_src.install k ~path:"/bin/prog" ~abi
+         ~opts:(Some opts) src);
+    let argv = Filename.basename file :: args in
+    let status, out, p = Kernel.run_program k ~path:"/bin/prog" ~argv in
+    print_string out;
+    if out <> "" && out.[String.length out - 1] <> '\n' then print_newline ();
+    let code =
+      match status with
+      | Some (Proc.Exited c) -> c
+      | Some (Proc.Signaled s) ->
+        Printf.eprintf "killed by %s%s\n" (Signo.name s)
+          (match List.rev p.Proc.fault_log with
+           | m :: _ -> ": " ^ m
+           | [] -> "");
+        128 + s
+      | None ->
+        prerr_endline "did not terminate";
+        124
+    in
+    if stats then begin
+      Printf.eprintf
+        "--- stats (%s) ---\ninstructions: %d\ncycles:       %d\n\
+         syscalls:     %d\nL2 misses:    %d\n"
+        (Abi.to_string abi) p.Proc.ctx.Cpu.instret p.Proc.ctx.Cpu.cycles
+        p.Proc.syscall_count
+        (Cache.l2_misses (Cheri_kernel.Kstate.hierarchy k))
+    end;
+    if trace then begin
+      let events = Trace.to_list collector in
+      let regions =
+        G.regions_of_trace
+          ~stack_range:
+            (Cheri_kernel.Exec.stack_base, Cheri_kernel.Exec.stack_top)
+          events
+      in
+      let es = G.entries regions events in
+      let s = G.summarize es in
+      Printf.eprintf
+        "--- capability trace ---\nevents: %d, capabilities created: %d\n\
+         <=1KiB: %.1f%%, largest: %d bytes\n"
+        (List.length events) s.G.s_total s.G.s_pct_under_1k s.G.s_largest;
+      List.iter
+        (fun src ->
+          let c = G.cdf_of ~source:src es in
+          if c.G.c_total > 0 then
+            Printf.eprintf "  %-12s %6d caps, max %d bytes\n"
+              (G.source_name src) c.G.c_total c.G.c_max_size)
+        G.all_sources
+    end;
+    code
+  end
+
+let cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let abi =
+    Arg.(value & opt abi_conv Abi.Cheriabi
+         & info [ "abi" ] ~doc:"Target ABI: mips64, cheriabi or asan.")
+  in
+  let args =
+    Arg.(value & opt_all string [] & info [ "arg" ] ~doc:"Program argument.")
+  in
+  let dump = Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print assembly.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print run statistics.") in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"Trace capability creation (Fig. 5 style).")
+  in
+  let no_libc =
+    Arg.(value & flag & info [ "no-libc" ] ~doc:"Do not link the CSmall libc.")
+  in
+  let clc_small =
+    Arg.(value & flag
+         & info [ "clc-small-imm" ]
+             ~doc:"Use the pre-extension CLC with a small immediate.")
+  in
+  Cmd.v
+    (Cmd.info "cheri_run" ~doc:"Run a CSmall program on the CheriABI simulator")
+    Term.(const run $ file $ abi $ args $ dump $ stats $ trace $ no_libc
+          $ clc_small)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/debugger.ml: Array Bytes Cheri_cap Cheri_core Cheri_isa Cheri_kernel Cheri_libc Cheri_rtld Cheri_vm Cheri_workloads Int64 Printf

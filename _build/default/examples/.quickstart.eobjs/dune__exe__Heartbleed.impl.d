@@ -1,0 +1,1 @@
+examples/heartbleed.ml: Cheri_core Cheri_kernel Cheri_libc Cheri_workloads List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cheri_core Cheri_kernel Cheri_libc Cheri_workloads Printf String

@@ -1,0 +1,1 @@
+examples/swap_demo.ml: Buffer Cheri_core Cheri_kernel Cheri_libc Cheri_vm Cheri_workloads Printf

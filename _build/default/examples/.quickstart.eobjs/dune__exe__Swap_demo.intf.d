@@ -1,0 +1,1 @@
+examples/swap_demo.mli:

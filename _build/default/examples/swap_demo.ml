@@ -1,0 +1,90 @@
+(* Swap with capability rederivation (Fig. 2, middle panel).
+
+   A CheriABI process builds a linked list on the heap (pointers =
+   capabilities in memory). We then force its pages out to "disk" —
+   which stores no tags — and let the process walk the list again. The
+   swap subsystem recorded each capability's fields at swap-out and
+   rederives fresh architectural capabilities from the process's root at
+   swap-in: the abstract capabilities survive the break in the
+   architectural chain.
+
+     dune exec examples/swap_demo.exe *)
+
+module Abi = Cheri_core.Abi
+module Kernel = Cheri_kernel.Kernel
+module Kstate = Cheri_kernel.Kstate
+module Proc = Cheri_kernel.Proc
+module Pmap = Cheri_vm.Pmap
+module Swap = Cheri_vm.Swap
+module Addr_space = Cheri_vm.Addr_space
+
+let src =
+  {|
+    struct node { int v; struct node *next; };
+    struct node *head;
+
+    int build(int n) {
+      int i;
+      for (i = 0; i < n; i = i + 1) {
+        struct node *x = (struct node*)malloc(sizeof(struct node));
+        x->v = i;
+        x->next = head;
+        head = x;
+      }
+      return n;
+    }
+
+    int walk() {
+      int sum = 0;
+      struct node *p = head;
+      while (p) { sum = sum + p->v; p = p->next; }
+      return sum;
+    }
+
+    int main(int argc, char **argv) {
+      build(200);
+      int before = walk();
+      /* pause so the host can evict our pages *)  */
+      kill(getpid(), 17);    /* SIGSTOP: stop ourselves *)  */
+      int after = walk();
+      print_str("sum before swap: "); print_int(before);
+      print_str(", after swap-in: "); print_int(after);
+      print_str("\n");
+      if (before != after) return 1;
+      return 0;
+    }
+  |}
+
+let () =
+  let k = Kernel.boot () in
+  Cheri_libc.Runtime.install k;
+  Cheri_workloads.Stdlib_src.install k ~path:"/bin/list" ~abi:Abi.Cheriabi src;
+  let p = Kernel.spawn k ~path:"/bin/list" ~argv:[ "list" ] () in
+  (* Run until the process stops itself. *)
+  let _ = Kernel.run ~max_steps:10_000_000 k in
+  (match p.Proc.state with
+   | Proc.Stopped _ -> print_endline "process stopped; evicting its pages..."
+   | _ -> print_endline "unexpected state");
+  let pmap = Addr_space.pmap p.Proc.asp in
+  let evicted = Pmap.evict_pages pmap ~n:10_000 in
+  let out_, in_, redone, lost = Swap.stats k.Kstate.swap in
+  Printf.printf
+    "evicted %d pages to tag-free swap (%d swapped out so far)\n" evicted out_;
+  ignore in_;
+  ignore redone;
+  ignore lost;
+  (* Resume: every page faults back in; capabilities are rederived. *)
+  p.Proc.state <- Proc.Runnable;
+  let _ = Kernel.run ~max_steps:20_000_000 k in
+  let _, in2, redone2, lost2 = Swap.stats k.Kstate.swap in
+  Printf.printf "swapped back in %d pages; %d capabilities rederived, %d lost\n"
+    in2 redone2 lost2;
+  (match p.Proc.state with
+   | Proc.Zombie (Proc.Exited 0) ->
+     Printf.printf "process output: %s" (Buffer.contents p.Proc.console)
+   | Proc.Zombie (Proc.Exited c) -> Printf.printf "process FAILED: exit %d\n" c
+   | _ -> print_endline "process did not finish");
+  print_endline
+    "The heap's next-pointers crossed the swap as plain bytes + metadata;\n\
+     the kernel rebuilt their capabilities monotonically from the process\n\
+     root, so the list walk still works — and still traps on overflows."

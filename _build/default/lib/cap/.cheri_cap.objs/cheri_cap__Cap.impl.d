@@ -1,0 +1,1 @@
+lib/cap/cap.ml: Compress Fmt Perms Printf

@@ -1,0 +1,1 @@
+lib/cap/cap.mli: Format Perms

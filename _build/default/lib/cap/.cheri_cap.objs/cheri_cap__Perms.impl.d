@@ -1,0 +1,1 @@
+lib/cap/perms.ml: Fmt List

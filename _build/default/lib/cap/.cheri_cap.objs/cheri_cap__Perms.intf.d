@@ -1,0 +1,1 @@
+lib/cap/perms.mli: Format

@@ -1,0 +1,208 @@
+(* Architectural capabilities.
+
+   A capability is a bounded, permission-carrying reference to virtual
+   memory. The API enforces the three CHERI properties the paper reviews:
+
+   - provenance validity: tagged capabilities can only be produced by
+     [make_root] (machine reset / kernel root derivation) or by one of the
+     monotonic derivation functions below;
+   - integrity: there is no function that sets the tag of an arbitrary
+     bit pattern;
+   - monotonicity: every derivation either preserves or reduces the
+     rights (bounds and permissions) of its source.
+
+   Functions that correspond to trapping instructions raise [Cap_error];
+   functions that architecturally clear the tag instead (e.g. address
+   arithmetic leaving the representable window) return an untagged value. *)
+
+type violation =
+  | Tag_violation           (* operated on an untagged capability *)
+  | Seal_violation          (* operated on a sealed capability *)
+  | Permit_violation of Perms.t  (* missing permission *)
+  | Bounds_violation        (* access outside [base, top) *)
+  | Length_violation        (* negative or oversized length *)
+  | Monotonicity_violation  (* attempted rights increase *)
+  | Representability_violation  (* exact bounds not encodable *)
+  | Alignment_violation     (* capability-sized access not 16-byte aligned *)
+
+let violation_to_string = function
+  | Tag_violation -> "tag violation"
+  | Seal_violation -> "seal violation"
+  | Permit_violation p -> "permission violation (needs " ^ Perms.to_string p ^ ")"
+  | Bounds_violation -> "bounds violation"
+  | Length_violation -> "length violation"
+  | Monotonicity_violation -> "monotonicity violation"
+  | Representability_violation -> "representability violation"
+  | Alignment_violation -> "alignment violation"
+
+exception Cap_error of violation
+
+let error v = raise (Cap_error v)
+
+(* Unsealed object type. *)
+let otype_unsealed = -1
+
+type t = {
+  tag : bool;
+  perms : Perms.t;
+  otype : int;
+  base : int;
+  top : int;   (* exclusive *)
+  addr : int;  (* cursor *)
+}
+
+(* The canonical NULL capability: untagged, no rights, zero everywhere. *)
+let null =
+  { tag = false; perms = Perms.none; otype = otype_unsealed;
+    base = 0; top = 0; addr = 0 }
+
+(* An untagged value carrying only an address: what integer-to-pointer
+   casts and tag-stripped loads produce. *)
+let untagged ~addr = { null with addr }
+
+(* In-memory size and alignment of a capability (128-bit + out-of-band tag). *)
+let sizeof = 16
+let alignment = 16
+
+let is_tagged c = c.tag
+let is_sealed c = c.otype <> otype_unsealed
+let is_null c = not c.tag && c.base = 0 && c.top = 0 && c.addr = 0
+
+let base c = c.base
+let top c = c.top
+let length c = c.top - c.base
+let addr c = c.addr
+let offset c = c.addr - c.base
+let perms c = c.perms
+let otype c = c.otype
+
+let equal a b =
+  a.tag = b.tag && Perms.equal a.perms b.perms && a.otype = b.otype
+  && a.base = b.base && a.top = b.top && a.addr = b.addr
+
+(* [derives_from child parent]: child's rights are a subset of parent's.
+   This is the monotonicity relation audited by the property tests. *)
+let derives_from child parent =
+  child.base >= parent.base && child.top <= parent.top
+  && Perms.subset child.perms parent.perms
+
+let pp ppf c =
+  Fmt.pf ppf "%s[%a %s0x%x-0x%x @0x%x]"
+    (if c.tag then "cap" else "CAP!")
+    Perms.pp c.perms
+    (if is_sealed c then Printf.sprintf "sealed:%d " c.otype else "")
+    c.base c.top c.addr
+
+let to_string c = Fmt.str "%a" pp c
+
+(* --- Root construction (machine reset / kernel only) ------------------- *)
+
+(* Create a primordial capability. Only the machine-reset path and the
+   kernel's root-narrowing code may call this; all userspace capabilities
+   must be derived from those roots. Tests audit this via the trace layer. *)
+let make_root ?(perms = Perms.all) ~base ~top () =
+  if base < 0 || top < base then error Length_violation;
+  { tag = true; perms; otype = otype_unsealed; base; top; addr = base }
+
+(* --- Checked-derivation helpers ---------------------------------------- *)
+
+let require_tagged c = if not c.tag then error Tag_violation
+let require_unsealed c = if is_sealed c then error Seal_violation
+
+let require_perm c p =
+  if not (Perms.has c.perms p) then error (Permit_violation p)
+
+(* --- Monotonic derivations --------------------------------------------- *)
+
+(* Set the cursor to an absolute address. Clears the tag (rather than
+   trapping) if the new address leaves the representable window. *)
+let set_addr c addr =
+  let ok =
+    Compress.in_representable_window ~base:c.base ~top:c.top addr
+  in
+  if is_sealed c && c.tag then error Seal_violation;
+  { c with addr; tag = c.tag && ok }
+
+(* C pointer arithmetic: address moves, bounds and perms are unchanged. *)
+let inc_addr c delta = set_addr c (c.addr + delta)
+
+(* Narrow bounds to [addr, addr + len). With [exact] the request must be
+   representable without padding; otherwise the result is padded out to a
+   representable span, which must still fall within the source bounds. *)
+let set_bounds ?(exact = false) c ~len =
+  require_tagged c;
+  require_unsealed c;
+  if len < 0 then error Length_violation;
+  let nbase = c.addr and ntop = c.addr + len in
+  if nbase < c.base || ntop > c.top then error Monotonicity_violation;
+  if exact then begin
+    if not (Compress.is_exact ~base:nbase ~len) then
+      error Representability_violation;
+    { c with base = nbase; top = ntop }
+  end else begin
+    let pbase, ptop = Compress.pad ~base:nbase ~top:ntop in
+    if pbase < c.base || ptop > c.top then error Monotonicity_violation;
+    { c with base = pbase; top = ptop }
+  end
+
+(* Intersect permissions with a mask; can only remove permissions. *)
+let and_perms c mask =
+  require_tagged c;
+  require_unsealed c;
+  { c with perms = Perms.inter c.perms mask }
+
+let clear_tag c = { c with tag = false }
+
+(* --- Sealing ------------------------------------------------------------ *)
+
+let seal c ~with_ =
+  require_tagged c; require_unsealed c;
+  require_tagged with_; require_unsealed with_;
+  require_perm with_ Perms.seal;
+  if with_.addr < with_.base || with_.addr >= with_.top then
+    error Bounds_violation;
+  { c with otype = with_.addr }
+
+let unseal c ~with_ =
+  require_tagged c;
+  if not (is_sealed c) then error Seal_violation;
+  require_tagged with_; require_unsealed with_;
+  require_perm with_ Perms.unseal;
+  if with_.addr <> c.otype then error (Permit_violation Perms.unseal);
+  { c with otype = otype_unsealed }
+
+(* --- Access checks (used by the load/store/ifetch paths) ---------------- *)
+
+(* Check that [c] authorizes an access of [len] bytes at its cursor with
+   permission [perm]. Raises on violation. *)
+let check_access c ~perm ~len =
+  require_tagged c;
+  require_unsealed c;
+  require_perm c perm;
+  if c.addr < c.base || c.addr + len > c.top then error Bounds_violation
+
+(* Check an access at an explicit address (cursor + offset form). *)
+let check_access_at c ~perm ~addr ~len =
+  require_tagged c;
+  require_unsealed c;
+  require_perm c perm;
+  if addr < c.base || addr + len > c.top then error Bounds_violation
+
+let check_cap_alignment addr =
+  if addr land (alignment - 1) <> 0 then error Alignment_violation
+
+(* --- Conversions --------------------------------------------------------- *)
+
+(* CFromPtr: rederive a capability for integer address [a] from [src]
+   (typically DDC). A null source produces the NULL-derived untagged
+   capability, which is exactly what happens to integer-to-pointer casts
+   under CheriABI where DDC is NULL. *)
+let from_ptr src a =
+  if not src.tag then untagged ~addr:a
+  else begin
+    require_unsealed src;
+    set_addr src a
+  end
+
+(* CGetAddr / CToPtr: expose the virtual address. *)
+let to_ptr c = if c.tag then c.addr else 0

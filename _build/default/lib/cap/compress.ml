@@ -1,0 +1,71 @@
+(* Bounds-compression model in the style of CHERI Concentrate.
+
+   128-bit CHERI capabilities do not store full 64-bit base and top; they
+   store a mantissa of [mw] bits and an exponent. Consequences modeled here,
+   which the paper calls out as affecting allocators and stack layout
+   (footnote 2: "large spans are aligned and sized at larger than byte
+   granularity"):
+
+   - [crrl len] is the representable rounded length: the smallest length
+     >= [len] that a capability can have exactly.
+   - [cram len] is the alignment mask a base must satisfy for a capability
+     of length [len] to be exact.
+   - a capability's cursor may wander some distance outside its bounds
+     (the representable window) without losing its tag; beyond that window
+     the tag is cleared.
+
+   This is a faithful *model*, not a bit-exact re-encoding of ISAv7. *)
+
+(* Mantissa width for the 128-bit format. *)
+let mantissa_width = 14
+
+(* Exponent needed to represent a span of [len] bytes. *)
+let exponent_of_length len =
+  if len < 0 then invalid_arg "Compress.exponent_of_length";
+  let limit = 1 lsl (mantissa_width - 1) in
+  if len < limit then 0
+  else begin
+    (* Smallest e such that len <= (limit lsl e). *)
+    let rec go e span = if len <= span then e else go (e + 1) (span * 2) in
+    go 1 (limit * 2)
+  end
+
+(* Alignment mask (as in the CRAM instruction): base land (cram len) must
+   equal base for exact representation. *)
+let cram len =
+  let e = exponent_of_length len in
+  lnot ((1 lsl e) - 1)
+
+(* Representable rounded length (as in the CRRL instruction). *)
+let crrl len =
+  let e = exponent_of_length len in
+  let mask = (1 lsl e) - 1 in
+  let rounded = (len + mask) land lnot mask in
+  (* Rounding may push the length across an exponent boundary; recompute. *)
+  if exponent_of_length rounded = e then rounded
+  else
+    let mask = (1 lsl exponent_of_length rounded) - 1 in
+    (len + mask) land lnot mask
+
+(* Is [base, base+len) exactly representable? *)
+let is_exact ~base ~len = crrl len = len && base land lnot (cram len) = 0
+
+(* Pad a requested span out to a representable one. Returns (base, top).
+   The padded span always contains the request. *)
+let pad ~base ~top =
+  let len = top - base in
+  let mask = lnot (cram len) in
+  let pbase = base land lnot mask in
+  let plen = crrl (top - pbase) in
+  pbase, pbase + plen
+
+(* How far outside [base, top) the cursor may sit while remaining
+   representable. Small objects get a fixed slack (one page); larger ones
+   scale with the exponent, as compressed encodings do. *)
+let representable_slack ~base ~top =
+  let e = exponent_of_length (top - base) in
+  if e = 0 then 4096 else 1 lsl (e + mantissa_width - 2)
+
+let in_representable_window ~base ~top addr =
+  let slack = representable_slack ~base ~top in
+  addr >= base - slack && addr < top + slack

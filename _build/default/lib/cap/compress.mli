@@ -1,0 +1,35 @@
+(** Bounds-compression model in the style of CHERI Concentrate.
+
+    128-bit capabilities store bounds as a mantissa and exponent, which
+    constrains representable spans: lengths round up ({!crrl}), bases must
+    be aligned ({!cram}), and the cursor may only wander a bounded
+    distance outside the object before the tag is lost. These are the
+    constraints the paper notes allocators and stack layout must respect
+    (footnote 2). This is a faithful model, not a bit-exact re-encoding
+    of the ISAv7 format. *)
+
+(** Mantissa width of the 128-bit format (14). *)
+val mantissa_width : int
+
+(** Exponent needed to represent a span of the given length. *)
+val exponent_of_length : int -> int
+
+(** Alignment mask a base must satisfy for exact representation (as the
+    CRAM instruction returns). *)
+val cram : int -> int
+
+(** Representable rounded length: the smallest representable length
+    [>= len] (as the CRRL instruction returns). *)
+val crrl : int -> int
+
+(** Is [base, base+len) exactly representable? *)
+val is_exact : base:int -> len:int -> bool
+
+(** Pad a span out to a representable one containing it. *)
+val pad : base:int -> top:int -> int * int
+
+(** How far outside [base, top) a cursor may sit while staying
+    representable. *)
+val representable_slack : base:int -> top:int -> int
+
+val in_representable_window : base:int -> top:int -> int -> bool

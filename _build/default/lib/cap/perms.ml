@@ -1,0 +1,59 @@
+(* Capability permission bits.
+
+   Mirrors the CHERI ISAv7 hardware permission set plus the user-defined
+   permissions CheriABI relies on (most notably VMMAP, which guards the
+   virtual-address-management system calls: a capability without VMMAP
+   cannot be used to mmap/munmap/shmdt the memory it points to). *)
+
+type t = int
+
+let none = 0
+
+(* Hardware permissions. *)
+let global = 0x0001
+let execute = 0x0002
+let load = 0x0004
+let store = 0x0008
+let load_cap = 0x0010
+let store_cap = 0x0020
+let store_local_cap = 0x0040
+let seal = 0x0080
+let ccall = 0x0100
+let unseal = 0x0200
+let system_regs = 0x0400
+let set_cid = 0x0800
+
+(* User-defined (software) permissions. *)
+let vmmap = 0x1000
+let sw1 = 0x2000
+let sw2 = 0x4000
+let sw3 = 0x8000
+
+let all = 0xffff
+
+(* Convenient composites. *)
+let data = global lor load lor store lor load_cap lor store_cap lor store_local_cap
+let code = global lor execute lor load lor load_cap
+let read_only = global lor load lor load_cap
+
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+
+let has p bit = p land bit = bit
+let subset a b = a land lnot b = 0
+
+let equal (a : t) (b : t) = a = b
+
+let names =
+  [ global, "G"; execute, "X"; load, "R"; store, "W"; load_cap, "r";
+    store_cap, "w"; store_local_cap, "l"; seal, "S"; ccall, "C";
+    unseal, "U"; system_regs, "Y"; set_cid, "I"; vmmap, "V";
+    sw1, "1"; sw2, "2"; sw3, "3" ]
+
+let to_string p =
+  let f acc (bit, s) = if has p bit then acc ^ s else acc in
+  let s = List.fold_left f "" names in
+  if s = "" then "-" else s
+
+let pp ppf p = Fmt.string ppf (to_string p)

@@ -1,0 +1,63 @@
+(** Capability permission bits: the CHERI ISAv7 hardware permissions plus
+    the user-defined permissions CheriABI relies on (notably {!vmmap},
+    which guards the virtual-address-management system calls). *)
+
+type t = int
+
+val none : t
+
+(** {1 Hardware permissions} *)
+
+val global : t
+val execute : t
+val load : t
+val store : t
+val load_cap : t
+val store_cap : t
+val store_local_cap : t
+val seal : t
+val ccall : t
+val unseal : t
+val system_regs : t
+val set_cid : t
+
+(** {1 User-defined permissions} *)
+
+(** Required on capabilities passed to munmap/shmdt, and on fixed-address
+    mmap hints: without it a capability cannot remap the memory it
+    references (§4). *)
+val vmmap : t
+
+val sw1 : t
+val sw2 : t
+val sw3 : t
+
+val all : t
+
+(** {1 Composites} *)
+
+(** Load/store of data and capabilities. *)
+val data : t
+
+(** Execute + load (function capabilities). *)
+val code : t
+
+val read_only : t
+
+(** {1 Operations} *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+(** [diff a b]: [a] without the bits of [b]. *)
+val diff : t -> t -> t
+
+(** [has p bit]: all of [bit]'s bits are present in [p]. *)
+val has : t -> t -> bool
+
+(** [subset a b]: every permission in [a] is in [b]. *)
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cc/ast.ml: List Printf String

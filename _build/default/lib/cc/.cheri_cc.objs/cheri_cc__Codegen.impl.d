@@ -1,0 +1,1 @@
+lib/cc/codegen.ml: Array Ast Bytes Char Cheri_core Cheri_isa Cheri_kernel Cheri_rtld Hashtbl Intrin Layout List Option Printf Sema String

@@ -1,0 +1,1 @@
+lib/cc/compile.ml: Cheri_core Cheri_kernel Cheri_libc Cheri_rtld Codegen List Parser Sema

@@ -1,0 +1,1 @@
+lib/cc/intrin.ml: Ast Cheri_kernel Cheri_libc List

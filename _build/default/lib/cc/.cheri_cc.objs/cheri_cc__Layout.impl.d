@@ -1,0 +1,1 @@
+lib/cc/layout.ml: Ast Cheri_core Hashtbl List

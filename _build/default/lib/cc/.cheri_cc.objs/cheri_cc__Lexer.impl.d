@@ -1,0 +1,1 @@
+lib/cc/lexer.ml: Ast Buffer Char List Printf String

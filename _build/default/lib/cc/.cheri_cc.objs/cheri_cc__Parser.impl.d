@@ -1,0 +1,1 @@
+lib/cc/parser.ml: Ast Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/cc/sema.ml: Array Ast Hashtbl Intrin List Option

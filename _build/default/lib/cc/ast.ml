@@ -1,0 +1,93 @@
+(* Abstract syntax of CSmall, the C-like workload language.
+
+   CSmall is deliberately a small C: 64-bit [int], [char], pointers,
+   fixed-size arrays, structs, functions, and the handful of control
+   structures the paper's workloads need. Pointer/integer casts are legal
+   (they must be — half of the paper's compatibility study is about code
+   that does exactly that) but their *behaviour* differs per ABI: under
+   CheriABI an integer cast back to a pointer is derived from a NULL DDC
+   and cannot be dereferenced. *)
+
+type ty =
+  | Tint                      (* 64-bit signed *)
+  | Tchar                     (* 8-bit unsigned in memory, int in registers *)
+  | Tvoid
+  | Tptr of ty
+  | Tarr of ty * int
+  | Tstruct of string
+  | Tfun of ty * ty list
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tchar -> "char"
+  | Tvoid -> "void"
+  | Tptr t -> ty_to_string t ^ "*"
+  | Tarr (t, n) -> Printf.sprintf "%s[%d]" (ty_to_string t) n
+  | Tstruct s -> "struct " ^ s
+  | Tfun (r, args) ->
+    Printf.sprintf "%s(%s)" (ty_to_string r)
+      (String.concat "," (List.map ty_to_string args))
+
+let is_pointer = function Tptr _ | Tarr _ -> true | _ -> false
+
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type expr =
+  | Enum of int
+  | Estr of string
+  | Evar of string
+  | Eun of unop * expr
+  | Ebin of binop * expr * expr
+  | Eassign of expr * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr
+  | Ederef of expr
+  | Eaddr of expr
+  | Efield of expr * string      (* e.f *)
+  | Earrow of expr * string      (* e->f *)
+  | Ecast of ty * expr
+  | Esizeof of ty
+
+type stmt =
+  | Sdecl of ty * string * expr option
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+(* Global initializers. *)
+type ginit =
+  | Gnum of int
+  | Gstr of string               (* char *g = "...": pointer to a literal *)
+  | Gbytes of string             (* char g[] = "...": inline bytes *)
+  | Gaddr of string * int        (* &sym + byte offset *)
+  | Gnums of int list            (* int g[] = {...} *)
+  | Gnone
+
+type decl =
+  | Dstruct of string * (ty * string) list
+  | Dglobal of { g_tls : bool; g_ty : ty; g_name : string; g_init : ginit }
+  | Dfun of {
+      f_ret : ty;
+      f_name : string;
+      f_params : (ty * string) list;
+      f_body : stmt list;
+    }
+  | Dextern of { x_ret : ty; x_name : string; x_params : ty list }
+
+type program = decl list
+
+exception Compile_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt

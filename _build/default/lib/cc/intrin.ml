@@ -1,0 +1,108 @@
+(* Compiler intrinsics: the C library and system-call surface of CSmall.
+
+   [Krt] intrinsics lower to runtime-builtin upcalls ([Insn.Rt]); [Ksys]
+   to SYSCALL sequences; [Kspecial] get bespoke lowering in the code
+   generator (assert, sigaction, sysctl). *)
+
+open Ast
+
+type kind =
+  | Krt of int
+  | Ksys of int
+  | Kspecial of string
+
+type t = {
+  i_name : string;
+  i_ret : ty;
+  i_args : ty list;
+  i_kind : kind;
+}
+
+let cptr = Tptr Tchar
+let iptr = Tptr Tint
+
+module R = Cheri_libc.Rtnum
+module S = Cheri_kernel.Sysno
+
+let table =
+  [ (* C runtime builtins *)
+    { i_name = "malloc"; i_ret = cptr; i_args = [ Tint ]; i_kind = Krt R.rt_malloc };
+    { i_name = "free"; i_ret = Tvoid; i_args = [ cptr ]; i_kind = Krt R.rt_free };
+    { i_name = "free_revoke"; i_ret = Tvoid; i_args = [ cptr ];
+      i_kind = Krt R.rt_free_revoke };
+    { i_name = "realloc"; i_ret = cptr; i_args = [ cptr; Tint ];
+      i_kind = Krt R.rt_realloc };
+    { i_name = "calloc"; i_ret = cptr; i_args = [ Tint; Tint ];
+      i_kind = Krt R.rt_calloc };
+    { i_name = "memcpy"; i_ret = cptr; i_args = [ cptr; cptr; Tint ];
+      i_kind = Krt R.rt_memcpy };
+    { i_name = "memmove"; i_ret = cptr; i_args = [ cptr; cptr; Tint ];
+      i_kind = Krt R.rt_memmove };
+    { i_name = "memset"; i_ret = cptr; i_args = [ cptr; Tint; Tint ];
+      i_kind = Krt R.rt_memset };
+    { i_name = "print_int"; i_ret = Tvoid; i_args = [ Tint ];
+      i_kind = Krt R.rt_print_int };
+    { i_name = "print_char"; i_ret = Tvoid; i_args = [ Tint ];
+      i_kind = Krt R.rt_print_char };
+    { i_name = "print_str"; i_ret = Tvoid; i_args = [ cptr ];
+      i_kind = Krt R.rt_print_str };
+    { i_name = "print_hex"; i_ret = Tvoid; i_args = [ Tint ];
+      i_kind = Krt R.rt_print_hex };
+    { i_name = "strlen"; i_ret = Tint; i_args = [ cptr ];
+      i_kind = Krt R.rt_strlen };
+    (* system calls *)
+    { i_name = "exit"; i_ret = Tvoid; i_args = [ Tint ]; i_kind = Ksys S.sys_exit };
+    { i_name = "getpid"; i_ret = Tint; i_args = []; i_kind = Ksys S.sys_getpid };
+    { i_name = "gettime"; i_ret = Tint; i_args = []; i_kind = Ksys S.sys_gettime };
+    { i_name = "fork"; i_ret = Tint; i_args = []; i_kind = Ksys S.sys_fork };
+    { i_name = "wait"; i_ret = Tint; i_args = [ iptr ]; i_kind = Kspecial "wait" };
+    { i_name = "kill"; i_ret = Tint; i_args = [ Tint; Tint ];
+      i_kind = Ksys S.sys_kill };
+    { i_name = "read"; i_ret = Tint; i_args = [ Tint; cptr; Tint ];
+      i_kind = Ksys S.sys_read };
+    { i_name = "write"; i_ret = Tint; i_args = [ Tint; cptr; Tint ];
+      i_kind = Ksys S.sys_write };
+    { i_name = "open"; i_ret = Tint; i_args = [ cptr; Tint; Tint ];
+      i_kind = Ksys S.sys_open };
+    { i_name = "close"; i_ret = Tint; i_args = [ Tint ]; i_kind = Ksys S.sys_close };
+    { i_name = "unlink"; i_ret = Tint; i_args = [ cptr ];
+      i_kind = Ksys S.sys_unlink };
+    { i_name = "pipe"; i_ret = Tint; i_args = [ iptr ]; i_kind = Ksys S.sys_pipe };
+    { i_name = "socketpair"; i_ret = Tint; i_args = [ iptr ];
+      i_kind = Ksys S.sys_socketpair };
+    { i_name = "getcwd"; i_ret = Tint; i_args = [ cptr; Tint ];
+      i_kind = Ksys S.sys_getcwd };
+    { i_name = "lseek"; i_ret = Tint; i_args = [ Tint; Tint; Tint ];
+      i_kind = Ksys S.sys_lseek };
+    { i_name = "ftruncate"; i_ret = Tint; i_args = [ Tint; Tint ];
+      i_kind = Ksys S.sys_ftruncate };
+    { i_name = "mmap_anon"; i_ret = cptr; i_args = [ Tint ];
+      i_kind = Kspecial "mmap_anon" };
+    { i_name = "munmap"; i_ret = Tint; i_args = [ cptr; Tint ];
+      i_kind = Ksys S.sys_munmap };
+    { i_name = "sbrk"; i_ret = cptr; i_args = [ Tint ]; i_kind = Ksys S.sys_sbrk };
+    { i_name = "shmget"; i_ret = Tint; i_args = [ Tint; Tint ];
+      i_kind = Kspecial "shmget" };
+    { i_name = "shmat"; i_ret = cptr; i_args = [ Tint ];
+      i_kind = Kspecial "shmat" };
+    { i_name = "shmdt"; i_ret = Tint; i_args = [ cptr ];
+      i_kind = Ksys S.sys_shmdt };
+    { i_name = "execve"; i_ret = Tint;
+      i_args = [ cptr; Tptr cptr; Tptr cptr ]; i_kind = Ksys S.sys_execve };
+    { i_name = "select"; i_ret = Tint; i_args = [ Tint; cptr; cptr; cptr; cptr ];
+      i_kind = Ksys S.sys_select };
+    { i_name = "ioctl"; i_ret = Tint; i_args = [ Tint; Tint; cptr ];
+      i_kind = Ksys S.sys_ioctl };
+    { i_name = "sysctl_read"; i_ret = Tint; i_args = [ cptr; cptr; Tint ];
+      i_kind = Kspecial "sysctl_read" };
+    { i_name = "sigaction_fn"; i_ret = Tint; i_args = [ Tint; Tint ];
+      i_kind = Kspecial "sigaction_fn" };
+    { i_name = "kevent_reg"; i_ret = Tint; i_args = [ Tint; cptr ];
+      i_kind = Ksys S.sys_kevent_reg };
+    { i_name = "kevent_poll"; i_ret = Tint; i_args = [ Tptr cptr ];
+      i_kind = Ksys S.sys_kevent_poll };
+    (* diagnostics *)
+    { i_name = "assert"; i_ret = Tvoid; i_args = [ Tint ];
+      i_kind = Kspecial "assert" } ]
+
+let find name = List.find_opt (fun i -> i.i_name = name) table

@@ -1,0 +1,64 @@
+(* Per-ABI data layout.
+
+   The pointer-shape differences (PS in Table 2) live here: CheriABI
+   pointers are 16 bytes with 16-byte alignment, which changes struct
+   offsets, sizes and padding relative to the 8-byte legacy ABI. *)
+
+open Ast
+
+module Abi = Cheri_core.Abi
+
+type t = {
+  abi : Abi.t;
+  structs : (string, (ty * string) list) Hashtbl.t;
+}
+
+let create ~abi (structs : (string * (ty * string) list) list) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (n, fs) -> Hashtbl.replace tbl n fs) structs;
+  { abi; structs = tbl }
+
+let ptr_size l = Abi.pointer_size l.abi
+
+let align_up v a = (v + a - 1) land lnot (a - 1)
+
+let rec alignof l = function
+  | Tint -> 8
+  | Tchar -> 1
+  | Tvoid -> 1
+  | Tptr _ -> ptr_size l
+  | Tarr (t, _) -> alignof l t
+  | Tstruct s ->
+    List.fold_left (fun a (ft, _) -> max a (alignof l ft)) 1 (fields l s)
+  | Tfun _ -> ptr_size l
+
+and sizeof l = function
+  | Tint -> 8
+  | Tchar -> 1
+  | Tvoid -> 1
+  | Tptr _ -> ptr_size l
+  | Tarr (t, n) -> sizeof l t * n
+  | Tstruct s ->
+    let sz, al =
+      List.fold_left
+        (fun (off, al) (ft, _) ->
+          let fa = alignof l ft in
+          (align_up off fa + sizeof l ft, max al fa))
+        (0, 1) (fields l s)
+    in
+    align_up sz al
+  | Tfun _ -> ptr_size l
+
+and fields l s =
+  match Hashtbl.find_opt l.structs s with
+  | Some fs -> fs
+  | None -> error "unknown struct %s" s
+
+let field_offset l s f =
+  let rec go off = function
+    | [] -> error "struct %s has no field %s" s f
+    | (ft, name) :: rest ->
+      let off = align_up off (alignof l ft) in
+      if name = f then off else go (off + sizeof l ft) rest
+  in
+  go 0 (fields l s)

@@ -1,0 +1,181 @@
+(* Hand-rolled lexer for CSmall. *)
+
+type token =
+  | Tid of string
+  | Tnum of int
+  | Tstrlit of string
+  | Tpunct of string
+  | Teof
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable tok : token;        (* current token *)
+}
+
+let keywords =
+  [ "int"; "char"; "void"; "struct"; "if"; "else"; "while"; "do"; "for";
+    "return"; "break"; "continue"; "sizeof"; "extern"; "tls" ]
+
+let is_keyword s = List.mem s keywords
+
+let fail lx fmt =
+  Printf.ksprintf (fun s -> Ast.error "line %d: %s" lx.line s) fmt
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx = lx.pos <- lx.pos + 1
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r') ->
+    advance lx;
+    skip_ws lx
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    advance lx;
+    skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src ->
+    (match lx.src.[lx.pos + 1] with
+     | '/' ->
+       while peek_char lx <> None && peek_char lx <> Some '\n' do
+         advance lx
+       done;
+       skip_ws lx
+     | '*' ->
+       advance lx;
+       advance lx;
+       let rec go () =
+         match peek_char lx with
+         | None -> fail lx "unterminated comment"
+         | Some '\n' ->
+           lx.line <- lx.line + 1;
+           advance lx;
+           go ()
+         | Some '*' when lx.pos + 1 < String.length lx.src
+                         && lx.src.[lx.pos + 1] = '/' ->
+           advance lx;
+           advance lx
+         | Some _ ->
+           advance lx;
+           go ()
+       in
+       go ();
+       skip_ws lx
+     | _ -> ())
+  | _ -> ()
+
+let escape lx = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> fail lx "bad escape \\%c" c
+
+let two_char_puncts =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "->"; "+="; "-=";
+    "*="; "/="; "++"; "--" ]
+
+let scan lx =
+  skip_ws lx;
+  match peek_char lx with
+  | None -> Teof
+  | Some c when is_digit c ->
+    let start = lx.pos in
+    if c = '0' && lx.pos + 1 < String.length lx.src
+       && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+    then begin
+      advance lx;
+      advance lx;
+      let hstart = lx.pos in
+      while
+        match peek_char lx with
+        | Some h ->
+          is_digit h || (h >= 'a' && h <= 'f') || (h >= 'A' && h <= 'F')
+        | None -> false
+      do
+        advance lx
+      done;
+      if lx.pos = hstart then fail lx "bad hex literal";
+      Tnum (int_of_string ("0x" ^ String.sub lx.src hstart (lx.pos - hstart)))
+    end
+    else begin
+      while match peek_char lx with Some d -> is_digit d | None -> false do
+        advance lx
+      done;
+      Tnum (int_of_string (String.sub lx.src start (lx.pos - start)))
+    end
+  | Some c when is_id_start c ->
+    let start = lx.pos in
+    while match peek_char lx with Some d -> is_id_char d | None -> false do
+      advance lx
+    done;
+    Tid (String.sub lx.src start (lx.pos - start))
+  | Some '"' ->
+    advance lx;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek_char lx with
+      | None -> fail lx "unterminated string"
+      | Some '"' -> advance lx
+      | Some '\\' ->
+        advance lx;
+        (match peek_char lx with
+         | None -> fail lx "unterminated string"
+         | Some e ->
+           Buffer.add_char buf (escape lx e);
+           advance lx;
+           go ())
+      | Some c ->
+        Buffer.add_char buf c;
+        advance lx;
+        go ()
+    in
+    go ();
+    Tstrlit (Buffer.contents buf)
+  | Some '\'' ->
+    advance lx;
+    let c =
+      match peek_char lx with
+      | Some '\\' ->
+        advance lx;
+        (match peek_char lx with
+         | Some e -> escape lx e
+         | None -> fail lx "unterminated char")
+      | Some c -> c
+      | None -> fail lx "unterminated char"
+    in
+    advance lx;
+    (match peek_char lx with
+     | Some '\'' -> advance lx
+     | _ -> fail lx "unterminated char literal");
+    Tnum (Char.code c)
+  | Some _ ->
+    if lx.pos + 1 < String.length lx.src
+       && List.mem (String.sub lx.src lx.pos 2) two_char_puncts
+    then begin
+      let p = String.sub lx.src lx.pos 2 in
+      advance lx;
+      advance lx;
+      Tpunct p
+    end
+    else begin
+      let p = String.make 1 lx.src.[lx.pos] in
+      advance lx;
+      Tpunct p
+    end
+
+let next lx = lx.tok <- scan lx
+
+let create src =
+  let lx = { src; pos = 0; line = 1; tok = Teof } in
+  next lx;
+  lx

@@ -1,0 +1,551 @@
+(* Recursive-descent parser for CSmall. *)
+
+open Ast
+
+type t = { lx : Lexer.t }
+
+let fail p fmt = Printf.ksprintf (fun s -> error "line %d: %s" p.lx.Lexer.line s) fmt
+
+let tok p = p.lx.Lexer.tok
+let next p = Lexer.next p.lx
+
+let eat_punct p s =
+  match tok p with
+  | Lexer.Tpunct q when q = s -> next p
+  | _ -> fail p "expected '%s'" s
+
+let is_punct p s = match tok p with Lexer.Tpunct q -> q = s | _ -> false
+
+let accept_punct p s =
+  if is_punct p s then begin
+    next p;
+    true
+  end
+  else false
+
+let is_kw p s = match tok p with Lexer.Tid q -> q = s | _ -> false
+
+let accept_kw p s =
+  if is_kw p s then begin
+    next p;
+    true
+  end
+  else false
+
+let ident p =
+  match tok p with
+  | Lexer.Tid s when not (Lexer.is_keyword s) ->
+    next p;
+    s
+  | _ -> fail p "expected identifier"
+
+(* --- Types ---------------------------------------------------------------------- *)
+
+let is_type_start p =
+  match tok p with
+  | Lexer.Tid ("int" | "char" | "void" | "struct") -> true
+  | _ -> false
+
+let base_type p =
+  match tok p with
+  | Lexer.Tid "int" ->
+    next p;
+    Tint
+  | Lexer.Tid "char" ->
+    next p;
+    Tchar
+  | Lexer.Tid "void" ->
+    next p;
+    Tvoid
+  | Lexer.Tid "struct" ->
+    next p;
+    Tstruct (ident p)
+  | _ -> fail p "expected type"
+
+let rec stars p ty = if accept_punct p "*" then stars p (Tptr ty) else ty
+
+let parse_type p = stars p (base_type p)
+
+(* --- Expressions ------------------------------------------------------------------ *)
+
+let rec expr p = assign_expr p
+
+and assign_expr p =
+  let lhs = lor_expr p in
+  if accept_punct p "=" then Eassign (lhs, assign_expr p)
+  else if accept_punct p "+=" then Eassign (lhs, Ebin (Add, lhs, assign_expr p))
+  else if accept_punct p "-=" then Eassign (lhs, Ebin (Sub, lhs, assign_expr p))
+  else if accept_punct p "*=" then Eassign (lhs, Ebin (Mul, lhs, assign_expr p))
+  else if accept_punct p "/=" then Eassign (lhs, Ebin (Div, lhs, assign_expr p))
+  else lhs
+
+and lor_expr p =
+  let l = land_expr p in
+  if accept_punct p "||" then Ebin (Lor, l, lor_expr p) else l
+
+and land_expr p =
+  let l = bor_expr p in
+  if accept_punct p "&&" then Ebin (Land, l, land_expr p) else l
+
+and bor_expr p =
+  let rec go l = if accept_punct p "|" then go (Ebin (Bor, l, bxor_expr p)) else l in
+  go (bxor_expr p)
+
+and bxor_expr p =
+  let rec go l = if accept_punct p "^" then go (Ebin (Bxor, l, band_expr p)) else l in
+  go (band_expr p)
+
+and band_expr p =
+  let rec go l =
+    (* '&&' is caught earlier; single '&' here. *)
+    if is_punct p "&" then begin
+      next p;
+      go (Ebin (Band, l, eq_expr p))
+    end
+    else l
+  in
+  go (eq_expr p)
+
+and eq_expr p =
+  let rec go l =
+    if accept_punct p "==" then go (Ebin (Eq, l, rel_expr p))
+    else if accept_punct p "!=" then go (Ebin (Ne, l, rel_expr p))
+    else l
+  in
+  go (rel_expr p)
+
+and rel_expr p =
+  let rec go l =
+    if accept_punct p "<=" then go (Ebin (Le, l, shift_expr p))
+    else if accept_punct p ">=" then go (Ebin (Ge, l, shift_expr p))
+    else if accept_punct p "<" then go (Ebin (Lt, l, shift_expr p))
+    else if accept_punct p ">" then go (Ebin (Gt, l, shift_expr p))
+    else l
+  in
+  go (shift_expr p)
+
+and shift_expr p =
+  let rec go l =
+    if accept_punct p "<<" then go (Ebin (Shl, l, add_expr p))
+    else if accept_punct p ">>" then go (Ebin (Shr, l, add_expr p))
+    else l
+  in
+  go (add_expr p)
+
+and add_expr p =
+  let rec go l =
+    if accept_punct p "+" then go (Ebin (Add, l, mul_expr p))
+    else if accept_punct p "-" then go (Ebin (Sub, l, mul_expr p))
+    else l
+  in
+  go (mul_expr p)
+
+and mul_expr p =
+  let rec go l =
+    if accept_punct p "*" then go (Ebin (Mul, l, unary_expr p))
+    else if accept_punct p "/" then go (Ebin (Div, l, unary_expr p))
+    else if accept_punct p "%" then go (Ebin (Mod, l, unary_expr p))
+    else l
+  in
+  go (unary_expr p)
+
+and unary_expr p =
+  if accept_punct p "-" then Eun (Neg, unary_expr p)
+  else if accept_punct p "!" then Eun (Lognot, unary_expr p)
+  else if accept_punct p "~" then Eun (Bitnot, unary_expr p)
+  else if accept_punct p "*" then Ederef (unary_expr p)
+  else if accept_punct p "&" then Eaddr (unary_expr p)
+  else if accept_punct p "++" then
+    (* ++e  =>  e = e + 1 *)
+    let e = unary_expr p in
+    Eassign (e, Ebin (Add, e, Enum 1))
+  else if accept_punct p "--" then
+    let e = unary_expr p in
+    Eassign (e, Ebin (Sub, e, Enum 1))
+  else if is_kw p "sizeof" then begin
+    next p;
+    eat_punct p "(";
+    let t = parse_type p in
+    eat_punct p ")";
+    Esizeof t
+  end
+  else if is_punct p "(" then begin
+    (* Either a cast or a parenthesized expression. *)
+    next p;
+    if is_type_start p then begin
+      let t = parse_type p in
+      eat_punct p ")";
+      Ecast (t, unary_expr p)
+    end
+    else begin
+      let e = expr p in
+      eat_punct p ")";
+      postfix p e
+    end
+  end
+  else postfix p (primary p)
+
+and primary p =
+  match tok p with
+  | Lexer.Tnum n ->
+    next p;
+    Enum n
+  | Lexer.Tstrlit s ->
+    next p;
+    Estr s
+  | Lexer.Tid id when not (Lexer.is_keyword id) ->
+    next p;
+    if is_punct p "(" then begin
+      next p;
+      let args = ref [] in
+      if not (is_punct p ")") then begin
+        args := [ expr p ];
+        while accept_punct p "," do
+          args := expr p :: !args
+        done
+      end;
+      eat_punct p ")";
+      Ecall (id, List.rev !args)
+    end
+    else Evar id
+  | _ -> fail p "expected expression"
+
+and postfix p e =
+  if accept_punct p "[" then begin
+    let i = expr p in
+    eat_punct p "]";
+    postfix p (Eindex (e, i))
+  end
+  else if accept_punct p "." then postfix p (Efield (e, ident p))
+  else if accept_punct p "->" then postfix p (Earrow (e, ident p))
+  else if accept_punct p "++" then
+    (* Postfix increment in statement position only; we desugar to
+       pre-increment (CSmall workloads never use the value). *)
+    Eassign (e, Ebin (Add, e, Enum 1))
+  else if accept_punct p "--" then Eassign (e, Ebin (Sub, e, Enum 1))
+  else e
+
+(* --- Statements ---------------------------------------------------------------------- *)
+
+let rec stmt p =
+  if accept_punct p "{" then begin
+    let body = ref [] in
+    while not (is_punct p "}") do
+      body := stmt p :: !body
+    done;
+    eat_punct p "}";
+    Sblock (List.rev !body)
+  end
+  else if is_kw p "if" then begin
+    next p;
+    eat_punct p "(";
+    let c = expr p in
+    eat_punct p ")";
+    let th = stmt p in
+    if accept_kw p "else" then Sif (c, th, Some (stmt p)) else Sif (c, th, None)
+  end
+  else if is_kw p "while" then begin
+    next p;
+    eat_punct p "(";
+    let c = expr p in
+    eat_punct p ")";
+    Swhile (c, stmt p)
+  end
+  else if is_kw p "do" then begin
+    next p;
+    let body = stmt p in
+    if not (accept_kw p "while") then fail p "expected while";
+    eat_punct p "(";
+    let c = expr p in
+    eat_punct p ")";
+    eat_punct p ";";
+    Sdo (body, c)
+  end
+  else if is_kw p "for" then begin
+    next p;
+    eat_punct p "(";
+    let init =
+      if is_punct p ";" then None
+      else if is_type_start p then Some (decl_stmt p)
+      else Some (Sexpr (expr p))
+    in
+    (match init with Some (Sdecl _) -> () | _ -> eat_punct p ";");
+    let cond = if is_punct p ";" then None else Some (expr p) in
+    eat_punct p ";";
+    let step = if is_punct p ")" then None else Some (expr p) in
+    eat_punct p ")";
+    Sfor (init, cond, step, stmt p)
+  end
+  else if is_kw p "return" then begin
+    next p;
+    if accept_punct p ";" then Sreturn None
+    else begin
+      let e = expr p in
+      eat_punct p ";";
+      Sreturn (Some e)
+    end
+  end
+  else if is_kw p "break" then begin
+    next p;
+    eat_punct p ";";
+    Sbreak
+  end
+  else if is_kw p "continue" then begin
+    next p;
+    eat_punct p ";";
+    Scontinue
+  end
+  else if is_type_start p then decl_stmt p
+  else begin
+    let e = expr p in
+    eat_punct p ";";
+    Sexpr e
+  end
+
+(* A local declaration, consuming the trailing ';'. *)
+and decl_stmt p =
+  let base = base_type p in
+  let ty = stars p base in
+  let name = ident p in
+  let ty =
+    if accept_punct p "[" then begin
+      let n = match tok p with
+        | Lexer.Tnum n ->
+          next p;
+          n
+        | _ -> fail p "expected array size"
+      in
+      eat_punct p "]";
+      Tarr (ty, n)
+    end
+    else ty
+  in
+  let init = if accept_punct p "=" then Some (expr p) else None in
+  eat_punct p ";";
+  Sdecl (ty, name, init)
+
+(* --- Top level -------------------------------------------------------------------------- *)
+
+let global_init p g_ty =
+  if accept_punct p "=" then begin
+    match tok p, g_ty with
+    | Lexer.Tnum n, _ ->
+      next p;
+      Gnum n
+    | Lexer.Tpunct "-", _ ->
+      next p;
+      (match tok p with
+       | Lexer.Tnum n ->
+         next p;
+         Gnum (-n)
+       | _ -> fail p "expected number")
+    | Lexer.Tstrlit s, Tarr (Tchar, _) ->
+      next p;
+      Gbytes s
+    | Lexer.Tstrlit s, _ ->
+      next p;
+      Gstr s
+    | Lexer.Tpunct "&", _ ->
+      next p;
+      Gaddr (ident p, 0)
+    | Lexer.Tpunct "{", _ ->
+      next p;
+      let items = ref [] in
+      if not (is_punct p "}") then begin
+        let num () =
+          match tok p with
+          | Lexer.Tnum n ->
+            next p;
+            n
+          | Lexer.Tpunct "-" ->
+            next p;
+            (match tok p with
+             | Lexer.Tnum n ->
+               next p;
+               -n
+             | _ -> fail p "expected number")
+          | _ -> fail p "expected number"
+        in
+        items := [ num () ];
+        while accept_punct p "," do
+          items := num () :: !items
+        done
+      end;
+      eat_punct p "}";
+      Gnums (List.rev !items)
+    | _ -> fail p "unsupported global initializer"
+  end
+  else Gnone
+
+let top_decl p =
+  if is_kw p "struct" then begin
+    (* Either a struct definition or a struct-typed global/function. *)
+    next p;
+    let name = ident p in
+    if accept_punct p "{" then begin
+      let fields = ref [] in
+      while not (is_punct p "}") do
+        let fty = stars p (base_type p) in
+        let fname = ident p in
+        let fty =
+          if accept_punct p "[" then begin
+            let n = match tok p with
+              | Lexer.Tnum n ->
+                next p;
+                n
+              | _ -> fail p "expected array size"
+            in
+            eat_punct p "]";
+            Tarr (fty, n)
+          end
+          else fty
+        in
+        eat_punct p ";";
+        fields := (fty, fname) :: !fields
+      done;
+      eat_punct p "}";
+      eat_punct p ";";
+      Dstruct (name, List.rev !fields)
+    end
+    else begin
+      (* struct-typed global or function returning struct pointer etc. *)
+      let ty = stars p (Tstruct name) in
+      let dname = ident p in
+      if is_punct p "(" then begin
+        (* A function returning a struct pointer. *)
+        if ty = Tstruct name then fail p "struct-by-value return unsupported";
+        next p;
+        let params = ref [] in
+        if not (is_punct p ")") then begin
+          let param () =
+            let t = parse_type p in
+            let n = ident p in
+            t, n
+          in
+          params := [ param () ];
+          while accept_punct p "," do
+            params := param () :: !params
+          done
+        end;
+        eat_punct p ")";
+        eat_punct p "{";
+        let body = ref [] in
+        while not (is_punct p "}") do
+          body := stmt p :: !body
+        done;
+        eat_punct p "}";
+        Dfun { f_ret = ty; f_name = dname; f_params = List.rev !params;
+               f_body = List.rev !body }
+      end
+      else begin
+        let ty =
+          if accept_punct p "[" then begin
+            let n = match tok p with
+              | Lexer.Tnum n ->
+                next p;
+                n
+              | _ -> fail p "expected array size"
+            in
+            eat_punct p "]";
+            Tarr (ty, n)
+          end
+          else ty
+        in
+        let init = global_init p ty in
+        eat_punct p ";";
+        Dglobal { g_tls = false; g_ty = ty; g_name = dname; g_init = init }
+      end
+    end
+  end
+  else if is_kw p "extern" then begin
+    next p;
+    let ret = parse_type p in
+    let name = ident p in
+    eat_punct p "(";
+    let params = ref [] in
+    if not (is_punct p ")") then begin
+      let param () =
+        let t = parse_type p in
+        (* parameter name is optional in prototypes *)
+        (match tok p with
+         | Lexer.Tid s when not (Lexer.is_keyword s) -> next p
+         | _ -> ());
+        t
+      in
+      params := [ param () ];
+      while accept_punct p "," do
+        params := param () :: !params
+      done
+    end;
+    eat_punct p ")";
+    eat_punct p ";";
+    Dextern { x_ret = ret; x_name = name; x_params = List.rev !params }
+  end
+  else begin
+    let tls = accept_kw p "tls" in
+    let ty = parse_type p in
+    let name = ident p in
+    if is_punct p "(" then begin
+      if tls then fail p "tls functions make no sense";
+      next p;
+      let params = ref [] in
+      if not (is_punct p ")") then begin
+        let param () =
+          let t = parse_type p in
+          let n = ident p in
+          t, n
+        in
+        params := [ param () ];
+        while accept_punct p "," do
+          params := param () :: !params
+        done
+      end;
+      eat_punct p ")";
+      eat_punct p "{";
+      let body = ref [] in
+      while not (is_punct p "}") do
+        body := stmt p :: !body
+      done;
+      eat_punct p "}";
+      Dfun { f_ret = ty; f_name = name; f_params = List.rev !params;
+             f_body = List.rev !body }
+    end
+    else begin
+      let ty =
+        if accept_punct p "[" then begin
+          let n =
+            match tok p with
+            | Lexer.Tnum n ->
+              next p;
+              eat_punct p "]";
+              n
+            | Lexer.Tpunct "]" ->
+              next p;
+              -1   (* size from initializer *)
+            | _ -> fail p "expected array size"
+          in
+          Tarr (ty, n)
+        end
+        else ty
+      in
+      let init = global_init p ty in
+      (* Fix up char g[] = "..." / int g[] = {...} sizes. *)
+      let ty =
+        match ty, init with
+        | Tarr (t, -1), Gbytes s -> Tarr (t, String.length s + 1)
+        | Tarr (t, -1), Gnums l -> Tarr (t, List.length l)
+        | Tarr (_, -1), _ -> fail p "array size required"
+        | t, _ -> t
+      in
+      eat_punct p ";";
+      Dglobal { g_tls = tls; g_ty = ty; g_name = name; g_init = init }
+    end
+  end
+
+let parse src =
+  let p = { lx = Lexer.create src } in
+  let decls = ref [] in
+  while tok p <> Lexer.Teof do
+    decls := top_decl p :: !decls
+  done;
+  List.rev !decls

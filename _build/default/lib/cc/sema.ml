@@ -1,0 +1,436 @@
+(* Type checking: AST -> typed AST.
+
+   CSmall follows C's rules where the paper's compatibility study needs
+   them (pointer/integer casts, pointer arithmetic, array decay) and is
+   stricter elsewhere (no implicit int->pointer conversion except the
+   literal 0). *)
+
+open Ast
+
+type var_kind =
+  | Vlocal
+  | Vglobal of bool      (* tls? *)
+
+type callee =
+  | Cuser of string                  (* defined in this unit *)
+  | Cextern of string                (* resolved at link time *)
+  | Cintrin of Intrin.t
+
+type texpr = { te : tdesc; ty : ty }
+
+and tdesc =
+  | Xnum of int
+  | Xstr of int                       (* string-table index *)
+  | Xvar of string * var_kind
+  | Xfunref of string                 (* function used as a value *)
+  | Xun of unop * texpr
+  | Xbin of binop * texpr * texpr
+  | Xassign of texpr * texpr
+  | Xcall of callee * texpr list
+  | Xindex of texpr * texpr
+  | Xderef of texpr
+  | Xaddr of texpr
+  | Xfield of texpr * string * string  (* base lvalue, struct name, field *)
+  | Xcast of ty * texpr
+  | Xsizeof of ty
+  | Xcalli of texpr * texpr list   (* indirect call through a pointer *)
+
+type tstmt =
+  | Ydecl of ty * string * texpr option
+  | Yexpr of texpr
+  | Yif of texpr * tstmt * tstmt option
+  | Ywhile of texpr * tstmt
+  | Ydo of tstmt * texpr
+  | Yfor of tstmt option * texpr option * texpr option * tstmt
+  | Yreturn of texpr option
+  | Ybreak
+  | Ycontinue
+  | Yblock of tstmt list
+
+type tfun = {
+  tf_name : string;
+  tf_ret : ty;
+  tf_params : (ty * string) list;
+  tf_body : tstmt list;
+}
+
+type tglobal = {
+  tg_name : string;
+  tg_ty : ty;
+  tg_tls : bool;
+  tg_init : ginit;
+}
+
+type tunit = {
+  tu_structs : (string * (ty * string) list) list;
+  tu_globals : tglobal list;
+  tu_funs : tfun list;
+  tu_strings : string array;
+}
+
+(* --- Environment ------------------------------------------------------------------- *)
+
+type env = {
+  structs : (string, (ty * string) list) Hashtbl.t;
+  globals : (string, ty * bool) Hashtbl.t;
+  funcs : (string, ty * ty list * bool) Hashtbl.t;   (* ret, args, defined *)
+  mutable strings : string list;                     (* reversed *)
+  mutable scopes : (string, ty) Hashtbl.t list;
+  mutable current_ret : ty;
+}
+
+let add_string env s =
+  let idx = List.length env.strings in
+  env.strings <- s :: env.strings;
+  idx
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> assert false
+
+let declare_local env name ty =
+  match env.scopes with
+  | scope :: _ ->
+    if Hashtbl.mem scope name then error "redeclaration of %s" name;
+    Hashtbl.replace scope name ty
+  | [] -> assert false
+
+let lookup_var env name =
+  let rec go = function
+    | scope :: rest ->
+      (match Hashtbl.find_opt scope name with
+       | Some ty -> Some (ty, Vlocal)
+       | None -> go rest)
+    | [] ->
+      (match Hashtbl.find_opt env.globals name with
+       | Some (ty, tls) -> Some (ty, Vglobal tls)
+       | None -> None)
+  in
+  go env.scopes
+
+let struct_fields env name =
+  match Hashtbl.find_opt env.structs name with
+  | Some fs -> fs
+  | None -> error "unknown struct %s" name
+
+let field_ty env sname fname =
+  match List.find_opt (fun (_, n) -> n = fname) (struct_fields env sname) with
+  | Some (t, _) -> t
+  | None -> error "struct %s has no field %s" sname fname
+
+(* --- Type utilities ----------------------------------------------------------------- *)
+
+(* Value type after array decay and char promotion (in registers). *)
+let decay = function
+  | Tarr (t, _) -> Tptr t
+  | Tchar -> Tint
+  | t -> t
+
+let rec compatible a b =
+  match a, b with
+  | Tint, Tint | Tchar, Tchar | Tint, Tchar | Tchar, Tint -> true
+  | Tptr x, Tptr y -> x = y || x = Tvoid || y = Tvoid || x = Tchar || y = Tchar
+  | Tptr _, Tarr (y, _) -> compatible a (Tptr y)
+  | Tstruct a, Tstruct b -> a = b
+  | Tvoid, Tvoid -> true
+  | _ -> false
+
+(* Insert an explicit cast when a value of the wrong register class (int
+   vs pointer) flows into a typed slot, so the code generator always sees
+   matching operand kinds. *)
+let coerce target te =
+  if is_pointer target && not (is_pointer te.ty) then
+    { te = Xcast (target, te); ty = target }
+  else if (not (is_pointer target)) && target <> Tvoid && is_pointer te.ty
+  then { te = Xcast (Tint, te); ty = Tint }
+  else te
+
+let is_lvalue e =
+  match e.te with
+  | Xvar _ | Xindex _ | Xderef _ | Xfield _ -> true
+  | Xcast (_, inner) ->
+    (match inner.te with Xvar _ | Xindex _ | Xderef _ | Xfield _ -> true | _ -> false)
+  | _ -> false
+
+(* --- Expressions ------------------------------------------------------------------------ *)
+
+let rec check_expr env (e : expr) : texpr =
+  match e with
+  | Enum n -> { te = Xnum n; ty = Tint }
+  | Estr s ->
+    let idx = add_string env s in
+    { te = Xstr idx; ty = Tptr Tchar }
+  | Evar name ->
+    (match lookup_var env name with
+     | Some (ty, kind) -> { te = Xvar (name, kind); ty }
+     | None ->
+       if Hashtbl.mem env.funcs name then { te = Xfunref name; ty = Tptr Tvoid }
+       else error "undeclared identifier %s" name)
+  | Eun (op, a) ->
+    let ta = rvalue env a in
+    (match op with
+     | Neg | Bitnot ->
+       if decay ta.ty <> Tint then error "unary op on non-integer";
+       { te = Xun (op, ta); ty = Tint }
+     | Lognot -> { te = Xun (op, ta); ty = Tint })
+  | Ebin (op, a, b) -> check_binop env op a b
+  | Eassign (lhs, rhs) ->
+    let tl = check_expr env lhs in
+    if not (is_lvalue tl) then error "assignment to non-lvalue";
+    let tr = rvalue env rhs in
+    let ok =
+      compatible tl.ty tr.ty
+      || (is_pointer tl.ty && tr.te = Xnum 0)
+      || (tl.ty = Tint && is_pointer tr.ty)      (* flagged by Compat, legal C-ish *)
+      || (is_pointer tl.ty && is_pointer tr.ty)
+    in
+    if not ok then
+      error "type mismatch in assignment: %s vs %s" (ty_to_string tl.ty)
+        (ty_to_string tr.ty);
+    { te = Xassign (tl, coerce tl.ty tr); ty = decay tl.ty }
+  | Ecall (name, args) -> check_call env name args
+  | Eindex (a, i) ->
+    let ta = check_expr env a in
+    let ti = rvalue env i in
+    if decay ti.ty <> Tint then error "index must be integer";
+    let elem =
+      match ta.ty with
+      | Tarr (t, _) | Tptr t -> t
+      | t -> error "indexing non-array type %s" (ty_to_string t)
+    in
+    { te = Xindex ((if is_lvalue ta || true then ta else ta), ti); ty = elem }
+  | Ederef a ->
+    let ta = rvalue env a in
+    (match ta.ty with
+     | Tptr Tvoid -> error "dereference of void*"
+     | Tptr t -> { te = Xderef ta; ty = t }
+     | t -> error "dereference of non-pointer %s" (ty_to_string t))
+  | Eaddr a ->
+    let ta = check_expr env a in
+    (match ta.te with
+     | Xvar _ | Xindex _ | Xderef _ | Xfield _ ->
+       { te = Xaddr ta; ty = Tptr ta.ty }
+     | Xfunref f -> { te = Xfunref f; ty = Tptr Tvoid }
+     | _ -> error "address of non-lvalue")
+  | Efield (a, f) ->
+    let ta = check_expr env a in
+    (match ta.ty with
+     | Tstruct s -> { te = Xfield (ta, s, f); ty = field_ty env s f }
+     | t -> error ".%s on non-struct %s" f (ty_to_string t))
+  | Earrow (a, f) ->
+    let ta = rvalue env a in
+    (match ta.ty with
+     | Tptr (Tstruct s) ->
+       { te = Xfield ({ te = Xderef ta; ty = Tstruct s }, s, f);
+         ty = field_ty env s f }
+     | t -> error "->%s on %s" f (ty_to_string t))
+  | Ecast (ty, a) ->
+    let ta = rvalue env a in
+    { te = Xcast (ty, ta); ty }
+  | Esizeof t -> { te = Xsizeof t; ty = Tint }
+
+(* An expression used for its value: arrays decay to pointers. *)
+and rvalue env e =
+  let te = check_expr env e in
+  match te.ty with
+  | Tarr (t, _) -> { te with ty = Tptr t }
+  | _ -> te
+
+and check_binop env op a b =
+  let ta = rvalue env a and tb = rvalue env b in
+  match op with
+  | Add | Sub ->
+    (match is_pointer ta.ty, is_pointer tb.ty with
+     | true, false ->
+       if decay tb.ty <> Tint then error "pointer + non-integer";
+       { te = Xbin (op, ta, tb); ty = ta.ty }
+     | false, true ->
+       if op = Sub then error "integer - pointer";
+       { te = Xbin (op, tb, ta); ty = tb.ty }   (* normalize p on the left *)
+     | true, true ->
+       if op <> Sub then error "pointer + pointer";
+       { te = Xbin (op, ta, tb); ty = Tint }    (* element difference *)
+     | false, false -> { te = Xbin (op, ta, tb); ty = Tint })
+  | Mul | Div | Mod | Shl | Shr | Band | Bor | Bxor ->
+    if is_pointer ta.ty || is_pointer tb.ty then
+      (* Bitwise arithmetic on pointers: the idioms the paper's Table 2
+         classifies (bit flags, hashing, alignment). CSmall requires the
+         explicit integer casts, so reject here. *)
+      error "arithmetic %s on pointer requires an integer cast"
+        (match op with
+         | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+         | Mul -> "*" | Div -> "/" | Mod -> "%%" | _ -> "?");
+    { te = Xbin (op, ta, tb); ty = Tint }
+  | Eq | Ne | Lt | Le | Gt | Ge ->
+    { te = Xbin (op, ta, tb); ty = Tint }
+  | Land | Lor -> { te = Xbin (op, ta, tb); ty = Tint }
+
+and check_call env name args =
+  (* A pointer-typed variable in scope makes this an indirect call (the
+     callee's signature is the caller's responsibility, as with K&R C —
+     the CC compatibility class). Defined/extern functions and intrinsics
+     are checked normally. *)
+  match lookup_var env name with
+  | Some (ty, kind) when is_pointer ty ->
+    let fp = { te = Xvar (name, kind); ty = decay ty } in
+    let targs = List.map (rvalue env) args in
+    { te = Xcalli (fp, targs); ty = Tint }
+  | Some _ | None ->
+  match Hashtbl.find_opt env.funcs name with
+  | Some (ret, ptys, defined) ->
+    if List.length args <> List.length ptys then
+      error "%s expects %d arguments" name (List.length ptys);
+    let targs =
+      List.map2
+        (fun a pty ->
+          let ta = rvalue env a in
+          if not (compatible pty ta.ty || (is_pointer pty && ta.te = Xnum 0))
+          then
+            error "argument type mismatch in call to %s: %s vs %s" name
+              (ty_to_string pty) (ty_to_string ta.ty);
+          coerce pty ta)
+        args ptys
+    in
+    { te = Xcall ((if defined then Cuser name else Cextern name), targs);
+      ty = ret }
+  | None ->
+    (match Intrin.find name with
+     | None -> error "unknown function %s" name
+     | Some intr ->
+       if List.length args <> List.length intr.Intrin.i_args then
+         error "%s expects %d arguments" name (List.length intr.Intrin.i_args);
+       (* sigaction_fn's second argument is a function name. *)
+       let targs =
+         if intr.Intrin.i_kind = Intrin.Kspecial "sigaction_fn" then
+           match args with
+           | [ s; Evar f ] when Hashtbl.mem env.funcs f ->
+             [ rvalue env s; { te = Xfunref f; ty = Tptr Tvoid } ]
+           | _ -> error "sigaction_fn needs a literal function name"
+         else
+           List.map2
+             (fun a pty ->
+               let ta = rvalue env a in
+               if not
+                    (compatible pty ta.ty
+                     || (is_pointer pty && ta.te = Xnum 0)
+                     || (is_pointer pty && is_pointer ta.ty))
+               then
+                 error "argument type mismatch in call to %s" name;
+               coerce pty ta)
+             args intr.Intrin.i_args
+       in
+       { te = Xcall (Cintrin intr, targs); ty = intr.Intrin.i_ret })
+
+(* --- Statements ------------------------------------------------------------------------- *)
+
+let rec check_stmt env (s : stmt) : tstmt =
+  match s with
+  | Sdecl (ty, name, init) ->
+    (match ty with
+     | Tvoid -> error "void variable %s" name
+     | _ -> ());
+    let tinit =
+      Option.map
+        (fun e ->
+          let te = rvalue env e in
+          if not
+               (compatible ty te.ty
+                || (is_pointer ty && te.te = Xnum 0)
+                || (is_pointer ty && is_pointer te.ty))
+          then error "initializer type mismatch for %s" name;
+          coerce ty te)
+        init
+    in
+    declare_local env name ty;
+    Ydecl (ty, name, tinit)
+  | Sexpr e -> Yexpr (check_expr env e)
+  | Sif (c, t, f) ->
+    Yif (rvalue env c, check_stmt env t, Option.map (check_stmt env) f)
+  | Swhile (c, body) -> Ywhile (rvalue env c, check_stmt env body)
+  | Sdo (body, c) -> Ydo (check_stmt env body, rvalue env c)
+  | Sfor (init, cond, step, body) ->
+    push_scope env;
+    let ti = Option.map (check_stmt env) init in
+    let tc = Option.map (rvalue env) cond in
+    let ts = Option.map (check_expr env) step in
+    let tb = check_stmt env body in
+    pop_scope env;
+    Yfor (ti, tc, ts, tb)
+  | Sreturn e ->
+    let te = Option.map (rvalue env) e in
+    (match te, env.current_ret with
+     | None, Tvoid -> ()
+     | None, _ -> error "missing return value"
+     | Some _, Tvoid -> error "return value in void function"
+     | Some t, ret ->
+       if not
+            (compatible ret t.ty
+             || (is_pointer ret && t.te = Xnum 0)
+             || (is_pointer ret && is_pointer t.ty))
+       then error "return type mismatch");
+    Yreturn (Option.map (coerce env.current_ret) te)
+  | Sbreak -> Ybreak
+  | Scontinue -> Ycontinue
+  | Sblock body ->
+    push_scope env;
+    let tb = List.map (check_stmt env) body in
+    pop_scope env;
+    Yblock tb
+
+(* --- Program ----------------------------------------------------------------------------- *)
+
+let check (prog : program) : tunit =
+  let env =
+    { structs = Hashtbl.create 16; globals = Hashtbl.create 32;
+      funcs = Hashtbl.create 32; strings = [];
+      scopes = []; current_ret = Tvoid }
+  in
+  (* String literals in global initializers also live in the table. *)
+  let note_init_string = function
+    | Dglobal { g_init = Gstr s; _ } ->
+      if not (List.mem s env.strings) then ignore (add_string env s)
+    | _ -> ()
+  in
+  List.iter note_init_string prog;
+  (* Collect signatures first (mutual recursion, forward references). *)
+  List.iter
+    (function
+      | Dstruct (name, fields) -> Hashtbl.replace env.structs name fields
+      | Dglobal g -> Hashtbl.replace env.globals g.g_name (g.g_ty, g.g_tls)
+      | Dfun f ->
+        Hashtbl.replace env.funcs f.f_name
+          (f.f_ret, List.map fst f.f_params, true)
+      | Dextern x -> Hashtbl.replace env.funcs x.x_name (x.x_ret, x.x_params, false))
+    prog;
+  let funs =
+    List.filter_map
+      (function
+        | Dfun f ->
+          env.current_ret <- f.f_ret;
+          push_scope env;
+          List.iter (fun (ty, n) -> declare_local env n ty) f.f_params;
+          let body = List.map (check_stmt env) f.f_body in
+          pop_scope env;
+          Some { tf_name = f.f_name; tf_ret = f.f_ret;
+                 tf_params = f.f_params; tf_body = body }
+        | Dstruct _ | Dglobal _ | Dextern _ -> None)
+      prog
+  in
+  let globals =
+    List.filter_map
+      (function
+        | Dglobal g ->
+          Some { tg_name = g.g_name; tg_ty = g.g_ty; tg_tls = g.g_tls;
+                 tg_init = g.g_init }
+        | Dstruct _ | Dfun _ | Dextern _ -> None)
+      prog
+  in
+  let structs =
+    List.filter_map
+      (function Dstruct (n, fs) -> Some (n, fs) | _ -> None)
+      prog
+  in
+  { tu_structs = structs; tu_globals = globals; tu_funs = funs;
+    tu_strings = Array.of_list (List.rev env.strings) }

@@ -1,0 +1,1 @@
+lib/core/abi.ml: Cheri_cap Fmt

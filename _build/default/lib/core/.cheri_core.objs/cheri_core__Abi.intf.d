@@ -1,0 +1,1 @@
+lib/core/abi.mli: Format

@@ -1,0 +1,1 @@
+lib/core/abstract_cap.ml: Cheri_cap Cheri_isa Fmt List

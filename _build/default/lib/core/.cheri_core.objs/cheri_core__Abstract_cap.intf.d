@@ -1,0 +1,1 @@
+lib/core/abstract_cap.mli: Cheri_cap Cheri_isa Format

@@ -1,0 +1,1 @@
+lib/core/granularity.ml: Cheri_cap Cheri_isa List

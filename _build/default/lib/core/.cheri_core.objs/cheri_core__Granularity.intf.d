@@ -1,0 +1,1 @@
+lib/core/granularity.mli: Cheri_isa

@@ -1,0 +1,1 @@
+lib/core/provenance.ml: Array Cheri_cap Cheri_isa Hashtbl List Option

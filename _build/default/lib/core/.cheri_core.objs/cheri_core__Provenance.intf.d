@@ -1,0 +1,1 @@
+lib/core/provenance.mli: Cheri_cap Cheri_isa

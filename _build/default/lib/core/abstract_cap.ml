@@ -1,0 +1,65 @@
+(* Abstract capabilities (§3).
+
+   An abstract capability pairs an abstract principal (one per address
+   space, fresh for the whole execution) with a set of memory access
+   rights. Architectural capabilities *implement* abstract ones; kernel
+   paths that break the architectural derivation chain (swap, debugging)
+   must reconstruct an architectural capability implementing the same
+   abstract capability — never a stronger one, and never one belonging to
+   a different principal.
+
+   This module gives the conceptual model an executable form used by the
+   property tests and the trace auditor. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Trace = Cheri_isa.Trace
+
+type principal = int
+
+type t = {
+  ap_principal : principal;
+  ap_base : int;
+  ap_top : int;
+  ap_perms : Perms.t;
+}
+
+let of_cap ~principal c =
+  { ap_principal = principal; ap_base = Cap.base c; ap_top = Cap.top c;
+    ap_perms = Cap.perms c }
+
+(* [subsumes a b]: within one principal, does [a] grant everything [b]
+   does? Cross-principal rights are never comparable. *)
+let subsumes a b =
+  a.ap_principal = b.ap_principal
+  && a.ap_base <= b.ap_base && a.ap_top >= b.ap_top
+  && Perms.subset b.ap_perms a.ap_perms
+
+let equal a b = subsumes a b && subsumes b a
+
+let pp ppf t =
+  Fmt.pf ppf "abstract[p%d %a 0x%x-0x%x]" t.ap_principal Perms.pp t.ap_perms
+    t.ap_base t.ap_top
+
+(* --- Trace auditing --------------------------------------------------------------- *)
+
+type violation = {
+  v_event : Trace.event;
+  v_reason : string;
+}
+
+(* Audit a trace for the central invariant: every capability that became
+   visible to the process (granted by the kernel or derived by user
+   instructions) implements an abstract capability subsumed by the
+   process's root. *)
+let audit ~principal ~root events =
+  let root_abs = of_cap ~principal root in
+  List.filter_map
+    (fun ev ->
+      match Trace.event_cap ev with
+      | None -> None
+      | Some c ->
+        if not (Cap.is_tagged c) then None
+        else if subsumes root_abs (of_cap ~principal c) then None
+        else Some { v_event = ev; v_reason = "exceeds the principal's root" })
+    events

@@ -1,0 +1,43 @@
+(** Abstract capabilities (§3).
+
+    An abstract capability pairs an {e abstract principal} (one per
+    address space, fresh for the entire execution) with a set of memory
+    access rights. Architectural capabilities implement abstract ones;
+    kernel paths that break the architectural derivation chain (swap,
+    debugging) must reconstruct an architectural capability implementing
+    the same abstract capability — never a stronger one, and never one of
+    a different principal. *)
+
+type principal = int
+
+type t = {
+  ap_principal : principal;
+  ap_base : int;
+  ap_top : int;
+  ap_perms : Cheri_cap.Perms.t;
+}
+
+(** The abstract capability an architectural capability implements, for
+    a given principal. *)
+val of_cap : principal:principal -> Cheri_cap.Cap.t -> t
+
+(** [subsumes a b]: within one principal, [a] grants everything [b]
+    does. Cross-principal rights are never comparable. *)
+val subsumes : t -> t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type violation = {
+  v_event : Cheri_isa.Trace.event;
+  v_reason : string;
+}
+
+(** Audit a trace for the central invariant: every capability that became
+    visible to the process implements an abstract capability subsumed by
+    the process's root. *)
+val audit :
+  principal:principal ->
+  root:Cheri_cap.Cap.t ->
+  Cheri_isa.Trace.event list ->
+  violation list

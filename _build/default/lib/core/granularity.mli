@@ -1,0 +1,55 @@
+(** Capability-granularity analysis (§5.5, Fig. 5): reconstruct the
+    capabilities created during a traced execution, classify each by
+    source, and compute cumulative distributions of bounds sizes. *)
+
+type source = Stack | Malloc | Exec | Glob_relocs | Syscall | Kern
+
+val source_name : source -> string
+val all_sources : source list
+
+(** Address ranges used to classify user-instruction derivations. *)
+type regions = {
+  stack_range : int * int;
+  heap_ranges : (int * int) list;
+}
+
+(** Build [regions] from the trace itself: every mmap return delimits
+    heap territory. *)
+val regions_of_trace :
+  stack_range:int * int -> Cheri_isa.Trace.event list -> regions
+
+(** Classify one event ([None] for non-creation events). *)
+val classify : regions -> Cheri_isa.Trace.event -> source option
+
+type entry = {
+  e_source : source;
+  e_size : int;
+}
+
+(** All capability-creation records of a trace. *)
+val entries : regions -> Cheri_isa.Trace.event list -> entry list
+
+(** Size thresholds used for the CDF points (powers of two, as in the
+    figure's axis). *)
+val size_buckets : int list
+
+type cdf = {
+  c_source : source option;       (** [None] = all sources *)
+  c_points : (int * int) list;    (** size threshold -> cumulative count *)
+  c_total : int;
+  c_max_size : int;
+}
+
+val cdf_of : ?source:source -> entry list -> cdf
+
+(** The "all" CDF plus one per source. *)
+val analyze : regions -> Cheri_isa.Trace.event list -> cdf * cdf list
+
+type summary = {
+  s_total : int;
+  s_pct_under_1k : float;
+  s_largest : int;
+  s_largest_under_16m : bool;   (** the paper's headline bound *)
+}
+
+val summarize : entry list -> summary

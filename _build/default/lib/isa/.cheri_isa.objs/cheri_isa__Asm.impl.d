@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Fmt Hashtbl Insn List

@@ -1,0 +1,1 @@
+lib/isa/cpu.ml: Array Cheri_cap Cheri_tagmem Insn Reg Trace Trap

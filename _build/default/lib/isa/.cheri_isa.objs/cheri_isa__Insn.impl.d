@@ -1,0 +1,1 @@
+lib/isa/insn.ml: Fmt Printf Reg

@@ -1,0 +1,1 @@
+lib/isa/trace.ml: Cheri_cap Fmt List

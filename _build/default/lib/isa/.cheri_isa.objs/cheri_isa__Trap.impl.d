@@ -1,0 +1,1 @@
+lib/isa/trap.ml: Cheri_cap Fmt Printf

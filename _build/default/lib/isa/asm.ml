@@ -1,0 +1,102 @@
+(* Assembler EDSL.
+
+   Code is written as a list of items; labels are symbolic and resolved to
+   absolute virtual addresses by [assemble]. Instructions occupy 4 bytes
+   for addressing purposes (matching MIPS), although the simulator stores
+   them decoded. *)
+
+type item =
+  | I of Insn.t                       (* a fixed instruction *)
+  | Lbl of string                     (* a label definition *)
+  | Ref of string * (int -> Insn.t)   (* instruction needing a label address *)
+
+(* --- Branch/jump helpers taking label targets ----------------------------- *)
+
+let beq rs rt l = Ref (l, fun t -> Insn.Beq (rs, rt, t))
+let bne rs rt l = Ref (l, fun t -> Insn.Bne (rs, rt, t))
+let blez rs l = Ref (l, fun t -> Insn.Blez (rs, t))
+let bgtz rs l = Ref (l, fun t -> Insn.Bgtz (rs, t))
+let bltz rs l = Ref (l, fun t -> Insn.Bltz (rs, t))
+let bgez rs l = Ref (l, fun t -> Insn.Bgez (rs, t))
+let j l = Ref (l, fun t -> Insn.J t)
+let jal l = Ref (l, fun t -> Insn.Jal t)
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+(* First-pass only: label addresses for [items] based at [base]. Used by
+   the linker to build the global symbol table before final assembly. *)
+let scan_labels ~base items =
+  let labels = Hashtbl.create 64 in
+  let _ =
+    List.fold_left
+      (fun addr item ->
+        match item with
+        | Lbl l ->
+          if Hashtbl.mem labels l then raise (Duplicate_label l);
+          Hashtbl.add labels l addr;
+          addr
+        | I _ | Ref _ -> addr + 4)
+      base items
+  in
+  labels
+
+type assembled = {
+  code : Insn.t array;
+  labels : (string, int) Hashtbl.t;   (* label -> absolute vaddr *)
+  base : int;
+}
+
+(* Assemble [items] for a text segment based at virtual address [base].
+   Labels not defined locally are resolved through [extern] (the linker's
+   global symbol environment). *)
+let assemble ?(extern = fun _ -> None) ~base items =
+  let labels = Hashtbl.create 64 in
+  (* Pass 1: assign addresses. *)
+  let n =
+    List.fold_left
+      (fun addr item ->
+        match item with
+        | Lbl l ->
+          if Hashtbl.mem labels l then raise (Duplicate_label l);
+          Hashtbl.add labels l addr;
+          addr
+        | I _ | Ref _ -> addr + 4)
+      base items
+  in
+  let code = Array.make ((n - base) / 4) Insn.Nop in
+  let resolve l =
+    match Hashtbl.find_opt labels l with
+    | Some a -> a
+    | None ->
+      (match extern l with
+       | Some a -> a
+       | None -> raise (Undefined_label l))
+  in
+  (* Pass 2: emit. *)
+  let _ =
+    List.fold_left
+      (fun addr item ->
+        match item with
+        | Lbl _ -> addr
+        | I insn ->
+          code.((addr - base) / 4) <- insn;
+          addr + 4
+        | Ref (l, mk) ->
+          code.((addr - base) / 4) <- mk (resolve l);
+          addr + 4)
+      base items
+  in
+  { code; labels; base }
+
+let label_addr a l =
+  match Hashtbl.find_opt a.labels l with
+  | Some v -> v
+  | None -> raise (Undefined_label l)
+
+let size_bytes a = Array.length a.code * 4
+
+let pp ppf a =
+  Array.iteri
+    (fun i insn -> Fmt.pf ppf "0x%x: %a@." (a.base + (i * 4)) Insn.pp insn)
+    a.code

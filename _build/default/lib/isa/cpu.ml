@@ -1,0 +1,314 @@
+(* CPU interpreter.
+
+   In-order, single-issue execution with deterministic cycle accounting:
+   each instruction costs [Insn.base_cycles] plus memory-hierarchy latency
+   from the cache model. Traps never advance the PC: all checks run before
+   any architectural side effect, so a faulting instruction can be retried
+   after the kernel services the fault (demand paging).
+
+   The machine record carries per-address-space callbacks (translation and
+   instruction fetch) that the kernel swaps on context switch. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Tagmem = Cheri_tagmem.Tagmem
+module Cache = Cheri_tagmem.Cache
+
+type stop =
+  | Stop_syscall          (* user executed SYSCALL; pc already advanced *)
+  | Stop_rt of int        (* runtime-builtin upcall; pc already advanced *)
+  | Stop_trap of Trap.cause  (* pc NOT advanced *)
+
+type machine = {
+  mem : Tagmem.t;
+  hier : Cache.hierarchy;
+  (* vaddr -> paddr; raises [Trap.Trap] on page fault / address error. *)
+  mutable translate : int -> write:bool -> exec:bool -> int;
+  (* vaddr -> instruction; raises [Trap.Trap (Fetch_fault _)]. *)
+  mutable fetch : int -> Insn.t;
+  mutable tracer : Trace.sink option;
+}
+
+type ctx = {
+  gpr : int array;           (* 32 integer registers; index 0 reads as 0 *)
+  creg : Cap.t array;        (* 32 capability registers *)
+  mutable pcc : Cap.t;       (* program-counter capability; cursor = pc *)
+  mutable ddc : Cap.t;       (* default data capability *)
+  mutable instret : int;
+  mutable cycles : int;
+}
+
+let create_machine ~mem ~hier =
+  { mem; hier;
+    translate = (fun v ~write:_ ~exec:_ -> v);
+    fetch = (fun v -> Trap.raise_trap (Trap.Fetch_fault { vaddr = v }));
+    tracer = None }
+
+let create_ctx () =
+  { gpr = Array.make 32 0;
+    creg = Array.make 32 Cap.null;
+    pcc = Cap.null;
+    ddc = Cap.null;
+    instret = 0;
+    cycles = 0 }
+
+let copy_ctx c =
+  { gpr = Array.copy c.gpr; creg = Array.copy c.creg;
+    pcc = c.pcc; ddc = c.ddc; instret = c.instret; cycles = c.cycles }
+
+(* --- Register access -------------------------------------------------------- *)
+
+let rd_gpr ctx r = if r = 0 then 0 else ctx.gpr.(r)
+let wr_gpr ctx r v = if r <> 0 then ctx.gpr.(r) <- v
+let rd_creg ctx r = if r = 0 then Cap.null else ctx.creg.(r)
+let wr_creg ctx r v = if r <> 0 then ctx.creg.(r) <- v
+
+(* --- Memory access ----------------------------------------------------------- *)
+
+let check_align vaddr w =
+  if w > 1 && vaddr land (w - 1) <> 0 then
+    Trap.raise_trap (Trap.Unaligned { vaddr; width = w })
+
+let cap_fault violation ~reg ~vaddr =
+  Trap.raise_trap (Trap.Cap_fault { violation; reg; vaddr })
+
+(* Check a data access through capability [c] (register [reg] for fault
+   reporting) at absolute [vaddr]. *)
+let check_cap c ~reg ~perm ~vaddr ~len =
+  try Cap.check_access_at c ~perm ~addr:vaddr ~len
+  with Cap.Cap_error v -> cap_fault v ~reg ~vaddr
+
+let mem_read m ctx vaddr w ~signed =
+  check_align vaddr w;
+  let pa = m.translate vaddr ~write:false ~exec:false in
+  ctx.cycles <- ctx.cycles + Cache.data_access m.hier pa w;
+  if signed then Tagmem.read_int_signed m.mem pa ~len:w
+  else Tagmem.read_int m.mem pa ~len:w
+
+let mem_write m ctx vaddr w v =
+  check_align vaddr w;
+  let pa = m.translate vaddr ~write:true ~exec:false in
+  ctx.cycles <- ctx.cycles + Cache.data_access m.hier pa w;
+  Tagmem.write_int m.mem pa ~len:w v
+
+let mem_read_cap m ctx vaddr =
+  check_align vaddr Cap.sizeof;
+  let pa = m.translate vaddr ~write:false ~exec:false in
+  ctx.cycles <- ctx.cycles + Cache.data_access m.hier pa Cap.sizeof;
+  Tagmem.read_cap m.mem pa
+
+let mem_write_cap m ctx vaddr c =
+  check_align vaddr Cap.sizeof;
+  let pa = m.translate vaddr ~write:true ~exec:false in
+  ctx.cycles <- ctx.cycles + Cache.data_access m.hier pa Cap.sizeof;
+  Tagmem.write_cap m.mem pa c
+
+(* --- Tracing ------------------------------------------------------------------ *)
+
+let trace_derive m ctx op result =
+  match m.tracer with
+  | Some sink when Cap.is_tagged result ->
+    sink (Trace.Derive { pc = Cap.addr ctx.pcc; op; result })
+  | _ -> ()
+
+(* --- Step --------------------------------------------------------------------- *)
+
+(* Derivation helper: wrap [Cap] errors as capability faults against [reg]. *)
+let derive ~reg ~pc f =
+  try f () with Cap.Cap_error v -> cap_fault v ~reg ~vaddr:pc
+
+let step m ctx : stop option =
+  let pc = Cap.addr ctx.pcc in
+  try
+    (* Instruction fetch: PCC must be a valid executable capability. *)
+    (try Cap.check_access_at ctx.pcc ~perm:Perms.execute ~addr:pc ~len:4
+     with Cap.Cap_error v -> cap_fault v ~reg:(-1) ~vaddr:pc);
+    let ipa = m.translate pc ~write:false ~exec:true in
+    ctx.cycles <- ctx.cycles + Cache.ifetch m.hier ipa;
+    let insn = m.fetch pc in
+    ctx.cycles <- ctx.cycles + Insn.base_cycles insn;
+    ctx.instret <- ctx.instret + 1;
+    let g = rd_gpr ctx and c = rd_creg ctx in
+    let sg = wr_gpr ctx and sc = wr_creg ctx in
+    let next = ref (pc + 4) in
+    let next_pcc = ref None in    (* capability jump replaces PCC wholesale *)
+    let stop = ref None in
+    (match insn with
+     | Insn.Li (rd, v) -> sg rd v
+     | Move (rd, rs) -> sg rd (g rs)
+     | Addu (rd, rs, rt) -> sg rd (g rs + g rt)
+     | Addiu (rd, rs, i) -> sg rd (g rs + i)
+     | Subu (rd, rs, rt) -> sg rd (g rs - g rt)
+     | Mul (rd, rs, rt) -> sg rd (g rs * g rt)
+     | Div (rd, rs, rt) ->
+       if g rt = 0 then Trap.raise_trap Trap.Div_by_zero;
+       sg rd (g rs / g rt)
+     | Rem (rd, rs, rt) ->
+       if g rt = 0 then Trap.raise_trap Trap.Div_by_zero;
+       sg rd (g rs mod g rt)
+     | And_ (rd, rs, rt) -> sg rd (g rs land g rt)
+     | Andi (rd, rs, i) -> sg rd (g rs land i)
+     | Or_ (rd, rs, rt) -> sg rd (g rs lor g rt)
+     | Ori (rd, rs, i) -> sg rd (g rs lor i)
+     | Xor_ (rd, rs, rt) -> sg rd (g rs lxor g rt)
+     | Xori (rd, rs, i) -> sg rd (g rs lxor i)
+     | Nor_ (rd, rs, rt) -> sg rd (lnot (g rs lor g rt))
+     | Sll (rd, rs, sh) -> sg rd (g rs lsl sh)
+     | Srl (rd, rs, sh) -> sg rd (g rs lsr sh)
+     | Sra (rd, rs, sh) -> sg rd (g rs asr sh)
+     | Sllv (rd, rs, rt) -> sg rd (g rs lsl (g rt land 63))
+     | Srlv (rd, rs, rt) -> sg rd (g rs lsr (g rt land 63))
+     | Srav (rd, rs, rt) -> sg rd (g rs asr (g rt land 63))
+     | Slt (rd, rs, rt) -> sg rd (if g rs < g rt then 1 else 0)
+     | Sltu (rd, rs, rt) ->
+       (* Unsigned compare on 63-bit OCaml ints: compare shifted. *)
+       let a = g rs and b = g rt in
+       let ua = a lxor min_int and ub = b lxor min_int in
+       sg rd (if ua < ub then 1 else 0)
+     | Slti (rd, rs, i) -> sg rd (if g rs < i then 1 else 0)
+     | Sltiu (rd, rs, i) ->
+       let ua = g rs lxor min_int and ub = i lxor min_int in
+       sg rd (if ua < ub then 1 else 0)
+     | Beq (rs, rt, t) -> if g rs = g rt then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bne (rs, rt, t) -> if g rs <> g rt then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | Blez (rs, t) -> if g rs <= 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bgtz (rs, t) -> if g rs > 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bltz (rs, t) -> if g rs < 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bgez (rs, t) -> if g rs >= 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | J t -> next := t
+     | Jal t -> sg Reg.ra (pc + 4); next := t
+     | Jr rs -> next := g rs
+     | Jalr (rd, rs) -> sg rd (pc + 4); next := g rs
+     | Load { w; signed; rd; base; off } ->
+       let vaddr = g base + off in
+       check_cap ctx.ddc ~reg:(-2) ~perm:Perms.load ~vaddr ~len:w;
+       sg rd (mem_read m ctx vaddr w ~signed)
+     | Store { w; rs; base; off } ->
+       let vaddr = g base + off in
+       check_cap ctx.ddc ~reg:(-2) ~perm:Perms.store ~vaddr ~len:w;
+       mem_write m ctx vaddr w (g rs)
+     | CLoad { w; signed; rd; cb; off } ->
+       let cap = c cb in
+       let vaddr = Cap.addr cap + off in
+       check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:w;
+       sg rd (mem_read m ctx vaddr w ~signed)
+     | CStore { w; rs; cb; off } ->
+       let cap = c cb in
+       let vaddr = Cap.addr cap + off in
+       check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:w;
+       mem_write m ctx vaddr w (g rs)
+     | CLC { cd; cb; off } ->
+       let cap = c cb in
+       let vaddr = Cap.addr cap + off in
+       check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:Cap.sizeof;
+       let loaded = mem_read_cap m ctx vaddr in
+       (* Without LOAD_CAP the tag is stripped on load. *)
+       let loaded =
+         if Perms.has (Cap.perms cap) Perms.load_cap then loaded
+         else Cap.clear_tag loaded
+       in
+       sc cd loaded
+     | CSC { cs; cb; off } ->
+       let cap = c cb in
+       let vaddr = Cap.addr cap + off in
+       check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:Cap.sizeof;
+       let v = c cs in
+       if Cap.is_tagged v then begin
+         if not (Perms.has (Cap.perms cap) Perms.store_cap) then
+           cap_fault (Cap.Permit_violation Perms.store_cap) ~reg:cb ~vaddr;
+         if (not (Perms.has (Cap.perms v) Perms.global))
+            && not (Perms.has (Cap.perms cap) Perms.store_local_cap)
+         then cap_fault (Cap.Permit_violation Perms.store_local_cap) ~reg:cb ~vaddr
+       end;
+       mem_write_cap m ctx vaddr v
+     | CMove (cd, cb) -> sc cd (c cb)
+     | CGetBase (rd, cb) -> sg rd (Cap.base (c cb))
+     | CGetLen (rd, cb) -> sg rd (Cap.length (c cb))
+     | CGetAddr (rd, cb) -> sg rd (Cap.addr (c cb))
+     | CGetOffset (rd, cb) -> sg rd (Cap.offset (c cb))
+     | CGetPerm (rd, cb) -> sg rd (Cap.perms (c cb))
+     | CGetTag (rd, cb) -> sg rd (if Cap.is_tagged (c cb) then 1 else 0)
+     | CGetType (rd, cb) -> sg rd (Cap.otype (c cb))
+     | CSetBounds (cd, cb, rt) ->
+       let r = derive ~reg:cb ~pc (fun () -> Cap.set_bounds (c cb) ~len:(g rt)) in
+       trace_derive m ctx "csetbounds" r;
+       sc cd r
+     | CSetBoundsImm (cd, cb, len) ->
+       let r = derive ~reg:cb ~pc (fun () -> Cap.set_bounds (c cb) ~len) in
+       trace_derive m ctx "csetbounds" r;
+       sc cd r
+     | CSetBoundsExact (cd, cb, rt) ->
+       let r =
+         derive ~reg:cb ~pc (fun () -> Cap.set_bounds ~exact:true (c cb) ~len:(g rt))
+       in
+       trace_derive m ctx "csetboundsexact" r;
+       sc cd r
+     | CAndPerm (cd, cb, rt) ->
+       let r = derive ~reg:cb ~pc (fun () -> Cap.and_perms (c cb) (g rt)) in
+       trace_derive m ctx "candperm" r;
+       sc cd r
+     | CAndPermImm (cd, cb, mask) ->
+       let r = derive ~reg:cb ~pc (fun () -> Cap.and_perms (c cb) mask) in
+       trace_derive m ctx "candperm" r;
+       sc cd r
+     | CIncOffset (cd, cb, rt) -> sc cd (Cap.inc_addr (c cb) (g rt))
+     | CIncOffsetImm (cd, cb, i) -> sc cd (Cap.inc_addr (c cb) i)
+     | CSetAddr (cd, cb, rt) -> sc cd (Cap.set_addr (c cb) (g rt))
+     | CClearTag (cd, cb) -> sc cd (Cap.clear_tag (c cb))
+     | CFromPtr (cd, cb, rt) ->
+       let src = if cb = 0 then ctx.ddc else c cb in
+       let r = derive ~reg:cb ~pc (fun () -> Cap.from_ptr src (g rt)) in
+       trace_derive m ctx "cfromptr" r;
+       sc cd r
+     | CSeal (cd, cb, ct) ->
+       let r = derive ~reg:cb ~pc (fun () -> Cap.seal (c cb) ~with_:(c ct)) in
+       sc cd r
+     | CUnseal (cd, cb, ct) ->
+       let r = derive ~reg:cb ~pc (fun () -> Cap.unseal (c cb) ~with_:(c ct)) in
+       sc cd r
+     | CRRL (rd, rs) -> sg rd (Cheri_cap.Compress.crrl (g rs))
+     | CRAM (rd, rs) -> sg rd (Cheri_cap.Compress.cram (g rs))
+     | CJR cb ->
+       let target = c cb in
+       if not (Cap.is_tagged target) then
+         cap_fault Cap.Tag_violation ~reg:cb ~vaddr:pc;
+       next_pcc := Some target
+     | CJAL (cd, t) ->
+       sc cd (Cap.set_addr ctx.pcc (pc + 4));
+       next := t
+     | CJALR (cd, cb) ->
+       let target = c cb in
+       if not (Cap.is_tagged target) then
+         cap_fault Cap.Tag_violation ~reg:cb ~vaddr:pc;
+       sc cd (Cap.set_addr ctx.pcc (pc + 4));
+       next_pcc := Some target
+     | CReadDDC cd ->
+       if not (Perms.has (Cap.perms ctx.pcc) Perms.system_regs) then
+         cap_fault (Cap.Permit_violation Perms.system_regs) ~reg:cd ~vaddr:pc;
+       sc cd ctx.ddc
+     | CWriteDDC cb ->
+       if not (Perms.has (Cap.perms ctx.pcc) Perms.system_regs) then
+         cap_fault (Cap.Permit_violation Perms.system_regs) ~reg:cb ~vaddr:pc;
+       ctx.ddc <- c cb
+     | Syscall -> stop := Some Stop_syscall
+     | Break n -> Trap.raise_trap (Trap.Break_trap n)
+     | Rt n -> stop := Some (Stop_rt n)
+     | Annot _ | Nop -> ());
+    (* Commit the PC. *)
+    (match !next_pcc with
+     | Some cap -> ctx.pcc <- cap
+     | None -> ctx.pcc <- Cap.set_addr ctx.pcc !next);
+    !stop
+  with
+  | Trap.Trap cause -> Some (Stop_trap cause)
+  | Cap.Cap_error v ->
+    Some (Stop_trap (Trap.Cap_fault { violation = v; reg = -1; vaddr = pc }))
+
+(* Run until a stop condition or until [fuel] instructions have executed.
+   Returns the stop reason, or [None] when the fuel ran out. *)
+let run m ctx ~fuel =
+  let rec go n = if n <= 0 then None else match step m ctx with
+    | None -> go (n - 1)
+    | Some s -> Some s
+  in
+  go fuel

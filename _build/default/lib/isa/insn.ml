@@ -1,0 +1,198 @@
+(* Instruction set of the CHERI-MIPS-like machine.
+
+   Integer instructions follow 64-bit MIPS conventions; capability
+   instructions follow the CHERI ISA. Legacy loads and stores are
+   implicitly indirected through DDC; capability loads and stores name an
+   explicit capability register (the principle of intentional use).
+
+   Control-flow targets are absolute virtual addresses (the assembler
+   resolves labels). Instructions are 4 bytes for addressing purposes. *)
+
+type width = int  (* 1, 2, 4 or 8 bytes *)
+
+type t =
+  (* Integer ALU. *)
+  | Li of int * int                 (* rd <- imm (64-bit, counts as 1 insn) *)
+  | Move of int * int               (* rd <- rs *)
+  | Addu of int * int * int         (* rd <- rs + rt *)
+  | Addiu of int * int * int        (* rd <- rs + imm *)
+  | Subu of int * int * int
+  | Mul of int * int * int
+  | Div of int * int * int
+  | Rem of int * int * int
+  | And_ of int * int * int
+  | Andi of int * int * int
+  | Or_ of int * int * int
+  | Ori of int * int * int
+  | Xor_ of int * int * int
+  | Xori of int * int * int
+  | Nor_ of int * int * int
+  | Sll of int * int * int          (* rd <- rs << shamt *)
+  | Srl of int * int * int
+  | Sra of int * int * int
+  | Sllv of int * int * int         (* rd <- rs << rt *)
+  | Srlv of int * int * int
+  | Srav of int * int * int
+  | Slt of int * int * int
+  | Sltu of int * int * int
+  | Slti of int * int * int
+  | Sltiu of int * int * int
+  (* Control flow; targets are absolute virtual addresses. *)
+  | Beq of int * int * int
+  | Bne of int * int * int
+  | Blez of int * int
+  | Bgtz of int * int
+  | Bltz of int * int
+  | Bgez of int * int
+  | J of int
+  | Jal of int                      (* legacy: ra <- pc+4 *)
+  | Jr of int
+  | Jalr of int * int               (* rd <- pc+4; pc <- rs *)
+  (* Legacy (DDC-relative) memory: ea = gpr[base] + off. *)
+  | Load of { w : width; signed : bool; rd : int; base : int; off : int }
+  | Store of { w : width; rs : int; base : int; off : int }
+  (* Capability-relative memory: ea = creg[cb].addr + off. *)
+  | CLoad of { w : width; signed : bool; rd : int; cb : int; off : int }
+  | CStore of { w : width; rs : int; cb : int; off : int }
+  (* Capability load/store of capabilities. The immediate field width is
+     the subject of the paper's CLC ISA extension (§5.2): the original CLC
+     had a small immediate; the extension allows most GOT entries to be
+     reached with a single instruction. [Asm] enforces the range. *)
+  | CLC of { cd : int; cb : int; off : int }
+  | CSC of { cs : int; cb : int; off : int }
+  (* Capability inspection. *)
+  | CMove of int * int
+  | CGetBase of int * int           (* rd <- creg[cb].base *)
+  | CGetLen of int * int
+  | CGetAddr of int * int           (* the paper's new CGetAddr instruction *)
+  | CGetOffset of int * int
+  | CGetPerm of int * int
+  | CGetTag of int * int
+  | CGetType of int * int
+  (* Capability modification (monotonic). *)
+  | CSetBounds of int * int * int   (* cd <- setbounds(creg[cb], len=gpr[rt]) *)
+  | CSetBoundsImm of int * int * int
+  | CSetBoundsExact of int * int * int
+  | CAndPerm of int * int * int     (* cd <- andperm(creg[cb], gpr[rt]) *)
+  | CAndPermImm of int * int * int
+  | CIncOffset of int * int * int   (* cd <- creg[cb] + gpr[rt] *)
+  | CIncOffsetImm of int * int * int
+  | CSetAddr of int * int * int     (* cd <- creg[cb] with addr = gpr[rt] *)
+  | CClearTag of int * int
+  | CFromPtr of int * int * int     (* cd <- derive(creg[cb], addr=gpr[rt]) *)
+  | CSeal of int * int * int
+  | CUnseal of int * int * int
+  | CRRL of int * int               (* rd <- representable rounded len gpr[rs] *)
+  | CRAM of int * int               (* rd <- representable alignment mask *)
+  (* Capability control flow. *)
+  | CJR of int                      (* pcc <- creg[cb] *)
+  | CJALR of int * int              (* cd <- pcc.(pc+4); pcc <- creg[cb] *)
+  | CJAL of int * int               (* cd <- pcc.(pc+4); pc <- target; the
+                                       target stays under the current PCC
+                                       bounds: within-object calls only *)
+  (* DDC access (requires SYSTEM_REGS on PCC, i.e. kernel mode). *)
+  | CReadDDC of int
+  | CWriteDDC of int
+  (* System. *)
+  | Syscall
+  | Break of int
+  | Rt of int                       (* runtime-builtin upcall (malloc etc.) *)
+  | Annot of string                 (* zero-cost marker *)
+  | Nop
+
+(* Cycle cost excluding memory-hierarchy effects (in-order single-issue,
+   roughly ARM7TDMI-like as in the paper's FPGA pipeline). *)
+let base_cycles = function
+  | Mul _ -> 3
+  | Div _ | Rem _ -> 32
+  | J _ | Jal _ | Jr _ | Jalr _ | CJR _ | CJALR _ | CJAL _ -> 2
+  | Li (_, imm) when imm < -32768 || imm > 32767 -> 2  (* lui+ori pair *)
+  | Annot _ -> 0
+  | _ -> 1
+
+let pp_gpr = Reg.gpr_name
+let pp_creg = Reg.creg_name
+
+let to_string (i : t) =
+  let g = pp_gpr and c = pp_creg in
+  match i with
+  | Li (rd, v) -> Printf.sprintf "li %s, %d" (g rd) v
+  | Move (rd, rs) -> Printf.sprintf "move %s, %s" (g rd) (g rs)
+  | Addu (rd, rs, rt) -> Printf.sprintf "addu %s, %s, %s" (g rd) (g rs) (g rt)
+  | Addiu (rd, rs, i) -> Printf.sprintf "addiu %s, %s, %d" (g rd) (g rs) i
+  | Subu (rd, rs, rt) -> Printf.sprintf "subu %s, %s, %s" (g rd) (g rs) (g rt)
+  | Mul (rd, rs, rt) -> Printf.sprintf "mul %s, %s, %s" (g rd) (g rs) (g rt)
+  | Div (rd, rs, rt) -> Printf.sprintf "div %s, %s, %s" (g rd) (g rs) (g rt)
+  | Rem (rd, rs, rt) -> Printf.sprintf "rem %s, %s, %s" (g rd) (g rs) (g rt)
+  | And_ (rd, rs, rt) -> Printf.sprintf "and %s, %s, %s" (g rd) (g rs) (g rt)
+  | Andi (rd, rs, i) -> Printf.sprintf "andi %s, %s, %d" (g rd) (g rs) i
+  | Or_ (rd, rs, rt) -> Printf.sprintf "or %s, %s, %s" (g rd) (g rs) (g rt)
+  | Ori (rd, rs, i) -> Printf.sprintf "ori %s, %s, %d" (g rd) (g rs) i
+  | Xor_ (rd, rs, rt) -> Printf.sprintf "xor %s, %s, %s" (g rd) (g rs) (g rt)
+  | Xori (rd, rs, i) -> Printf.sprintf "xori %s, %s, %d" (g rd) (g rs) i
+  | Nor_ (rd, rs, rt) -> Printf.sprintf "nor %s, %s, %s" (g rd) (g rs) (g rt)
+  | Sll (rd, rs, sh) -> Printf.sprintf "sll %s, %s, %d" (g rd) (g rs) sh
+  | Srl (rd, rs, sh) -> Printf.sprintf "srl %s, %s, %d" (g rd) (g rs) sh
+  | Sra (rd, rs, sh) -> Printf.sprintf "sra %s, %s, %d" (g rd) (g rs) sh
+  | Sllv (rd, rs, rt) -> Printf.sprintf "sllv %s, %s, %s" (g rd) (g rs) (g rt)
+  | Srlv (rd, rs, rt) -> Printf.sprintf "srlv %s, %s, %s" (g rd) (g rs) (g rt)
+  | Srav (rd, rs, rt) -> Printf.sprintf "srav %s, %s, %s" (g rd) (g rs) (g rt)
+  | Slt (rd, rs, rt) -> Printf.sprintf "slt %s, %s, %s" (g rd) (g rs) (g rt)
+  | Sltu (rd, rs, rt) -> Printf.sprintf "sltu %s, %s, %s" (g rd) (g rs) (g rt)
+  | Slti (rd, rs, i) -> Printf.sprintf "slti %s, %s, %d" (g rd) (g rs) i
+  | Sltiu (rd, rs, i) -> Printf.sprintf "sltiu %s, %s, %d" (g rd) (g rs) i
+  | Beq (rs, rt, t) -> Printf.sprintf "beq %s, %s, 0x%x" (g rs) (g rt) t
+  | Bne (rs, rt, t) -> Printf.sprintf "bne %s, %s, 0x%x" (g rs) (g rt) t
+  | Blez (rs, t) -> Printf.sprintf "blez %s, 0x%x" (g rs) t
+  | Bgtz (rs, t) -> Printf.sprintf "bgtz %s, 0x%x" (g rs) t
+  | Bltz (rs, t) -> Printf.sprintf "bltz %s, 0x%x" (g rs) t
+  | Bgez (rs, t) -> Printf.sprintf "bgez %s, 0x%x" (g rs) t
+  | J t -> Printf.sprintf "j 0x%x" t
+  | Jal t -> Printf.sprintf "jal 0x%x" t
+  | Jr rs -> Printf.sprintf "jr %s" (g rs)
+  | Jalr (rd, rs) -> Printf.sprintf "jalr %s, %s" (g rd) (g rs)
+  | Load { w; signed; rd; base; off } ->
+    Printf.sprintf "l%d%s %s, %d(%s)" w (if signed then "" else "u") (g rd) off (g base)
+  | Store { w; rs; base; off } ->
+    Printf.sprintf "s%d %s, %d(%s)" w (g rs) off (g base)
+  | CLoad { w; signed; rd; cb; off } ->
+    Printf.sprintf "cl%d%s %s, %d(%s)" w (if signed then "" else "u") (g rd) off (c cb)
+  | CStore { w; rs; cb; off } ->
+    Printf.sprintf "cs%d %s, %d(%s)" w (g rs) off (c cb)
+  | CLC { cd; cb; off } -> Printf.sprintf "clc %s, %d(%s)" (c cd) off (c cb)
+  | CSC { cs; cb; off } -> Printf.sprintf "csc %s, %d(%s)" (c cs) off (c cb)
+  | CMove (cd, cb) -> Printf.sprintf "cmove %s, %s" (c cd) (c cb)
+  | CGetBase (rd, cb) -> Printf.sprintf "cgetbase %s, %s" (g rd) (c cb)
+  | CGetLen (rd, cb) -> Printf.sprintf "cgetlen %s, %s" (g rd) (c cb)
+  | CGetAddr (rd, cb) -> Printf.sprintf "cgetaddr %s, %s" (g rd) (c cb)
+  | CGetOffset (rd, cb) -> Printf.sprintf "cgetoffset %s, %s" (g rd) (c cb)
+  | CGetPerm (rd, cb) -> Printf.sprintf "cgetperm %s, %s" (g rd) (c cb)
+  | CGetTag (rd, cb) -> Printf.sprintf "cgettag %s, %s" (g rd) (c cb)
+  | CGetType (rd, cb) -> Printf.sprintf "cgettype %s, %s" (g rd) (c cb)
+  | CSetBounds (cd, cb, rt) -> Printf.sprintf "csetbounds %s, %s, %s" (c cd) (c cb) (g rt)
+  | CSetBoundsImm (cd, cb, i) -> Printf.sprintf "csetbounds %s, %s, %d" (c cd) (c cb) i
+  | CSetBoundsExact (cd, cb, rt) ->
+    Printf.sprintf "csetboundsexact %s, %s, %s" (c cd) (c cb) (g rt)
+  | CAndPerm (cd, cb, rt) -> Printf.sprintf "candperm %s, %s, %s" (c cd) (c cb) (g rt)
+  | CAndPermImm (cd, cb, i) -> Printf.sprintf "candperm %s, %s, %d" (c cd) (c cb) i
+  | CIncOffset (cd, cb, rt) -> Printf.sprintf "cincoffset %s, %s, %s" (c cd) (c cb) (g rt)
+  | CIncOffsetImm (cd, cb, i) -> Printf.sprintf "cincoffset %s, %s, %d" (c cd) (c cb) i
+  | CSetAddr (cd, cb, rt) -> Printf.sprintf "csetaddr %s, %s, %s" (c cd) (c cb) (g rt)
+  | CClearTag (cd, cb) -> Printf.sprintf "ccleartag %s, %s" (c cd) (c cb)
+  | CFromPtr (cd, cb, rt) -> Printf.sprintf "cfromptr %s, %s, %s" (c cd) (c cb) (g rt)
+  | CSeal (cd, cb, ct) -> Printf.sprintf "cseal %s, %s, %s" (c cd) (c cb) (c ct)
+  | CUnseal (cd, cb, ct) -> Printf.sprintf "cunseal %s, %s, %s" (c cd) (c cb) (c ct)
+  | CRRL (rd, rs) -> Printf.sprintf "crrl %s, %s" (g rd) (g rs)
+  | CRAM (rd, rs) -> Printf.sprintf "cram %s, %s" (g rd) (g rs)
+  | CJR cb -> Printf.sprintf "cjr %s" (c cb)
+  | CJAL (cd, t) -> Printf.sprintf "cjal %s, 0x%x" (c cd) t
+  | CJALR (cd, cb) -> Printf.sprintf "cjalr %s, %s" (c cd) (c cb)
+  | CReadDDC cd -> Printf.sprintf "creadddc %s" (c cd)
+  | CWriteDDC cb -> Printf.sprintf "cwriteddc %s" (c cb)
+  | Syscall -> "syscall"
+  | Break n -> Printf.sprintf "break %d" n
+  | Rt n -> Printf.sprintf "rt %d" n
+  | Annot s -> Printf.sprintf "# %s" s
+  | Nop -> "nop"
+
+let pp ppf i = Fmt.string ppf (to_string i)

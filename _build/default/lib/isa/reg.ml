@@ -1,0 +1,62 @@
+(* Register conventions for the CHERI-MIPS-like machine.
+
+   Two register files, as in CHERI-MIPS: 32 general-purpose integer
+   registers and 32 capability registers. The paper notes that the separate
+   capability file sometimes lets the compiler generate better code
+   (security-sha in Fig. 4); our code generator exploits the same split. *)
+
+(* --- Integer (GPR) file -------------------------------------------------- *)
+
+let zero = 0
+let at = 1
+let v0 = 2          (* syscall number / integer return value *)
+let v1 = 3
+let a0 = 4          (* integer arguments a0..a7 = r4..r11 *)
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let a4 = 8
+let a5 = 9
+let a6 = 10
+let a7 = 11
+let t0 = 12         (* caller-saved temporaries t0..t9 = r12..r21 *)
+let t9 = 21
+let s0 = 22         (* callee-saved s0..s5 = r22..r27 *)
+let s5 = 27
+let gp = 28
+let sp = 29         (* legacy-ABI stack pointer *)
+let fp = 30
+let ra = 31         (* legacy-ABI return address *)
+
+let temp_pool = [ 12; 13; 14; 15; 16; 17; 18; 19; 20; 21 ]
+
+let gpr_name r =
+  match r with
+  | 0 -> "zero" | 1 -> "at" | 2 -> "v0" | 3 -> "v1"
+  | n when n >= 4 && n <= 11 -> Printf.sprintf "a%d" (n - 4)
+  | n when n >= 12 && n <= 21 -> Printf.sprintf "t%d" (n - 12)
+  | n when n >= 22 && n <= 27 -> Printf.sprintf "s%d" (n - 22)
+  | 28 -> "gp" | 29 -> "sp" | 30 -> "fp" | 31 -> "ra"
+  | n -> Printf.sprintf "r%d" n
+
+(* --- Capability file ------------------------------------------------------ *)
+
+let cnull = 0
+let cs0 = 1         (* scratch capabilities *)
+let cs1 = 2
+let ca0 = 3         (* capability arguments ca0..ca7 = c3..c10 *)
+let ca7 = 10
+let csp = 11        (* CheriABI stack capability *)
+let cjt = 12        (* jump-target scratch *)
+let cra = 17        (* CheriABI return capability *)
+let cgp = 26        (* globals / GOT capability *)
+let cddc_save = 27  (* kernel scratch *)
+
+let ctemp_pool = [ 13; 14; 15; 16; 18; 19; 20; 21; 22; 23; 24; 25 ]
+
+let creg_name c =
+  match c with
+  | 0 -> "cnull" | 1 -> "cs0" | 2 -> "cs1"
+  | n when n >= 3 && n <= 10 -> Printf.sprintf "ca%d" (n - 3)
+  | 11 -> "csp" | 12 -> "cjt" | 17 -> "cra" | 26 -> "cgp"
+  | n -> Printf.sprintf "c%d" n

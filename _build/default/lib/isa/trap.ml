@@ -1,0 +1,39 @@
+(* Machine traps.
+
+   Every trap transfers control to the kernel. Capability faults become
+   SIGPROT for CheriABI processes (as in CheriBSD); page faults either
+   demand-page or become SIGSEGV; address errors (legacy accesses outside
+   the mapped space or unaligned) become SIGSEGV/SIGBUS. *)
+
+type cause =
+  | Cap_fault of { violation : Cheri_cap.Cap.violation; reg : int; vaddr : int }
+  | Page_fault of { vaddr : int; write : bool; exec : bool }
+  | Address_error of { vaddr : int; write : bool }
+  | Unaligned of { vaddr : int; width : int }
+  | Reserved_instruction
+  | Break_trap of int
+  | Div_by_zero
+  | Fetch_fault of { vaddr : int }
+
+exception Trap of cause
+
+let raise_trap c = raise (Trap c)
+
+let to_string = function
+  | Cap_fault { violation; reg; vaddr } ->
+    Printf.sprintf "capability fault (%s) reg=%d vaddr=0x%x"
+      (Cheri_cap.Cap.violation_to_string violation) reg vaddr
+  | Page_fault { vaddr; write; exec } ->
+    Printf.sprintf "page fault vaddr=0x%x %s%s" vaddr
+      (if write then "write" else "read") (if exec then " exec" else "")
+  | Address_error { vaddr; write } ->
+    Printf.sprintf "address error vaddr=0x%x %s" vaddr
+      (if write then "write" else "read")
+  | Unaligned { vaddr; width } ->
+    Printf.sprintf "unaligned access vaddr=0x%x width=%d" vaddr width
+  | Reserved_instruction -> "reserved instruction"
+  | Break_trap n -> Printf.sprintf "break %d" n
+  | Div_by_zero -> "integer divide by zero"
+  | Fetch_fault { vaddr } -> Printf.sprintf "instruction fetch fault at 0x%x" vaddr
+
+let pp ppf c = Fmt.string ppf (to_string c)

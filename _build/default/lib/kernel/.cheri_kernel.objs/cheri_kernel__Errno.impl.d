@@ -1,0 +1,1 @@
+lib/kernel/errno.ml: Fmt

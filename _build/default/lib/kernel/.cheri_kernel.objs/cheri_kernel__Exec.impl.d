@@ -1,0 +1,1 @@
+lib/kernel/exec.ml: Array Bytes Char Cheri_cap Cheri_core Cheri_isa Cheri_rtld Cheri_vm Errno Kstate List Proc String Sysno Vfs

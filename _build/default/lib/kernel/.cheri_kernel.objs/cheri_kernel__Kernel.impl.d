@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Buffer Errno Exec Kstate Loop Proc Ptrace_impl Signal_dispatch Signo Sys_impl Sysno Uarg Vfs

@@ -1,0 +1,1 @@
+lib/kernel/kstate.ml: Buffer Bytes Char Cheri_cap Cheri_core Cheri_isa Cheri_tagmem Cheri_vm Errno Hashtbl List Option Proc Signo Uarg Vfs

@@ -1,0 +1,1 @@
+lib/kernel/loop.ml: Array Cheri_cap Cheri_core Cheri_isa Cheri_vm Errno Kstate List Proc Signal_dispatch Signo Sys_impl Sysno Uarg

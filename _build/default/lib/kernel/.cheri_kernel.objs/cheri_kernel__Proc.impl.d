@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Array Buffer Cheri_cap Cheri_core Cheri_isa Cheri_rtld Cheri_vm Errno List Signo Uarg Vfs

@@ -1,0 +1,1 @@
+lib/kernel/ptrace_impl.ml: Array Bytes Cheri_cap Cheri_isa Cheri_vm Errno Int64 Kstate Proc Signo Sys_impl_ret Sysno Uarg

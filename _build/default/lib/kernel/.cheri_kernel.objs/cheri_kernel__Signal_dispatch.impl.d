@@ -1,0 +1,1 @@
+lib/kernel/signal_dispatch.ml: Array Cheri_cap Cheri_core Cheri_isa Cheri_vm Exec Kstate Printf Proc Signo Uarg

@@ -1,0 +1,1 @@
+lib/kernel/signo.ml: Printf

@@ -1,0 +1,1 @@
+lib/kernel/sys_impl_ret.ml: Uarg

@@ -1,0 +1,1 @@
+lib/kernel/sysno.ml: Cheri_vm List Printf

@@ -1,0 +1,1 @@
+lib/kernel/uarg.ml: Cheri_cap Errno Fmt

@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Bytes Cheri_core Cheri_rtld Errno Hashtbl List String

@@ -1,0 +1,33 @@
+(* Kernel error numbers (the FreeBSD subset our syscalls use). *)
+
+type t =
+  | EPERM | ENOENT | ESRCH | EINTR | EIO | EBADF | ECHILD | ENOMEM
+  | EACCES | EFAULT | EBUSY | EEXIST | ENOTDIR | EISDIR | EINVAL
+  | ENFILE | EMFILE | ENOTTY | EFBIG | ENOSPC | EPIPE | EAGAIN
+  | ENOSYS | ENAMETOOLONG | EOVERFLOW | E2BIG
+  | EPROT  (* CheriBSD: capability/protection violation on a user pointer *)
+
+exception Error of t
+
+let raise_errno e = raise (Error e)
+
+let to_code = function
+  | EPERM -> 1 | ENOENT -> 2 | ESRCH -> 3 | EINTR -> 4 | EIO -> 5
+  | EBADF -> 9 | ECHILD -> 10 | ENOMEM -> 12 | EACCES -> 13 | EFAULT -> 14
+  | EBUSY -> 16 | EEXIST -> 17 | ENOTDIR -> 20 | EISDIR -> 21 | EINVAL -> 22
+  | ENFILE -> 23 | EMFILE -> 24 | ENOTTY -> 25 | EFBIG -> 27 | ENOSPC -> 28
+  | EPIPE -> 32 | EAGAIN -> 35 | ENOSYS -> 78 | ENAMETOOLONG -> 63
+  | EOVERFLOW -> 84 | E2BIG -> 7 | EPROT -> 97
+
+let to_string = function
+  | EPERM -> "EPERM" | ENOENT -> "ENOENT" | ESRCH -> "ESRCH"
+  | EINTR -> "EINTR" | EIO -> "EIO" | EBADF -> "EBADF" | ECHILD -> "ECHILD"
+  | ENOMEM -> "ENOMEM" | EACCES -> "EACCES" | EFAULT -> "EFAULT"
+  | EBUSY -> "EBUSY" | EEXIST -> "EEXIST" | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR" | EINVAL -> "EINVAL" | ENFILE -> "ENFILE"
+  | EMFILE -> "EMFILE" | ENOTTY -> "ENOTTY" | EFBIG -> "EFBIG"
+  | ENOSPC -> "ENOSPC" | EPIPE -> "EPIPE" | EAGAIN -> "EAGAIN"
+  | ENOSYS -> "ENOSYS" | ENAMETOOLONG -> "ENAMETOOLONG"
+  | EOVERFLOW -> "EOVERFLOW" | E2BIG -> "E2BIG" | EPROT -> "EPROT"
+
+let pp ppf e = Fmt.string ppf (to_string e)

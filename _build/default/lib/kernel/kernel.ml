@@ -1,0 +1,42 @@
+(* Public facade of the kernel library. *)
+
+module Errno = Errno
+module Signo = Signo
+module Uarg = Uarg
+module Sysno = Sysno
+module Vfs = Vfs
+module Proc = Proc
+module Kstate = Kstate
+module Exec = Exec
+module Sys_impl = Sys_impl
+module Signal_dispatch = Signal_dispatch
+module Ptrace_impl = Ptrace_impl
+module Loop = Loop
+
+type t = Kstate.t
+
+let boot = Kstate.boot
+let spawn = Exec.spawn
+let run = Loop.run
+let console_of = Kstate.console_of
+
+(* Exit status of [pid], if it has terminated (and not yet been reaped). *)
+let status_of k pid =
+  match Kstate.find_proc k pid with
+  | Some p ->
+    (match p.Proc.state with
+     | Proc.Zombie s -> Some s
+     | Proc.Runnable | Proc.Sleeping _ | Proc.Stopped _ -> None)
+  | None -> None
+
+(* Convenience: spawn a program, run the system to quiescence, and return
+   (status, console output, fault log, the process itself). *)
+let run_program ?(max_steps = 200_000_000) k ~path ~argv =
+  let p = spawn k ~path ~argv () in
+  let _ = run ~max_steps k in
+  let status =
+    match p.Proc.state with
+    | Proc.Zombie s -> Some s
+    | Proc.Runnable | Proc.Sleeping _ | Proc.Stopped _ -> None
+  in
+  status, Buffer.contents p.Proc.console, p

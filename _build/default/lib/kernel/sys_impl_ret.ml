@@ -1,0 +1,12 @@
+(* System-call handler results (a separate module so that handler modules
+   can depend on each other without a cycle). *)
+
+type t =
+  | RInt of int
+  | RPtr of Uarg.uptr
+  | RNone   (* registers already set by the handler (execve, sigreturn) *)
+
+(* Block: put the process to sleep and re-execute the syscall on wakeup. *)
+exception Restart
+
+let rint v = RInt v

@@ -1,0 +1,1 @@
+lib/libc/crt0.ml: Cheri_core Cheri_isa Cheri_kernel Cheri_rtld

@@ -1,0 +1,1 @@
+lib/libc/malloc_impl.ml: Array Cheri_cap Cheri_core Cheri_kernel Cheri_vm Hashtbl

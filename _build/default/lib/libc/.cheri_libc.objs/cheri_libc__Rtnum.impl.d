@@ -1,0 +1,1 @@
+lib/libc/rtnum.ml: Printf

@@ -1,0 +1,1 @@
+lib/libc/runtime.ml: Array Buffer Bytes Char Cheri_cap Cheri_core Cheri_isa Cheri_kernel Cheri_tagmem Cheri_vm Hashtbl List Malloc_impl Printf Rtnum

@@ -1,0 +1,47 @@
+(* C startup objects (crt0), one flavor per ABI.
+
+   The CheriABI variant follows the paper's startup protocol: the C
+   runtime finds argc/argv through the capability to the argument block
+   passed in the first capability-argument register — it has no knowledge
+   of the stack layout. The legacy variant receives argc/argv in integer
+   registers, as the SysV MIPS ABI does. *)
+
+module Insn = Cheri_isa.Insn
+module Asm = Cheri_isa.Asm
+module Reg = Cheri_isa.Reg
+module Abi = Cheri_core.Abi
+module Sobj = Cheri_rtld.Sobj
+module Sysno = Cheri_kernel.Sysno
+
+let cheriabi_code =
+  [ Asm.Lbl "_start";
+    (* argc from the argument header; argv capability from its slot. *)
+    Asm.I (Insn.CLoad { w = 8; signed = false; rd = Reg.a0; cb = Reg.ca0; off = 0 });
+    Asm.I (Insn.CLC { cd = Reg.ca0 + 1; cb = Reg.ca0; off = 16 });
+    (* Call main through the capability table (bounded code capability). *)
+    Asm.Ref ("got$main", fun off -> Insn.CLC { cd = Reg.cjt; cb = Reg.cgp; off });
+    Asm.I (Insn.CJALR (Reg.cra, Reg.cjt));
+    (* exit(main(...)) *)
+    Asm.I (Insn.Move (Reg.a0, Reg.v0));
+    Asm.I (Insn.Li (Reg.v0, Sysno.sys_exit));
+    Asm.I Insn.Syscall;
+    Asm.I (Insn.Break 98) ]
+
+let legacy_code =
+  [ Asm.Lbl "_start";
+    (* argc/argv are already in a0/a1. *)
+    Asm.Ref ("main", fun a -> Insn.Jal a);
+    Asm.I (Insn.Move (Reg.a0, Reg.v0));
+    Asm.I (Insn.Li (Reg.v0, Sysno.sys_exit));
+    Asm.I Insn.Syscall;
+    Asm.I (Insn.Break 98) ]
+
+let sobj abi =
+  let code, got =
+    match abi with
+    | Abi.Cheriabi -> cheriabi_code, [ "main" ]
+    | Abi.Mips64 | Abi.Asan -> legacy_code, []
+  in
+  Sobj.make ~name:"crt0"
+    ~exports:[ { Sobj.exp_name = "_start"; exp_kind = Sobj.Func; exp_off = 0 } ]
+    ~got_syms:got code

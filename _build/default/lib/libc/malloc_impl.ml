@@ -1,0 +1,227 @@
+(* The userspace allocator: a lightly-JEMalloc-shaped size-class allocator
+   (§4, "Dynamic allocations").
+
+   - Arena chunks come from mmap (through the real syscall path, so they
+     carry VMMAP capabilities under CheriABI).
+   - Small requests are served from per-class runs; large ones map their
+     own region, with the length rounded via CRRL so that bounds are
+     exactly representable (the padding requirement of compressed
+     capabilities, paper footnote 2).
+   - Returned CheriABI capabilities are bounded to the allocation and have
+     the VMMAP and EXECUTE permissions stripped: heap pointers can neither
+     remap memory under the allocator nor be executed.
+   - free() uses the *freed capability only to look up* the allocator's
+     internal capability, then discards it. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Compress = Cheri_cap.Compress
+module Abi = Cheri_core.Abi
+module Addr_space = Cheri_vm.Addr_space
+module K = Cheri_kernel.Kstate
+module Proc = Cheri_kernel.Proc
+module Sys_impl = Cheri_kernel.Sys_impl
+module Sysno = Cheri_kernel.Sysno
+module Uarg = Cheri_kernel.Uarg
+module Errno = Cheri_kernel.Errno
+
+let size_classes =
+  [| 16; 32; 48; 64; 96; 128; 192; 256; 384; 512; 768; 1024; 1536; 2048;
+     3072; 4096 |]
+
+let nclasses = Array.length size_classes
+
+let class_of_size n =
+  let rec go i =
+    if i >= nclasses then None
+    else if size_classes.(i) >= n then Some i
+    else go (i + 1)
+  in
+  go 0
+
+type chunk = {
+  ck_base : int;
+  ck_len : int;
+  ck_cap : Cap.t option;       (* the VMMAP-bearing mmap capability *)
+  mutable ck_next : int;       (* bump pointer for carving runs *)
+}
+
+type alloc_info = {
+  ai_size : int;               (* requested size *)
+  ai_class : int;              (* -1 = large (own mapping) *)
+}
+
+type arena = {
+  a_abi : Abi.t;
+  mutable a_chunks : chunk list;
+  a_free : int list array;     (* per-class free lists of addresses *)
+  a_live : (int, alloc_info) Hashtbl.t;
+  mutable a_mallocs : int;
+  mutable a_frees : int;
+}
+
+(* Arenas are keyed by address-space principal, so a fresh image (execve)
+   automatically gets a fresh arena. *)
+let arenas : (int, arena) Hashtbl.t = Hashtbl.create 16
+
+let arena_of (p : Proc.t) =
+  let key = Addr_space.principal p.Proc.asp in
+  match Hashtbl.find_opt arenas key with
+  | Some a -> a
+  | None ->
+    let a =
+      { a_abi = p.Proc.abi; a_chunks = []; a_free = Array.make nclasses [];
+        a_live = Hashtbl.create 64; a_mallocs = 0; a_frees = 0 }
+    in
+    Hashtbl.replace arenas key a;
+    a
+
+exception Alloc_fault of Errno.t
+
+let chunk_size = 64 * 1024
+
+(* Invoked whenever the allocator maps fresh memory (arena chunks, large
+   regions). The ASan runtime uses it to poison unallocated heap. *)
+let on_map : (K.t -> Proc.t -> int -> int -> unit) option ref = ref None
+
+let notify_map k p base len =
+  match !on_map with Some f -> f k p base len | None -> ()
+
+(* Each chunk starts with a small header, as jemalloc's do; allocations
+   never sit at the very start of a mapping. *)
+let chunk_header = 16
+
+(* Acquire a chunk through the mmap syscall path (paying its costs and,
+   under CheriABI, receiving a VMMAP capability). *)
+let grow k (p : Proc.t) a =
+  let args =
+    [ Uarg.UPtr (Uarg.Uaddr 0); Uarg.UInt chunk_size;
+      Uarg.UInt (Sysno.prot_read lor Sysno.prot_write);
+      Uarg.UInt Sysno.map_anon; Uarg.UInt (-1); Uarg.UInt 0 ]
+  in
+  match Sys_impl.sys_mmap k p args with
+  | Sys_impl.RPtr (Uarg.Uaddr base) ->
+    let ck = { ck_base = base; ck_len = chunk_size; ck_cap = None;
+               ck_next = base + chunk_header } in
+    a.a_chunks <- ck :: a.a_chunks;
+    notify_map k p base chunk_size;
+    ck
+  | Sys_impl.RPtr (Uarg.Ucap c) ->
+    let ck = { ck_base = Cap.base c; ck_len = chunk_size; ck_cap = Some c;
+               ck_next = Cap.base c + chunk_header } in
+    a.a_chunks <- ck :: a.a_chunks;
+    notify_map k p (Cap.base c) chunk_size;
+    ck
+  | Sys_impl.RInt _ | Sys_impl.RNone -> raise (Alloc_fault Errno.ENOMEM)
+
+(* Map a dedicated region for a large allocation, CRRL-rounded so the
+   bounds are exact. *)
+let map_large k p len =
+  let rlen = Compress.crrl len in
+  let args =
+    [ Uarg.UPtr (Uarg.Uaddr 0); Uarg.UInt rlen;
+      Uarg.UInt (Sysno.prot_read lor Sysno.prot_write);
+      Uarg.UInt Sysno.map_anon; Uarg.UInt (-1); Uarg.UInt 0 ]
+  in
+  match Sys_impl.sys_mmap k p args with
+  | Sys_impl.RPtr (Uarg.Uaddr base) ->
+    notify_map k p base (Addr_space.page_align_up rlen);
+    base, None
+  | Sys_impl.RPtr (Uarg.Ucap c) ->
+    notify_map k p (Cap.base c) (Addr_space.page_align_up rlen);
+    Cap.base c, Some c
+  | Sys_impl.RInt _ | Sys_impl.RNone -> raise (Alloc_fault Errno.ENOMEM)
+
+(* Carve one object of class [ci] out of a chunk. *)
+let carve k p a ci =
+  let size = size_classes.(ci) in
+  let rec find = function
+    | ck :: rest ->
+      if ck.ck_next + size <= ck.ck_base + ck.ck_len then begin
+        let addr = ck.ck_next in
+        ck.ck_next <- addr + size;
+        addr, ck.ck_cap
+      end
+      else find rest
+    | [] ->
+      let ck = grow k p a in
+      let addr = ck.ck_next in
+      ck.ck_next <- addr + size;
+      addr, ck.ck_cap
+  in
+  find a.a_chunks
+
+let chunk_cap_for a addr =
+  let rec go = function
+    | [] -> None
+    | ck :: rest ->
+      if addr >= ck.ck_base && addr < ck.ck_base + ck.ck_len then ck.ck_cap
+      else go rest
+  in
+  go a.a_chunks
+
+(* Heap-pointer permissions: data access only — no VMMAP, no EXECUTE. *)
+let heap_perms = Perms.data
+
+(* Allocate [len] bytes; returns (address, CheriABI capability option). *)
+let malloc k (p : Proc.t) len =
+  if len < 0 then raise (Alloc_fault Errno.EINVAL);
+  let len = max len 1 in
+  let a = arena_of p in
+  a.a_mallocs <- a.a_mallocs + 1;
+  let addr, parent, ci =
+    match class_of_size len with
+    | Some ci ->
+      (match a.a_free.(ci) with
+       | addr :: rest ->
+         a.a_free.(ci) <- rest;
+         addr, chunk_cap_for a addr, ci
+       | [] ->
+         let addr, cap = carve k p a ci in
+         addr, cap, ci)
+    | None ->
+      let base, cap = map_large k p len in
+      base, cap, -1
+  in
+  Hashtbl.replace a.a_live addr { ai_size = len; ai_class = ci };
+  K.charge k p (90 + (len / 64));
+  match a.a_abi with
+  | Abi.Mips64 | Abi.Asan -> addr, None
+  | Abi.Cheriabi ->
+    let parent =
+      match parent with
+      | Some c -> c
+      | None -> Addr_space.root_cap p.Proc.asp
+    in
+    (* Bounds match the request, rounded only as representability forces. *)
+    let c = Cap.set_bounds (Cap.set_addr parent addr) ~len:(Compress.crrl len) in
+    let c = Cap.and_perms c heap_perms in
+    K.trace_grant k p ~origin:"malloc" c;
+    addr, Some c
+
+(* Look up a live allocation; [None] for addresses malloc never returned. *)
+let lookup (p : Proc.t) addr =
+  let a = arena_of p in
+  Hashtbl.find_opt a.a_live addr
+
+let free k (p : Proc.t) addr =
+  let a = arena_of p in
+  match Hashtbl.find_opt a.a_live addr with
+  | None -> raise (Alloc_fault Errno.EINVAL)   (* invalid / double free *)
+  | Some info ->
+    Hashtbl.remove a.a_live addr;
+    a.a_frees <- a.a_frees + 1;
+    K.charge k p 60;
+    if info.ai_class >= 0 then
+      a.a_free.(info.ai_class) <- addr :: a.a_free.(info.ai_class)
+    else begin
+      (* Large allocation: unmap its dedicated region. *)
+      let rlen = Compress.crrl info.ai_size in
+      try Addr_space.unmap p.Proc.asp ~start:addr ~len:rlen
+      with Addr_space.Map_error _ -> ()
+    end;
+    info
+
+let stats (p : Proc.t) =
+  let a = arena_of p in
+  a.a_mallocs, a.a_frees, Hashtbl.length a.a_live

@@ -1,0 +1,1 @@
+lib/rtld/rtld.ml: Bytes Cheri_cap Cheri_core Cheri_isa Hashtbl List Sobj String

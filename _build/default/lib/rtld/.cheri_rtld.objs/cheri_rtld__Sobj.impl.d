@@ -1,0 +1,1 @@
+lib/rtld/sobj.ml: Bytes Cheri_isa List

@@ -1,0 +1,78 @@
+(* Shared objects and executable images.
+
+   A shared object is the unit of dynamic linking: code (as assembler
+   items with symbolic references), an initialized-data template, bss and
+   TLS sizes, an export table, the list of symbols it reaches through the
+   capability table (GOT), and data relocations for pointer-valued
+   initializers.
+
+   Symbolic reference namespaces used in code (resolved by the linker):
+   - ["f"]        a code label; direct jumps (same-object, or cross-object
+                  for the legacy ABI only);
+   - ["addr$s"]   the absolute virtual address of symbol [s] (legacy
+                  globals, function pointers, string literals);
+   - ["got$s"]    the byte offset of [s]'s slot within the process
+                  capability table (CheriABI global/function/TLS access). *)
+
+type sym_kind =
+  | Func
+  | Data of int   (* size in bytes *)
+  | Tls of int    (* size in bytes, offset within the object's TLS block *)
+
+type export = {
+  exp_name : string;
+  exp_kind : sym_kind;
+  exp_off : int;
+  (* Func: unused (the code label carries the address).
+     Data: offset within this object's data segment.
+     Tls: offset within this object's TLS block. *)
+}
+
+(* A pointer-valued initializer in the data segment: at [dr_off] store the
+   address of (or a capability to) [dr_target] plus [dr_addend]. Under
+   CheriABI these become capability relocations processed at startup,
+   because tags are not preserved on disk (§4, "Dynamic linking"). *)
+type data_reloc = { dr_off : int; dr_target : string; dr_addend : int }
+
+type t = {
+  so_name : string;
+  so_code : Cheri_isa.Asm.item list;
+  so_data : Bytes.t;
+  so_bss : int;
+  so_tls : int;
+  so_exports : export list;
+  so_got_syms : string list;
+  so_data_relocs : data_reloc list;
+  so_needed : string list;
+  (* Data-segment ranges the ASan backend wants poisoned at startup
+     (global redzones), as (offset, length) pairs. *)
+  so_shadow_poison : (int * int) list;
+}
+
+let make ~name ?(data = Bytes.create 0) ?(bss = 0) ?(tls = 0) ?(exports = [])
+    ?(got_syms = []) ?(data_relocs = []) ?(needed = [])
+    ?(shadow_poison = []) code =
+  { so_name = name; so_code = code; so_data = data; so_bss = bss;
+    so_tls = tls; so_exports = exports; so_got_syms = got_syms;
+    so_data_relocs = data_relocs; so_needed = needed;
+    so_shadow_poison = shadow_poison }
+
+let code_size_bytes t =
+  4 * List.length
+        (List.filter
+           (function Cheri_isa.Asm.Lbl _ -> false | _ -> true)
+           t.so_code)
+
+let find_export t name =
+  List.find_opt (fun e -> e.exp_name = name) t.so_exports
+
+(* An executable image: the program object plus the shared objects it
+   needs, and the entry symbol (conventionally "_start" in crt0). *)
+type image = {
+  img_name : string;
+  img_objects : t list;    (* program first, then libraries *)
+  img_entry : string;
+}
+
+let image ~name ~entry objects =
+  { img_name = name; img_objects = objects; img_entry = entry }

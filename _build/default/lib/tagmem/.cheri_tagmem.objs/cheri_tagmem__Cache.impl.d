@@ -1,0 +1,1 @@
+lib/tagmem/cache.ml: Array

@@ -1,0 +1,1 @@
+lib/tagmem/phys.ml: Array Tagmem

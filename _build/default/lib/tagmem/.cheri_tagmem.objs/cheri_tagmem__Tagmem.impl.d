@@ -1,0 +1,1 @@
+lib/tagmem/tagmem.ml: Array Bytes Char Cheri_cap Hashtbl Printf

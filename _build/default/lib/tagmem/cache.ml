@@ -1,0 +1,118 @@
+(* Set-associative cache model with LRU replacement.
+
+   Used purely for cycle accounting: the benchmark platform in the paper is
+   an FPGA CHERI-MIPS with 32 KiB L1 caches and a shared 256 KiB L2, and
+   Figure 4 reports L2-miss overheads. We model a two-level hierarchy
+   (separate I/D L1s over a shared L2) with fixed hit/miss latencies. *)
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_shift : int;
+  (* tags.(set).(way) = line tag, or -1 if invalid. *)
+  tags : int array array;
+  (* lru.(set).(way): higher = more recently used. *)
+  lru : int array array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let line_size = 64
+let line_shift = 6
+
+let create ~name ~size ~ways =
+  let lines = size / line_size in
+  let sets = lines / ways in
+  if sets <= 0 then invalid_arg "Cache.create";
+  { name; sets; ways; line_shift;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    lru = Array.init sets (fun _ -> Array.make ways 0);
+    clock = 0; hits = 0; misses = 0 }
+
+let hits t = t.hits
+let misses t = t.misses
+let name t = t.name
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let flush t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1)) t.tags
+
+(* Probe a single line. Returns true on hit; on miss the line is filled. *)
+let access_line t line =
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let tags = t.tags.(set) and lru = t.lru.(set) in
+  t.clock <- t.clock + 1;
+  let rec find w = if w >= t.ways then -1 else if tags.(w) = tag then w else find (w + 1) in
+  let w = find 0 in
+  if w >= 0 then begin
+    lru.(w) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  end else begin
+    t.misses <- t.misses + 1;
+    (* Evict the LRU way. *)
+    let victim = ref 0 in
+    for i = 1 to t.ways - 1 do
+      if lru.(i) < lru.(!victim) then victim := i
+    done;
+    tags.(!victim) <- tag;
+    lru.(!victim) <- t.clock;
+    false
+  end
+
+(* Probe an access of [len] bytes at [addr]; true iff all lines hit. *)
+let access t addr len =
+  let first = addr lsr t.line_shift in
+  let last = (addr + (if len > 0 then len - 1 else 0)) lsr t.line_shift in
+  let ok = ref true in
+  for line = first to last do
+    if not (access_line t line) then ok := false
+  done;
+  !ok
+
+(* --- Two-level hierarchy --------------------------------------------------- *)
+
+type hierarchy = {
+  il1 : t;
+  dl1 : t;
+  l2 : t;
+  l1_hit_cycles : int;
+  l2_hit_cycles : int;
+  dram_cycles : int;
+}
+
+(* Geometry from the paper's FPGA platform: 32 KiB L1s, shared 256 KiB L2,
+   all set-associative. The sizes are parameters so the cache-study
+   ablation (paper 6, "Cache studies") can sweep them. *)
+let create_hierarchy ?(l1_size = 32 * 1024) ?(l2_size = 256 * 1024) () =
+  { il1 = create ~name:"IL1" ~size:l1_size ~ways:4;
+    dl1 = create ~name:"DL1" ~size:l1_size ~ways:4;
+    l2 = create ~name:"L2" ~size:l2_size ~ways:8;
+    l1_hit_cycles = 1;
+    l2_hit_cycles = 9;
+    dram_cycles = 36 }
+
+(* Cycle cost of a data access. *)
+let data_access h addr len =
+  if access h.dl1 addr len then h.l1_hit_cycles
+  else if access h.l2 addr len then h.l2_hit_cycles
+  else h.dram_cycles
+
+(* Cycle cost of an instruction fetch. *)
+let ifetch h addr =
+  if access h.il1 addr 4 then h.l1_hit_cycles
+  else if access h.l2 addr 4 then h.l2_hit_cycles
+  else h.dram_cycles
+
+let l2_misses h = misses h.l2
+
+let reset_hierarchy_stats h =
+  reset_stats h.il1; reset_stats h.dl1; reset_stats h.l2
+
+let flush_hierarchy h = flush h.il1; flush h.dl1; flush h.l2

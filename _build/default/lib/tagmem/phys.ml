@@ -1,0 +1,57 @@
+(* Physical frame allocator: a free-list over 4 KiB frames with reference
+   counts (shared mappings and copy-on-write hold extra references).
+
+   The kernel draws frames from here for demand paging; the swap subsystem
+   returns frames when pages are evicted. *)
+
+let page_size = 4096
+let page_shift = 12
+
+type t = {
+  mem : Tagmem.t;
+  mutable free : int list;   (* frame numbers *)
+  mutable free_count : int;
+  refcount : int array;
+  total : int;
+}
+
+let create mem =
+  let total = Tagmem.size mem / page_size in
+  (* Frame 0 is reserved so that physical address 0 is never handed out. *)
+  let rec frames i acc = if i < 1 then acc else frames (i - 1) (i :: acc) in
+  { mem; free = frames (total - 1) []; free_count = total - 1;
+    refcount = Array.make total 0; total }
+
+let mem t = t.mem
+let total_frames t = t.total
+let free_frames t = t.free_count
+
+exception Out_of_memory
+
+let alloc_frame t =
+  match t.free with
+  | [] -> raise Out_of_memory
+  | f :: rest ->
+    t.free <- rest;
+    t.free_count <- t.free_count - 1;
+    t.refcount.(f) <- 1;
+    let pa = f * page_size in
+    Tagmem.fill t.mem pa page_size 0;
+    f
+
+let incref t f =
+  if f <= 0 || f >= t.total || t.refcount.(f) = 0 then invalid_arg "Phys.incref";
+  t.refcount.(f) <- t.refcount.(f) + 1
+
+let refcount t f = t.refcount.(f)
+
+(* Drop one reference; frees the frame when the count reaches zero. *)
+let decref t f =
+  if f <= 0 || f >= t.total || t.refcount.(f) = 0 then invalid_arg "Phys.decref";
+  t.refcount.(f) <- t.refcount.(f) - 1;
+  if t.refcount.(f) = 0 then begin
+    t.free <- f :: t.free;
+    t.free_count <- t.free_count + 1
+  end
+
+let frame_addr f = f * page_size

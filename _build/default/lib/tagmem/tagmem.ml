@@ -1,0 +1,187 @@
+(* Tagged physical memory.
+
+   One tag bit per capability-sized, capability-aligned 16-byte granule,
+   exactly as in CHERI: the tag travels with the granule, is set only by
+   capability stores, and is cleared by any data store that touches the
+   granule. Capabilities stored to memory are kept in a side table keyed by
+   granule index; the raw bytes hold the cursor so that data reads of
+   capability memory observe the address (as on real hardware, where the
+   cursor occupies the low 64 bits of the encoding). *)
+
+type t = {
+  bytes : Bytes.t;
+  tags : Bytes.t;                       (* one byte per granule: 0/1 *)
+  caps : (int, Cheri_cap.Cap.t) Hashtbl.t;  (* granule index -> capability *)
+  size : int;
+}
+
+let granule = Cheri_cap.Cap.sizeof
+
+let create ~size =
+  if size <= 0 || size land (granule - 1) <> 0 then
+    invalid_arg "Tagmem.create: size must be a positive multiple of 16";
+  { bytes = Bytes.make size '\000';
+    tags = Bytes.make (size / granule) '\000';
+    caps = Hashtbl.create 4096;
+    size }
+
+let size t = t.size
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > t.size then
+    invalid_arg (Printf.sprintf "Tagmem: access 0x%x+%d out of range" addr len)
+
+let granule_of addr = addr / granule
+
+(* --- Tags ---------------------------------------------------------------- *)
+
+let get_tag t addr =
+  check t addr 1;
+  Bytes.get t.tags (granule_of addr) <> '\000'
+
+let clear_tag t addr =
+  check t addr 1;
+  let g = granule_of addr in
+  if Bytes.get t.tags g <> '\000' then begin
+    Bytes.set t.tags g '\000';
+    Hashtbl.remove t.caps g
+  end
+
+(* Clear the tags of every granule overlapping [addr, addr+len). *)
+let clear_tags_covering t addr len =
+  if len > 0 then begin
+    let g0 = granule_of addr and g1 = granule_of (addr + len - 1) in
+    for g = g0 to g1 do
+      if Bytes.get t.tags g <> '\000' then begin
+        Bytes.set t.tags g '\000';
+        Hashtbl.remove t.caps g
+      end
+    done
+  end
+
+(* Which granules in [addr, addr+len) are tagged? Offsets relative to addr.
+   Used by the swap subsystem's tag scan. *)
+let scan_tags t addr len =
+  check t addr len;
+  let out = ref [] in
+  let g0 = granule_of addr and g1 = granule_of (addr + len - 1) in
+  for g = g1 downto g0 do
+    if Bytes.get t.tags g <> '\000' then out := (g * granule - addr) :: !out
+  done;
+  !out
+
+(* --- Data access ---------------------------------------------------------- *)
+
+let read_u8 t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.bytes addr)
+
+let write_u8 t addr v =
+  check t addr 1;
+  clear_tag t addr;
+  Bytes.set t.bytes addr (Char.chr (v land 0xff))
+
+let read_int t addr ~len =
+  check t addr len;
+  let v = ref 0 in
+  for i = len - 1 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get t.bytes (addr + i))
+  done;
+  !v
+
+let write_int t addr ~len v =
+  check t addr len;
+  clear_tags_covering t addr len;
+  for i = 0 to len - 1 do
+    Bytes.set t.bytes (addr + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+(* Sign-extend an integer read of [len] bytes. *)
+let read_int_signed t addr ~len =
+  let v = read_int t addr ~len in
+  let bits = len * 8 in
+  if bits >= 63 then v
+  else
+    let sign = 1 lsl (bits - 1) in
+    if v land sign <> 0 then v - (1 lsl bits) else v
+
+let blit_bytes t ~dst src =
+  check t dst (Bytes.length src);
+  clear_tags_covering t dst (Bytes.length src);
+  Bytes.blit src 0 t.bytes dst (Bytes.length src)
+
+let read_bytes t addr len =
+  check t addr len;
+  Bytes.sub t.bytes addr len
+
+(* --- Capability access ----------------------------------------------------- *)
+
+let read_cap t addr =
+  check t addr granule;
+  Cheri_cap.Cap.check_cap_alignment addr;
+  let g = granule_of addr in
+  if Bytes.get t.tags g <> '\000' then Hashtbl.find t.caps g
+  else
+    (* Untagged: reconstruct the cursor from the raw bytes; all other
+       fields read as a null-derived pattern. *)
+    Cheri_cap.Cap.untagged ~addr:(read_int t addr ~len:8)
+
+let write_cap t addr cap =
+  check t addr granule;
+  Cheri_cap.Cap.check_cap_alignment addr;
+  let g = granule_of addr in
+  (* Raw bytes: cursor in the low 8 bytes, a metadata summary above. *)
+  for i = 0 to granule - 1 do Bytes.set t.bytes (addr + i) '\000' done;
+  let cursor = Cheri_cap.Cap.addr cap in
+  for i = 0 to 7 do
+    Bytes.set t.bytes (addr + i) (Char.chr ((cursor lsr (8 * i)) land 0xff))
+  done;
+  if Cheri_cap.Cap.is_tagged cap then begin
+    Bytes.set t.tags g '\001';
+    Hashtbl.replace t.caps g cap
+  end else begin
+    Bytes.set t.tags g '\000';
+    Hashtbl.remove t.caps g
+  end
+
+(* Copy [len] bytes preserving tags where both source and destination are
+   granule-aligned (the capability-aware memcpy of the C runtime). *)
+let move t ~src ~dst ~len =
+  check t src len; check t dst len;
+  if len = 0 || src = dst then ()
+  else begin
+    let aligned =
+      src land (granule - 1) = 0 && dst land (granule - 1) = 0
+      && len land (granule - 1) = 0
+    in
+    if aligned then begin
+      (* Collect source granule caps first so overlapping moves are safe. *)
+      let n = len / granule in
+      let caps = Array.make n None in
+      for i = 0 to n - 1 do
+        let g = granule_of (src + i * granule) in
+        if Bytes.get t.tags g <> '\000' then
+          caps.(i) <- Some (Hashtbl.find t.caps g)
+      done;
+      let tmp = Bytes.sub t.bytes src len in
+      clear_tags_covering t dst len;
+      Bytes.blit tmp 0 t.bytes dst len;
+      for i = 0 to n - 1 do
+        match caps.(i) with
+        | None -> ()
+        | Some c ->
+          let g = granule_of (dst + i * granule) in
+          Bytes.set t.tags g '\001';
+          Hashtbl.replace t.caps g c
+      done
+    end else begin
+      let tmp = Bytes.sub t.bytes src len in
+      clear_tags_covering t dst len;
+      Bytes.blit tmp 0 t.bytes dst len
+    end
+  end
+
+let fill t addr len byte =
+  check t addr len;
+  clear_tags_covering t addr len;
+  Bytes.fill t.bytes addr len (Char.chr (byte land 0xff))

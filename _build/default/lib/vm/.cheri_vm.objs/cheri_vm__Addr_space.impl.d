@@ -1,0 +1,1 @@
+lib/vm/addr_space.ml: Cheri_cap Cheri_tagmem Fmt List Pmap Prot

@@ -1,0 +1,1 @@
+lib/vm/pmap.ml: Cheri_cap Cheri_isa Cheri_tagmem Hashtbl List Prot Swap

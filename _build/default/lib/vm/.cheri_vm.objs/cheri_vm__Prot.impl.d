@@ -1,0 +1,1 @@
+lib/vm/prot.ml: Cheri_cap Fmt Printf

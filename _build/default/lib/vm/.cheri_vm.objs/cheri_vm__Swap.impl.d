@@ -1,0 +1,1 @@
+lib/vm/swap.ml: Bytes Cheri_cap Cheri_tagmem Hashtbl List

@@ -1,0 +1,1 @@
+lib/vm/swap.mli: Cheri_cap Cheri_tagmem

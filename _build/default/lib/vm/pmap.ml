@@ -1,0 +1,245 @@
+(* Per-address-space page tables with demand paging, copy-on-write and
+   swap integration.
+
+   [translate] is the hot path installed into the CPU; it raises
+   [Trap.Page_fault] for anything it cannot satisfy directly, and the
+   kernel then calls [handle_fault] to demand-page / swap-in / break COW,
+   retrying the instruction on success. *)
+
+module Tagmem = Cheri_tagmem.Tagmem
+module Phys = Cheri_tagmem.Phys
+module Trap = Cheri_isa.Trap
+
+type state =
+  | Lazy                   (* zero-fill on first touch *)
+  | Present of int         (* resident, frame number *)
+  | Swapped of int         (* swap slot id *)
+
+type entry = {
+  mutable state : state;
+  mutable prot : Prot.t;
+  mutable cow : bool;      (* write must copy first *)
+  mutable accessed : bool; (* for the clock eviction algorithm *)
+}
+
+type t = {
+  table : (int, entry) Hashtbl.t;   (* vpn -> entry *)
+  phys : Phys.t;
+  swap : Swap.t;
+  mutable root : Cheri_cap.Cap.t;   (* rederivation root for swap-in *)
+  mutable faults : int;
+  mutable cow_copies : int;
+}
+
+let page_size = Phys.page_size
+let vpn_of v = v lsr Phys.page_shift
+
+let create ~phys ~swap ~root =
+  { table = Hashtbl.create 256; phys; swap; root; faults = 0; cow_copies = 0 }
+
+let entry_count t = Hashtbl.length t.table
+let fault_count t = t.faults
+
+let find t vaddr = Hashtbl.find_opt t.table (vpn_of vaddr)
+
+(* Install a range of lazy (zero-fill) pages. *)
+let enter_range t ~vaddr ~len ~prot =
+  let first = vpn_of vaddr and last = vpn_of (vaddr + len - 1) in
+  for vpn = first to last do
+    Hashtbl.replace t.table vpn
+      { state = Lazy; prot; cow = false; accessed = false }
+  done
+
+(* Map an existing frame (shared memory, kernel-prepared pages). *)
+let enter_frame t ~vaddr ~frame ~prot ~cow =
+  Hashtbl.replace t.table (vpn_of vaddr)
+    { state = Present frame; prot; cow; accessed = false }
+
+let protect_range t ~vaddr ~len ~prot =
+  let first = vpn_of vaddr and last = vpn_of (vaddr + len - 1) in
+  for vpn = first to last do
+    match Hashtbl.find_opt t.table vpn with
+    | Some e -> e.prot <- prot
+    | None -> ()
+  done
+
+let remove_range t ~vaddr ~len =
+  let first = vpn_of vaddr and last = vpn_of (vaddr + len - 1) in
+  for vpn = first to last do
+    match Hashtbl.find_opt t.table vpn with
+    | None -> ()
+    | Some e ->
+      (match e.state with
+       | Present f -> Phys.decref t.phys f
+       | Swapped id -> Swap.discard t.swap id
+       | Lazy -> ());
+      Hashtbl.remove t.table vpn
+  done
+
+(* Under memory pressure, evict resident pages of this space to swap and
+   retry — the demand-paging path that makes the tag-scan/rederivation
+   machinery load-bearing. *)
+let rec alloc_frame_pressured t =
+  try Phys.alloc_frame t.phys
+  with Phys.Out_of_memory ->
+    let evicted = evict_to_swap t ~n:64 in
+    if evicted = 0 then raise Phys.Out_of_memory
+    else alloc_frame_pressured t
+
+and evict_to_swap t ~n =
+  let candidates = ref [] in
+  Hashtbl.iter
+    (fun vpn e ->
+      match e.state with
+      | Present f when Phys.refcount t.phys f = 1 && not e.cow ->
+        candidates := (e.accessed, vpn, e, f) :: !candidates
+      | _ -> ())
+    t.table;
+  let sorted =
+    List.sort
+      (fun (a1, v1, _, _) (a2, v2, _, _) -> compare (a1, v1) (a2, v2))
+      !candidates
+  in
+  let evicted = ref 0 in
+  List.iter
+    (fun (_, _, e, f) ->
+      if !evicted < n then begin
+        let id = Swap.swap_out t.swap (Phys.mem t.phys) ~pa:(Phys.frame_addr f) in
+        Phys.decref t.phys f;
+        e.state <- Swapped id;
+        e.accessed <- false;
+        incr evicted
+      end)
+    sorted;
+  !evicted
+
+let page_fault vaddr ~write ~exec =
+  Trap.raise_trap (Trap.Page_fault { vaddr; write; exec })
+
+(* Hot path: virtual -> physical, raising on anything needing the kernel. *)
+let translate t vaddr ~write ~exec =
+  match Hashtbl.find_opt t.table (vpn_of vaddr) with
+  | None -> page_fault vaddr ~write ~exec
+  | Some e ->
+    (match e.state with
+     | Present f ->
+       if (write && not e.prot.Prot.write)
+          || ((not write) && not e.prot.Prot.read)
+          || (exec && not e.prot.Prot.exec)
+       then page_fault vaddr ~write ~exec
+       else if write && e.cow then page_fault vaddr ~write ~exec
+       else begin
+         e.accessed <- true;
+         Phys.frame_addr f + (vaddr land (page_size - 1))
+       end
+     | Lazy | Swapped _ -> page_fault vaddr ~write ~exec)
+
+type fault_result =
+  | Handled           (* retry the instruction *)
+  | Bad_access        (* protection violation: deliver SIGSEGV *)
+  | Not_mapped        (* no mapping at all: deliver SIGSEGV *)
+
+(* Service a fault raised by [translate]. *)
+let handle_fault t ~vaddr ~write ~exec ?(on_rederive = fun _ -> ()) () =
+  t.faults <- t.faults + 1;
+  match Hashtbl.find_opt t.table (vpn_of vaddr) with
+  | None -> Not_mapped
+  | Some e ->
+    if (write && not e.prot.Prot.write)
+       || ((not write) && not e.prot.Prot.read)
+       || (exec && not e.prot.Prot.exec)
+    then Bad_access
+    else begin
+      match e.state with
+      | Lazy ->
+        e.state <- Present (alloc_frame_pressured t);
+        Handled
+      | Swapped id ->
+        let f = alloc_frame_pressured t in
+        Swap.swap_in t.swap (Phys.mem t.phys) ~id ~pa:(Phys.frame_addr f)
+          ~root:t.root ~on_rederive ();
+        e.state <- Present f;
+        Handled
+      | Present f when write && e.cow ->
+        if Phys.refcount t.phys f = 1 then begin
+          (* Sole owner: just drop the COW bit. *)
+          e.cow <- false;
+          Handled
+        end else begin
+          let nf = alloc_frame_pressured t in
+          (* The copy preserves tags: abstract capabilities survive COW. *)
+          Tagmem.move (Phys.mem t.phys) ~src:(Phys.frame_addr f)
+            ~dst:(Phys.frame_addr nf) ~len:page_size;
+          Phys.decref t.phys f;
+          e.state <- Present nf;
+          e.cow <- false;
+          t.cow_copies <- t.cow_copies + 1;
+          Handled
+        end
+      | Present _ -> Handled (* racy retry; harmless in a simulator *)
+    end
+
+(* Iterate [f vaddr_of_page frame] over resident pages. *)
+let iter_present t f =
+  Hashtbl.iter
+    (fun vpn e ->
+      match e.state with
+      | Present frame -> f (vpn * page_size) frame
+      | Lazy | Swapped _ -> ())
+    t.table
+
+(* Evict up to [n] resident pages to swap (clock-ish: prefer unaccessed).
+   Returns the number evicted. *)
+let evict_pages t ~n = evict_to_swap t ~n
+
+(* Clone this pmap for fork: resident private pages become COW in both
+   parent and child; swapped pages are swapped in first (simplification). *)
+let fork_into t child ~on_rederive =
+  Hashtbl.iter
+    (fun vpn e ->
+      (match e.state with
+       | Swapped id ->
+         let f = Phys.alloc_frame t.phys in
+         Swap.swap_in t.swap (Phys.mem t.phys) ~id ~pa:(Phys.frame_addr f)
+           ~root:t.root ~on_rederive ();
+         e.state <- Present f
+       | Lazy | Present _ -> ());
+      match e.state with
+      | Present f ->
+        Phys.incref t.phys f;
+        e.cow <- e.cow || e.prot.Prot.write;
+        Hashtbl.replace child.table vpn
+          { state = Present f; prot = e.prot;
+            cow = e.prot.Prot.write; accessed = false }
+      | Lazy ->
+        Hashtbl.replace child.table vpn
+          { state = Lazy; prot = e.prot; cow = false; accessed = false }
+      | Swapped _ -> assert false)
+    t.table
+
+(* Tear down all mappings (process exit / exec). *)
+let destroy t =
+  Hashtbl.iter
+    (fun _ e ->
+      match e.state with
+      | Present f -> Phys.decref t.phys f
+      | Swapped id -> Swap.discard t.swap id
+      | Lazy -> ())
+    t.table;
+  Hashtbl.reset t.table
+
+(* Direct kernel access to a user page's physical address, faulting it in
+   if needed. Returns None on protection violation / unmapped. *)
+let kernel_touch t vaddr ~write =
+  let rec go tries =
+    if tries = 0 then None
+    else
+      match translate t vaddr ~write ~exec:false with
+      | pa -> Some pa
+      | exception Trap.Trap (Trap.Page_fault _) ->
+        (match handle_fault t ~vaddr ~write ~exec:false () with
+         | Handled -> go (tries - 1)
+         | Bad_access | Not_mapped -> None)
+      | exception Trap.Trap _ -> None
+  in
+  go 3

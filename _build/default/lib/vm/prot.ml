@@ -1,0 +1,39 @@
+(* Page protections, and their relationship to capability permissions:
+   mmap-returned capabilities derive their permissions from the requested
+   page permissions (§4, "Virtual-address management APIs"). *)
+
+type t = { read : bool; write : bool; exec : bool }
+
+let none = { read = false; write = false; exec = false }
+let r = { none with read = true }
+let rw = { read = true; write = true; exec = false }
+let rx = { read = true; write = false; exec = true }
+let rwx = { read = true; write = true; exec = true }
+
+let equal (a : t) (b : t) = a = b
+
+(* Is [sub] no more permissive than [sup]? *)
+let subset sub sup =
+  (not sub.read || sup.read) && (not sub.write || sup.write)
+  && (not sub.exec || sup.exec)
+
+(* Capability permissions conferred by a mapping with protection [t].
+   Readable pages allow capability loads, writable pages capability
+   stores; the VMMAP user permission is added by the mmap syscall itself. *)
+let to_cap_perms t =
+  let open Cheri_cap.Perms in
+  let p = global in
+  let p = if t.read then union p (union load load_cap) else p in
+  let p =
+    if t.write then union p (union store (union store_cap store_local_cap))
+    else p
+  in
+  if t.exec then union p execute else p
+
+let to_string t =
+  Printf.sprintf "%c%c%c"
+    (if t.read then 'r' else '-')
+    (if t.write then 'w' else '-')
+    (if t.exec then 'x' else '-')
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,1 @@
+lib/workloads/bodiag.ml: Cheri_cc Cheri_core Cheri_kernel Cheri_libc List Printf String

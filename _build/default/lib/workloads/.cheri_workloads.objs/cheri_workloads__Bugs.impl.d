@@ -1,0 +1,1 @@
+lib/workloads/bugs.ml: Cheri_core Cheri_kernel Cheri_libc List Printf Stdlib_src

@@ -1,0 +1,1 @@
+lib/workloads/compat.ml: Buffer List Mibench Minipg Openssl_sim Stdlib_src String Testsuite

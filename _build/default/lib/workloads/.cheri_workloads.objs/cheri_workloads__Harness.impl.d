@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Array Buffer Cheri_cc Cheri_core Cheri_isa Cheri_kernel Cheri_libc Cheri_tagmem List Printf Stdlib_src String

@@ -1,0 +1,1 @@
+lib/workloads/mibench.ml: List

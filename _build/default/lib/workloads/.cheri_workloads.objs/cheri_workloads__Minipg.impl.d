@@ -1,0 +1,1 @@
+lib/workloads/minipg.ml: Harness

@@ -1,0 +1,1 @@
+lib/workloads/openssl_sim.ml: Cheri_core Cheri_isa Cheri_kernel Cheri_libc Stdlib_src

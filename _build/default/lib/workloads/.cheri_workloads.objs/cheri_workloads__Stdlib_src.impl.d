@@ -1,0 +1,1 @@
+lib/workloads/stdlib_src.ml: Cheri_cc Cheri_kernel

@@ -1,0 +1,1 @@
+lib/workloads/sysbench.ml: Cheri_core Harness List Printf String

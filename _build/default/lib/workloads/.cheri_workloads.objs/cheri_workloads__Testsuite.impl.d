@@ -1,0 +1,1 @@
+lib/workloads/testsuite.ml: Cheri_cc Cheri_core Cheri_isa Cheri_kernel Cheri_libc Cheri_rtld List Minipg Printf Stdlib_src

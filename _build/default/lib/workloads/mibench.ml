@@ -1,0 +1,679 @@
+(* Benchmark kernels mirroring Figure 4's workloads.
+
+   Each is a deterministic CSmall program (seeded PRNG, printed checksum)
+   so that the harness can verify that both ABIs compute identical
+   results before comparing their costs. Names match the paper's x-axis. *)
+
+let security_sha =
+  {|
+    int rotl(int x, int n) {
+      return ((x << n) | ((x & 0xffffffff) >> (32 - n))) & 0xffffffff;
+    }
+    int w[80];
+    int main(int argc, char **argv) {
+      int h0 = 0x67452301;
+      int h1 = 0xefcdab89;
+      int h2 = 0x98badcfe;
+      int h3 = 0x10325476;
+      int h4 = 0xc3d2e1f0;
+      int mask = 0xffffffff;
+      srand(7);
+      int blk;
+      for (blk = 0; blk < 48; blk = blk + 1) {
+        int i;
+        for (i = 0; i < 16; i = i + 1) {
+          w[i] = ((rand() << 17) ^ (rand() << 2) ^ rand()) & mask;
+        }
+        for (i = 16; i < 80; i = i + 1) {
+          w[i] = rotl((w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]) & mask, 1);
+        }
+        int a = h0; int b = h1; int c = h2; int d = h3; int e = h4;
+        for (i = 0; i < 80; i = i + 1) {
+          int f; int kk;
+          if (i < 20) { f = (b & c) | ((~b) & d); kk = 0x5a827999; }
+          else if (i < 40) { f = b ^ c ^ d; kk = 0x6ed9eba1; }
+          else if (i < 60) { f = (b & c) | (b & d) | (c & d); kk = 0x8f1bbcdc; }
+          else { f = b ^ c ^ d; kk = 0xca62c1d6; }
+          int tmp = (rotl(a, 5) + (f & mask) + e + kk + w[i]) & mask;
+          e = d; d = c; c = rotl(b, 30); b = a; a = tmp;
+        }
+        h0 = (h0 + a) & mask;
+        h1 = (h1 + b) & mask;
+        h2 = (h2 + c) & mask;
+        h3 = (h3 + d) & mask;
+        h4 = (h4 + e) & mask;
+      }
+      print_hex(h0 ^ h1 ^ h2 ^ h3 ^ h4);
+      return 0;
+    }
+  |}
+
+let office_stringsearch =
+  {|
+    char text[4100];
+    char pats[480];
+    int main(int argc, char **argv) {
+      srand(11);
+      int n = 4096;
+      int i;
+      for (i = 0; i < n; i = i + 1) text[i] = 'a' + rand() % 26;
+      text[n] = 0;
+      /* 40 patterns: half sampled from the text, half random */
+      int p;
+      for (p = 0; p < 40; p = p + 1) {
+        int len = 3 + rand() % 6;
+        char *pat = &pats[p * 12];
+        if (p % 2 == 0) {
+          int start = rand() % (n - len);
+          int j;
+          for (j = 0; j < len; j = j + 1) pat[j] = text[start + j];
+        } else {
+          int j;
+          for (j = 0; j < len; j = j + 1) pat[j] = 'a' + rand() % 26;
+        }
+        pat[len] = 0;
+      }
+      int matches = 0;
+      for (p = 0; p < 40; p = p + 1) {
+        char *pat = &pats[p * 12];
+        int plen = strlen(pat);
+        for (i = 0; i + plen <= n; i = i + 1) {
+          if (text[i] == pat[0]) {
+            if (strncmp(&text[i], pat, plen) == 0) matches = matches + 1;
+          }
+        }
+      }
+      print_int(matches);
+      return 0;
+    }
+  |}
+
+let auto_qsort =
+  {|
+    int data[2500];
+    char arena[3520];
+    char *strs[220];
+    int main(int argc, char **argv) {
+      srand(13);
+      int n = 2500;
+      int i;
+      for (i = 0; i < n; i = i + 1) data[i] = rand() * 7919 % 1000003;
+      qsort_ints(data, 0, n - 1);
+      for (i = 1; i < n; i = i + 1) assert(data[i - 1] <= data[i]);
+      /* pointer-array sort: swapping capabilities through memory */
+      int m = 220;
+      for (i = 0; i < m; i = i + 1) {
+        char *s = &arena[i * 16];
+        itoa(rand(), s);
+        strs[i] = s;
+      }
+      qsort_strs(strs, 0, m - 1);
+      for (i = 1; i < m; i = i + 1) assert(strcmp(strs[i - 1], strs[i]) <= 0);
+      print_int(data[0] + data[n - 1] + strhash(strs[0]) + strhash(strs[m - 1]));
+      return 0;
+    }
+  |}
+
+let auto_basicmath =
+  {|
+    int cbrt_i(int n) {
+      if (n < 2) return n;
+      int x = n;
+      int i;
+      for (i = 0; i < 40; i = i + 1) {
+        int nx = (2 * x + n / (x * x)) / 3;
+        if (nx >= x) return x;
+        x = nx;
+      }
+      return x;
+    }
+    int main(int argc, char **argv) {
+      int s = 0;
+      int i;
+      for (i = 1; i <= 2600; i = i + 1) {
+        s = s + isqrt(i * 37 % 100007);
+        s = s + gcd(i * 91, 1 + i % 173);
+        s = s + cbrt_i(i * 1000);
+        s = s & 0xffffff;
+      }
+      print_int(s);
+      return 0;
+    }
+  |}
+
+let network_dijkstra =
+  {|
+    int graph[4096];
+    int dist[64];
+    int seen[64];
+    int main(int argc, char **argv) {
+      srand(17);
+      int n = 64;
+      int i; int j;
+      for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+          if (i == j) graph[i * 64 + j] = 0;
+          else graph[i * 64 + j] = 1 + rand() % 97;
+        }
+      }
+      int total = 0;
+      int src;
+      for (src = 0; src < 10; src = src + 1) {
+        for (i = 0; i < n; i = i + 1) { dist[i] = 1 << 30; seen[i] = 0; }
+        dist[src] = 0;
+        int k;
+        for (k = 0; k < n; k = k + 1) {
+          int best = -1;
+          int bd = 1 << 30;
+          for (i = 0; i < n; i = i + 1) {
+            if (!seen[i] && dist[i] < bd) { bd = dist[i]; best = i; }
+          }
+          if (best < 0) break;
+          seen[best] = 1;
+          for (j = 0; j < n; j = j + 1) {
+            int nd = dist[best] + graph[best * 64 + j];
+            if (nd < dist[j]) dist[j] = nd;
+          }
+        }
+        for (i = 0; i < n; i = i + 1) total = total + dist[i];
+      }
+      print_int(total);
+      return 0;
+    }
+  |}
+
+let network_patricia =
+  {|
+    struct pnode {
+      int key;
+      int bit;
+      struct pnode *left;
+      struct pnode *right;
+    };
+    struct pnode *root;
+    int bit_set(int key, int b) { return (key >> b) & 1; }
+    struct pnode *new_node(int key, int bit) {
+      struct pnode *n = (struct pnode*)malloc(sizeof(struct pnode));
+      n->key = key;
+      n->bit = bit;
+      n->left = 0;
+      n->right = 0;
+      return n;
+    }
+    void insert(int key) {
+      if (root == 0) { root = new_node(key, 15); return; }
+      struct pnode *p = root;
+      while (1) {
+        if (p->key == key) return;
+        if (p->bit < 0) break;
+        if (bit_set(key, p->bit)) {
+          if (p->right == 0) { p->right = new_node(key, p->bit - 1); return; }
+          p = p->right;
+        } else {
+          if (p->left == 0) { p->left = new_node(key, p->bit - 1); return; }
+          p = p->left;
+        }
+      }
+    }
+    int lookup(int key) {
+      struct pnode *p = root;
+      while (p) {
+        if (p->key == key) return 1;
+        if (p->bit < 0) return 0;
+        if (bit_set(key, p->bit)) p = p->right;
+        else p = p->left;
+      }
+      return 0;
+    }
+    int main(int argc, char **argv) {
+      srand(19);
+      int i;
+      for (i = 0; i < 2200; i = i + 1) insert(rand() & 0xffff);
+      int hits = 0;
+      srand(19);
+      for (i = 0; i < 2200; i = i + 1) {
+        if (lookup(rand() & 0xffff)) hits = hits + 1;
+      }
+      for (i = 0; i < 2200; i = i + 1) {
+        if (lookup(i * 31 & 0xffff)) hits = hits + 1;
+      }
+      print_int(hits);
+      return 0;
+    }
+  |}
+
+let adpcm_tables =
+  {|
+    int index_table[] = { -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8 };
+    int step_table[] = {
+      7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+      19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+      50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+      130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+      337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+      876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+      2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+      5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+      15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767 };
+  |}
+
+let adpcm_common =
+  adpcm_tables
+  ^ {|
+    int pcm[16000];
+    char code[16000];
+    int valprev;
+    int index_;
+    void adpcm_reset() { valprev = 0; index_ = 0; }
+    int clamp_index(int v) {
+      if (v < 0) return 0;
+      if (v > 88) return 88;
+      return v;
+    }
+    int encode_sample(int val) {
+      int step = step_table[index_];
+      int diff = val - valprev;
+      int sign = 0;
+      if (diff < 0) { sign = 8; diff = -diff; }
+      int delta = 0;
+      int vpdiff = step >> 3;
+      if (diff >= step) { delta = 4; diff = diff - step; vpdiff = vpdiff + step; }
+      step = step >> 1;
+      if (diff >= step) { delta = delta | 2; diff = diff - step; vpdiff = vpdiff + step; }
+      step = step >> 1;
+      if (diff >= step) { delta = delta | 1; vpdiff = vpdiff + step; }
+      if (sign) valprev = valprev - vpdiff;
+      else valprev = valprev + vpdiff;
+      if (valprev > 32767) valprev = 32767;
+      if (valprev < -32768) valprev = -32768;
+      delta = delta | sign;
+      index_ = clamp_index(index_ + index_table[delta]);
+      return delta;
+    }
+    int decode_sample(int delta) {
+      int step = step_table[index_];
+      int vpdiff = step >> 3;
+      if (delta & 4) vpdiff = vpdiff + step;
+      if (delta & 2) vpdiff = vpdiff + (step >> 1);
+      if (delta & 1) vpdiff = vpdiff + (step >> 2);
+      if (delta & 8) valprev = valprev - vpdiff;
+      else valprev = valprev + vpdiff;
+      if (valprev > 32767) valprev = 32767;
+      if (valprev < -32768) valprev = -32768;
+      index_ = clamp_index(index_ + index_table[delta]);
+      return valprev;
+    }
+    void gen_pcm(int n) {
+      srand(23);
+      int v = 0;
+      int i;
+      for (i = 0; i < n; i = i + 1) {
+        v = v + rand() % 1025 - 512;
+        if (v > 30000) v = 30000;
+        if (v < -30000) v = -30000;
+        pcm[i] = v;
+      }
+    }
+  |}
+
+let telco_adpcm_enc =
+  adpcm_common
+  ^ {|
+    int main(int argc, char **argv) {
+      int n = 16000;
+      gen_pcm(n);
+      adpcm_reset();
+      int sum = 0;
+      int i;
+      for (i = 0; i < n; i = i + 1) {
+        int d = encode_sample(pcm[i]);
+        code[i] = d;
+        sum = (sum + d * (i & 15)) & 0xffffff;
+      }
+      print_int(sum);
+      return 0;
+    }
+  |}
+
+let telco_adpcm_dec =
+  adpcm_common
+  ^ {|
+    int main(int argc, char **argv) {
+      int n = 16000;
+      gen_pcm(n);
+      adpcm_reset();
+      int i;
+      for (i = 0; i < n; i = i + 1) code[i] = encode_sample(pcm[i]);
+      adpcm_reset();
+      int sum = 0;
+      for (i = 0; i < n; i = i + 1) {
+        int v = decode_sample(code[i]);
+        sum = (sum + v) & 0xffffff;
+      }
+      print_int(sum);
+      return 0;
+    }
+  |}
+
+let spec_gobmk =
+  {|
+    char board[361];
+    char mark[361];
+    int stack[361];
+    int count_liberties(int pos) {
+      int i;
+      for (i = 0; i < 361; i = i + 1) mark[i] = 0;
+      int color = board[pos];
+      int sp = 0;
+      int libs = 0;
+      stack[sp] = pos;
+      sp = sp + 1;
+      mark[pos] = 1;
+      while (sp > 0) {
+        sp = sp - 1;
+        int p = stack[sp];
+        int r = p / 19;
+        int c = p % 19;
+        int d;
+        for (d = 0; d < 4; d = d + 1) {
+          int nr = r; int nc = c;
+          if (d == 0) nr = r - 1;
+          if (d == 1) nr = r + 1;
+          if (d == 2) nc = c - 1;
+          if (d == 3) nc = c + 1;
+          if (nr < 0 || nr >= 19 || nc < 0 || nc >= 19) continue;
+          int np = nr * 19 + nc;
+          if (mark[np]) continue;
+          mark[np] = 1;
+          if (board[np] == 0) libs = libs + 1;
+          else if (board[np] == color) { stack[sp] = np; sp = sp + 1; }
+        }
+      }
+      return libs;
+    }
+    int main(int argc, char **argv) {
+      srand(29);
+      int total = 0;
+      int game;
+      for (game = 0; game < 14; game = game + 1) {
+        int i;
+        for (i = 0; i < 361; i = i + 1) {
+          int r = rand() % 10;
+          if (r < 3) board[i] = 1;
+          else if (r < 6) board[i] = 2;
+          else board[i] = 0;
+        }
+        for (i = 0; i < 361; i = i + 1) {
+          if (board[i]) total = total + count_liberties(i);
+        }
+      }
+      print_int(total & 0xffffff);
+      return 0;
+    }
+  |}
+
+let spec_libquantum =
+  {|
+    int amp_re[1024];
+    int amp_im[1024];
+    void gate_x(int target) {
+      int bit = 1 << target;
+      int i;
+      for (i = 0; i < 1024; i = i + 1) {
+        if ((i & bit) == 0) {
+          int j = i | bit;
+          int t = amp_re[i]; amp_re[i] = amp_re[j]; amp_re[j] = t;
+          t = amp_im[i]; amp_im[i] = amp_im[j]; amp_im[j] = t;
+        }
+      }
+    }
+    void gate_cnot(int control, int target) {
+      int cb = 1 << control;
+      int tb = 1 << target;
+      int i;
+      for (i = 0; i < 1024; i = i + 1) {
+        if ((i & cb) && (i & tb) == 0) {
+          int j = i | tb;
+          int t = amp_re[i]; amp_re[i] = amp_re[j]; amp_re[j] = t;
+          t = amp_im[i]; amp_im[i] = amp_im[j]; amp_im[j] = t;
+        }
+      }
+    }
+    void gate_phase(int target) {
+      int bit = 1 << target;
+      int i;
+      for (i = 0; i < 1024; i = i + 1) {
+        if (i & bit) {
+          int t = amp_re[i];
+          amp_re[i] = -amp_im[i];
+          amp_im[i] = t;
+        }
+      }
+    }
+    int main(int argc, char **argv) {
+      srand(31);
+      int i;
+      for (i = 0; i < 1024; i = i + 1) { amp_re[i] = rand() % 256; amp_im[i] = 0; }
+      int g;
+      for (g = 0; g < 180; g = g + 1) {
+        int kind = g % 3;
+        if (kind == 0) gate_x(g % 10);
+        else if (kind == 1) gate_cnot(g % 10, (g + 3) % 10);
+        else gate_phase(g % 10);
+      }
+      int sum = 0;
+      for (i = 0; i < 1024; i = i + 1) sum = (sum + amp_re[i] * 3 + amp_im[i]) & 0xffffff;
+      print_int(sum);
+      return 0;
+    }
+  |}
+
+let spec_astar =
+  {|
+    int grid[2304];
+    int gcost[2304];
+    int heap_node[2400];
+    int heap_prio[2400];
+    int heap_n;
+    void heap_push(int node, int prio) {
+      int i = heap_n;
+      heap_n = heap_n + 1;
+      heap_node[i] = node;
+      heap_prio[i] = prio;
+      while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (heap_prio[parent] <= heap_prio[i]) break;
+        int t = heap_node[parent]; heap_node[parent] = heap_node[i]; heap_node[i] = t;
+        t = heap_prio[parent]; heap_prio[parent] = heap_prio[i]; heap_prio[i] = t;
+        i = parent;
+      }
+    }
+    int heap_pop() {
+      int top = heap_node[0];
+      heap_n = heap_n - 1;
+      heap_node[0] = heap_node[heap_n];
+      heap_prio[0] = heap_prio[heap_n];
+      int i = 0;
+      while (1) {
+        int l = 2 * i + 1;
+        int r = 2 * i + 2;
+        int best = i;
+        if (l < heap_n && heap_prio[l] < heap_prio[best]) best = l;
+        if (r < heap_n && heap_prio[r] < heap_prio[best]) best = r;
+        if (best == i) break;
+        int t = heap_node[best]; heap_node[best] = heap_node[i]; heap_node[i] = t;
+        t = heap_prio[best]; heap_prio[best] = heap_prio[i]; heap_prio[i] = t;
+        i = best;
+      }
+      return top;
+    }
+    int search(int start, int goal) {
+      int n = 48;
+      int i;
+      for (i = 0; i < 2304; i = i + 1) gcost[i] = 1 << 29;
+      heap_n = 0;
+      gcost[start] = 0;
+      heap_push(start, 0);
+      while (heap_n > 0) {
+        int cur = heap_pop();
+        if (cur == goal) return gcost[cur];
+        int r = cur / 48;
+        int c = cur % 48;
+        int d;
+        for (d = 0; d < 4; d = d + 1) {
+          int nr = r; int nc = c;
+          if (d == 0) nr = r - 1;
+          if (d == 1) nr = r + 1;
+          if (d == 2) nc = c - 1;
+          if (d == 3) nc = c + 1;
+          if (nr < 0 || nr >= 48 || nc < 0 || nc >= 48) continue;
+          int np = nr * 48 + nc;
+          if (grid[np]) continue;
+          int ng = gcost[cur] + 1;
+          if (ng < gcost[np]) {
+            gcost[np] = ng;
+            int gr = goal / 48;
+            int gc = goal % 48;
+            int h = abs_i(nr - gr) + abs_i(nc - gc);
+            heap_push(np, ng + h);
+          }
+        }
+      }
+      return -1;
+    }
+    int main(int argc, char **argv) {
+      int total = 0;
+      int run;
+      for (run = 0; run < 12; run = run + 1) {
+        srand(100 + run);
+        int i;
+        for (i = 0; i < 2304; i = i + 1) grid[i] = (rand() % 100) < 24;
+        grid[0] = 0;
+        grid[2303] = 0;
+        int c = search(0, 2303);
+        total = total + c + 1;
+      }
+      print_int(total);
+      return 0;
+    }
+  |}
+
+let spec_xalancbmk =
+  {|
+    char xml[12000];
+    char out[16000];
+    char tag[32];
+    int xml_len;
+    void emit_str(char *s, int *pos) {
+      int i = 0;
+      while (s[i]) { out[*pos] = s[i]; *pos = *pos + 1; i = i + 1; }
+    }
+    void gen_xml(int depth, int *pos, int *budget) {
+      if (depth > 6 || *budget <= 0) return;
+      int kids = 1 + rand() % 3;
+      int k;
+      for (k = 0; k < kids; k = k + 1) {
+        if (*budget <= 0) return;
+        *budget = *budget - 1;
+        int t = rand() % 4;
+        char *name;
+        if (t == 0) name = "para";
+        else if (t == 1) name = "item";
+        else if (t == 2) name = "sect";
+        else name = "note";
+        xml[*pos] = '<'; *pos = *pos + 1;
+        int i = 0;
+        while (name[i]) { xml[*pos] = name[i]; *pos = *pos + 1; i = i + 1; }
+        xml[*pos] = '>'; *pos = *pos + 1;
+        int words = 1 + rand() % 4;
+        int wn;
+        for (wn = 0; wn < words; wn = wn + 1) {
+          int len = 2 + rand() % 5;
+          int j;
+          for (j = 0; j < len; j = j + 1) {
+            xml[*pos] = 'a' + rand() % 26;
+            *pos = *pos + 1;
+          }
+          xml[*pos] = ' '; *pos = *pos + 1;
+        }
+        gen_xml(depth + 1, pos, budget);
+        xml[*pos] = '<'; *pos = *pos + 1;
+        xml[*pos] = '/'; *pos = *pos + 1;
+        i = 0;
+        while (name[i]) { xml[*pos] = name[i]; *pos = *pos + 1; i = i + 1; }
+        xml[*pos] = '>'; *pos = *pos + 1;
+      }
+    }
+    int main(int argc, char **argv) {
+      srand(37);
+      int pos = 0;
+      int budget = 420;
+      gen_xml(0, &pos, &budget);
+      xml[pos] = 0;
+      xml_len = pos;
+      /* transform: rename tags, count text, copy to out */
+      int opos = 0;
+      int i = 0;
+      int tags = 0;
+      int depth = 0;
+      int maxdepth = 0;
+      int textchars = 0;
+      while (i < xml_len) {
+        if (xml[i] == '<') {
+          int close = 0;
+          i = i + 1;
+          if (xml[i] == '/') { close = 1; i = i + 1; }
+          int t = 0;
+          while (xml[i] != '>' && t < 31) { tag[t] = xml[i]; t = t + 1; i = i + 1; }
+          tag[t] = 0;
+          i = i + 1;
+          tags = tags + 1;
+          if (close) depth = depth - 1;
+          else {
+            depth = depth + 1;
+            if (depth > maxdepth) maxdepth = depth;
+          }
+          char *newname;
+          if (strcmp(tag, "para") == 0) newname = "p";
+          else if (strcmp(tag, "item") == 0) newname = "li";
+          else if (strcmp(tag, "sect") == 0) newname = "div";
+          else newname = "span";
+          emit_str("<", &opos);
+          if (close) emit_str("/", &opos);
+          emit_str(newname, &opos);
+          emit_str(">", &opos);
+        } else {
+          out[opos] = xml[i];
+          opos = opos + 1;
+          textchars = textchars + 1;
+          i = i + 1;
+        }
+      }
+      out[opos] = 0;
+      print_int(tags);
+      print_str(" ");
+      print_int(maxdepth);
+      print_str(" ");
+      print_int(textchars);
+      print_str(" ");
+      print_int(strhash(out) & 0xffff);
+      return 0;
+    }
+  |}
+
+(* The Fig. 4 benchmark list (initdb-dynamic is provided by Minipg). *)
+let benchmarks =
+  [ "security-sha", security_sha;
+    "office-stringsearch", office_stringsearch;
+    "auto-qsort", auto_qsort;
+    "auto-basicmath", auto_basicmath;
+    "network-dijkstra", network_dijkstra;
+    "network-patricia", network_patricia;
+    "telco-adpcm-enc", telco_adpcm_enc;
+    "telco-adpcm-dec", telco_adpcm_dec;
+    "spec2006-gobmk", spec_gobmk;
+    "spec2006-libquantum", spec_libquantum;
+    "spec2006-astar", spec_astar;
+    "spec2006-xalancbmk", spec_xalancbmk ]
+
+let find name = List.assoc_opt name benchmarks

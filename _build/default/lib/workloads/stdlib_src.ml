@@ -1,0 +1,165 @@
+(* The CSmall C library, compiled as the shared object "libc" and linked
+   into every workload. Exercises the dynamic-linking machinery the same
+   way FreeBSD's libc does in the paper: cross-object calls through the
+   capability table, capability-preserving pointer swaps in qsort. *)
+
+let libc_src =
+  {|
+    int abs_i(int x) { if (x < 0) return -x; return x; }
+    int min_i(int a, int b) { if (a < b) return a; return b; }
+    int max_i(int a, int b) { if (a > b) return a; return b; }
+
+    int strcmp(char *a, char *b) {
+      int i = 0;
+      while (a[i] && b[i] && a[i] == b[i]) i = i + 1;
+      return a[i] - b[i];
+    }
+
+    int strncmp(char *a, char *b, int n) {
+      int i = 0;
+      while (i < n && a[i] && b[i] && a[i] == b[i]) i = i + 1;
+      if (i == n) return 0;
+      return a[i] - b[i];
+    }
+
+    char *strcpy(char *d, char *s) {
+      int i = 0;
+      while (s[i]) { d[i] = s[i]; i = i + 1; }
+      d[i] = 0;
+      return d;
+    }
+
+    char *strcat(char *d, char *s) {
+      strcpy(d + strlen(d), s);
+      return d;
+    }
+
+    int atoi(char *s) {
+      int v = 0;
+      int i = 0;
+      int neg = 0;
+      if (s[0] == '-') { neg = 1; i = 1; }
+      while (s[i] >= '0' && s[i] <= '9') {
+        v = v * 10 + (s[i] - '0');
+        i = i + 1;
+      }
+      if (neg) return -v;
+      return v;
+    }
+
+    char *itoa(int v, char *buf) {
+      int i = 0;
+      int neg = 0;
+      if (v < 0) { neg = 1; v = -v; }
+      if (v == 0) { buf[i] = '0'; i = i + 1; }
+      while (v > 0) { buf[i] = '0' + v % 10; v = v / 10; i = i + 1; }
+      if (neg) { buf[i] = '-'; i = i + 1; }
+      buf[i] = 0;
+      /* reverse */
+      int j = 0;
+      int k = i - 1;
+      while (j < k) {
+        char t = buf[j]; buf[j] = buf[k]; buf[k] = t;
+        j = j + 1; k = k - 1;
+      }
+      return buf;
+    }
+
+    int g_rand_state;
+    int srand(int seed) { g_rand_state = seed & 0x7fffffff; return 0; }
+    int rand() {
+      g_rand_state = (g_rand_state * 1103515245 + 12345) & 0x7fffffff;
+      return (g_rand_state >> 16) & 0x7fff;
+    }
+
+    int isqrt(int n) {
+      if (n < 2) return n;
+      int x = n;
+      int y = (x + 1) / 2;
+      while (y < x) { x = y; y = (x + n / x) / 2; }
+      return x;
+    }
+
+    int gcd(int a, int b) {
+      while (b) { int t = a % b; a = b; b = t; }
+      return a;
+    }
+
+    void qsort_ints(int *a, int lo, int hi) {
+      if (lo >= hi) return;
+      int p = a[(lo + hi) / 2];
+      int i = lo;
+      int j = hi;
+      while (i <= j) {
+        while (a[i] < p) i = i + 1;
+        while (a[j] > p) j = j - 1;
+        if (i <= j) {
+          int t = a[i]; a[i] = a[j]; a[j] = t;
+          i = i + 1; j = j - 1;
+        }
+      }
+      qsort_ints(a, lo, j);
+      qsort_ints(a, i, hi);
+    }
+
+    /* Sorting an array of pointers: the swap moves capabilities through
+       memory, which the paper had to make tag-preserving (qsort, §4). */
+    void qsort_strs(char **a, int lo, int hi) {
+      if (lo >= hi) return;
+      char *p = a[(lo + hi) / 2];
+      int i = lo;
+      int j = hi;
+      while (i <= j) {
+        while (strcmp(a[i], p) < 0) i = i + 1;
+        while (strcmp(a[j], p) > 0) j = j - 1;
+        if (i <= j) {
+          char *t = a[i]; a[i] = a[j]; a[j] = t;
+          i = i + 1; j = j - 1;
+        }
+      }
+      qsort_strs(a, lo, j);
+      qsort_strs(a, i, hi);
+    }
+
+    /* djb2-ish string hash. */
+    int strhash(char *s) {
+      int h = 5381;
+      int i = 0;
+      while (s[i]) {
+        h = ((h << 5) + h + s[i]) & 0xffffff;
+        i = i + 1;
+      }
+      return h;
+    }
+  |}
+
+let libc_externs =
+  {|
+    extern int abs_i(int);
+    extern int min_i(int, int);
+    extern int max_i(int, int);
+    extern int strcmp(char*, char*);
+    extern int strncmp(char*, char*, int);
+    extern char *strcpy(char*, char*);
+    extern char *strcat(char*, char*);
+    extern int atoi(char*);
+    extern char *itoa(int, char*);
+    extern int srand(int);
+    extern int rand();
+    extern int isqrt(int);
+    extern int gcd(int, int);
+    extern void qsort_ints(int*, int, int);
+    extern void qsort_strs(char**, int, int);
+    extern int strhash(char*);
+  |}
+
+(* Build an image for [src], dynamically linked against libc (and any
+   extra shared objects). *)
+let build_image ?(opts = None) ~abi ~name ?(extra_libs = []) src =
+  Cheri_cc.Compile.build_image ~opts ~abi ~name
+    ~libs:(("libc", libc_src) :: extra_libs)
+    (libc_externs ^ src)
+
+let install k ~path ~abi ?(opts = None) ?(extra_libs = []) src =
+  let image = build_image ~opts ~abi ~name:path ~extra_libs src in
+  Cheri_kernel.Vfs.add_exe k.Cheri_kernel.Kstate.vfs path ~abi image

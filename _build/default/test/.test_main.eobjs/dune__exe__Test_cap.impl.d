@@ -1,0 +1,1 @@
+test/test_cap.ml: Alcotest Cheri_cap Gen List Printf QCheck QCheck_alcotest Test

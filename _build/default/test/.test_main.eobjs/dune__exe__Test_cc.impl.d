@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Cheri_cc Cheri_core Cheri_kernel Cheri_libc List

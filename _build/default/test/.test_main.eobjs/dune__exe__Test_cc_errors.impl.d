@@ -1,0 +1,1 @@
+test/test_cc_errors.ml: Alcotest Cheri_cc String

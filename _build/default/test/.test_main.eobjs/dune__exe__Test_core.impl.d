@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cheri_cap Cheri_core Cheri_isa Cheri_workloads List

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Cheri_cap Cheri_isa Cheri_tagmem

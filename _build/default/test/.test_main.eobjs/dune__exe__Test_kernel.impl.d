@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Char Cheri_cap Cheri_core Cheri_isa Cheri_kernel Cheri_libc Cheri_rtld List Option Printf

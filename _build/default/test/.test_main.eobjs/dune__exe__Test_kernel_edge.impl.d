@@ -1,0 +1,1 @@
+test/test_kernel_edge.ml: Alcotest Cheri_cap Cheri_core Cheri_isa Cheri_kernel Cheri_libc Cheri_rtld Cheri_vm Cheri_workloads Printf String

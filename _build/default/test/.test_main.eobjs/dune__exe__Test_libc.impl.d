@@ -1,0 +1,1 @@
+test/test_libc.ml: Alcotest Cheri_cap Cheri_core Cheri_kernel Cheri_libc Cheri_vm Cheri_workloads List Option Printf String

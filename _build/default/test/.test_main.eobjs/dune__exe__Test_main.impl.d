@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cap Test_cc Test_cc_errors Test_core Test_isa Test_kernel Test_kernel_edge Test_libc Test_rtld Test_tagmem Test_vfs Test_vm Test_workloads

@@ -1,0 +1,1 @@
+test/test_rtld.ml: Alcotest Bytes Cheri_cap Cheri_core Cheri_isa Cheri_rtld Hashtbl List Option

@@ -1,0 +1,1 @@
+test/test_tagmem.ml: Alcotest Cheri_cap Cheri_tagmem

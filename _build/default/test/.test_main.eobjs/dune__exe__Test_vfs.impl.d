@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Array Bytes Cheri_cap Cheri_core Cheri_isa Cheri_kernel Cheri_libc Cheri_vm Cheri_workloads List Option Printf

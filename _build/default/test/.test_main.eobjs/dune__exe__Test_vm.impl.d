@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Cheri_cap Cheri_isa Cheri_tagmem Cheri_vm Gen Hashtbl List QCheck QCheck_alcotest Test

@@ -1,0 +1,243 @@
+(* Unit and property tests for the capability model: provenance,
+   monotonicity, compression, and access checking. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Compress = Cheri_cap.Compress
+
+let root () = Cap.make_root ~base:0 ~top:(1 lsl 40) ()
+
+let check_cap_error violation f =
+  match f () with
+  | exception Cap.Cap_error v when v = violation -> ()
+  | exception Cap.Cap_error v ->
+    Alcotest.failf "expected %s, got %s"
+      (Cap.violation_to_string violation) (Cap.violation_to_string v)
+  | _ -> Alcotest.fail "expected Cap_error, got a value"
+
+(* --- Perms ----------------------------------------------------------------- *)
+
+let test_perms_subset () =
+  Alcotest.(check bool) "load subset of data" true
+    (Perms.subset Perms.load Perms.data);
+  Alcotest.(check bool) "execute not subset of data" false
+    (Perms.subset Perms.execute Perms.data);
+  Alcotest.(check bool) "none subset of none" true
+    (Perms.subset Perms.none Perms.none);
+  Alcotest.(check bool) "all has vmmap" true (Perms.has Perms.all Perms.vmmap)
+
+let test_perms_ops () =
+  let p = Perms.union Perms.load Perms.store in
+  Alcotest.(check bool) "union has both" true
+    (Perms.has p Perms.load && Perms.has p Perms.store);
+  let q = Perms.diff p Perms.store in
+  Alcotest.(check bool) "diff removed store" false (Perms.has q Perms.store);
+  Alcotest.(check bool) "diff kept load" true (Perms.has q Perms.load);
+  Alcotest.(check int) "inter" Perms.load (Perms.inter p Perms.load)
+
+(* --- Basic capability algebra --------------------------------------------- *)
+
+let test_null () =
+  Alcotest.(check bool) "null untagged" false (Cap.is_tagged Cap.null);
+  Alcotest.(check bool) "null is null" true (Cap.is_null Cap.null);
+  Alcotest.(check int) "null length" 0 (Cap.length Cap.null)
+
+let test_root () =
+  let r = root () in
+  Alcotest.(check bool) "tagged" true (Cap.is_tagged r);
+  Alcotest.(check int) "base" 0 (Cap.base r);
+  Alcotest.(check int) "top" (1 lsl 40) (Cap.top r);
+  Alcotest.(check bool) "has all perms" true (Perms.subset Perms.all (Cap.perms r))
+
+let test_set_bounds_narrows () =
+  let r = root () in
+  let c = Cap.set_bounds (Cap.set_addr r 0x1000) ~len:256 in
+  Alcotest.(check int) "base" 0x1000 (Cap.base c);
+  Alcotest.(check int) "top" 0x1100 (Cap.top c);
+  Alcotest.(check bool) "derives from root" true (Cap.derives_from c r)
+
+let test_set_bounds_monotonic () =
+  let r = root () in
+  let c = Cap.set_bounds (Cap.set_addr r 0x1000) ~len:256 in
+  (* Attempting to widen traps. *)
+  check_cap_error Cap.Monotonicity_violation (fun () ->
+      Cap.set_bounds (Cap.set_addr c 0x1000) ~len:512);
+  (* Attempting to go below base traps. *)
+  check_cap_error Cap.Monotonicity_violation (fun () ->
+      Cap.set_bounds (Cap.set_addr c 0xfff) ~len:16)
+
+let test_set_bounds_untagged () =
+  check_cap_error Cap.Tag_violation (fun () -> Cap.set_bounds Cap.null ~len:16)
+
+let test_and_perms_monotonic () =
+  let r = root () in
+  let ro = Cap.and_perms r Perms.read_only in
+  Alcotest.(check bool) "no store" false (Perms.has (Cap.perms ro) Perms.store);
+  (* and_perms can never add permissions back. *)
+  let again = Cap.and_perms ro Perms.all in
+  Alcotest.(check bool) "still no store" false
+    (Perms.has (Cap.perms again) Perms.store)
+
+let test_addr_arithmetic () =
+  let r = root () in
+  let c = Cap.set_bounds (Cap.set_addr r 0x2000) ~len:64 in
+  let c2 = Cap.inc_addr c 32 in
+  Alcotest.(check int) "addr moved" (0x2000 + 32) (Cap.addr c2);
+  Alcotest.(check int) "bounds unchanged base" 0x2000 (Cap.base c2);
+  Alcotest.(check int) "bounds unchanged top" (0x2000 + 64) (Cap.top c2);
+  Alcotest.(check bool) "still tagged" true (Cap.is_tagged c2);
+  (* one-past-the-end stays tagged (common C idiom). *)
+  let past = Cap.inc_addr c 64 in
+  Alcotest.(check bool) "one past end tagged" true (Cap.is_tagged past);
+  (* wild arithmetic clears the tag. *)
+  let wild = Cap.inc_addr c (1 lsl 30) in
+  Alcotest.(check bool) "wild untagged" false (Cap.is_tagged wild)
+
+let test_access_checks () =
+  let r = root () in
+  let c = Cap.set_bounds (Cap.set_addr r 0x3000) ~len:16 in
+  Cap.check_access c ~perm:Perms.load ~len:8;
+  check_cap_error Cap.Bounds_violation (fun () ->
+      Cap.check_access (Cap.inc_addr c 9) ~perm:Perms.load ~len:8;
+      Cap.null);
+  let noload = Cap.and_perms c (Perms.diff Perms.all Perms.load) in
+  check_cap_error (Cap.Permit_violation Perms.load) (fun () ->
+      Cap.check_access noload ~perm:Perms.load ~len:8;
+      Cap.null)
+
+let test_seal_unseal () =
+  let r = root () in
+  let data = Cap.set_bounds (Cap.set_addr r 0x4000) ~len:64 in
+  let sealer = Cap.set_addr (Cap.and_perms r (Perms.union Perms.seal Perms.unseal)) 42 in
+  let sealed = Cap.seal data ~with_:sealer in
+  Alcotest.(check bool) "sealed" true (Cap.is_sealed sealed);
+  Alcotest.(check int) "otype" 42 (Cap.otype sealed);
+  (* A sealed capability cannot be dereferenced or modified. *)
+  check_cap_error Cap.Seal_violation (fun () ->
+      Cap.check_access sealed ~perm:Perms.load ~len:1;
+      Cap.null);
+  check_cap_error Cap.Seal_violation (fun () -> Cap.set_bounds sealed ~len:8);
+  let unsealed = Cap.unseal sealed ~with_:sealer in
+  Alcotest.(check bool) "unsealed equals original" true (Cap.equal unsealed data);
+  (* Wrong otype fails. *)
+  let wrong = Cap.set_addr sealer 43 in
+  check_cap_error (Cap.Permit_violation Perms.unseal) (fun () ->
+      Cap.unseal sealed ~with_:wrong)
+
+let test_from_ptr_null_ddc () =
+  (* Under CheriABI, DDC is NULL: integer-to-pointer casts produce untagged
+     capabilities that trap on dereference. *)
+  let c = Cap.from_ptr Cap.null 0x1234 in
+  Alcotest.(check bool) "untagged" false (Cap.is_tagged c);
+  Alcotest.(check int) "addr preserved" 0x1234 (Cap.addr c);
+  check_cap_error Cap.Tag_violation (fun () ->
+      Cap.check_access c ~perm:Perms.load ~len:1;
+      Cap.null)
+
+let test_from_ptr_tagged_ddc () =
+  let r = root () in
+  let c = Cap.from_ptr r 0x1234 in
+  Alcotest.(check bool) "tagged" true (Cap.is_tagged c);
+  Alcotest.(check int) "addr" 0x1234 (Cap.addr c)
+
+(* --- Compression ------------------------------------------------------------ *)
+
+let test_crrl_small () =
+  (* Small lengths are exactly representable. *)
+  List.iter
+    (fun len -> Alcotest.(check int) (Printf.sprintf "crrl %d" len) len
+        (Compress.crrl len))
+    [ 0; 1; 16; 100; 4096; 8191 ]
+
+let test_crrl_large_rounds_up () =
+  let len = (1 lsl 20) + 3 in
+  let r = Compress.crrl len in
+  Alcotest.(check bool) "rounded up" true (r >= len);
+  Alcotest.(check bool) "aligned" true (r land lnot (Compress.cram r) = 0)
+
+let test_exactness () =
+  Alcotest.(check bool) "small always exact" true
+    (Compress.is_exact ~base:3 ~len:100);
+  Alcotest.(check bool) "large unaligned inexact" false
+    (Compress.is_exact ~base:3 ~len:(1 lsl 20))
+
+let test_set_bounds_exact_traps () =
+  let r = root () in
+  let c = Cap.set_addr r ((1 lsl 20) + 8) in
+  check_cap_error Cap.Representability_violation (fun () ->
+      Cap.set_bounds ~exact:true c ~len:((1 lsl 20) + 3))
+
+let test_set_bounds_pads () =
+  let r = root () in
+  let len = (1 lsl 20) + 3 in
+  let c = Cap.set_bounds (Cap.set_addr r (1 lsl 21)) ~len in
+  Alcotest.(check bool) "covers request" true
+    (Cap.base c <= 1 lsl 21 && Cap.top c >= (1 lsl 21) + len);
+  Alcotest.(check int) "length is crrl-sized" (Compress.crrl (Cap.length c))
+    (Cap.length c)
+
+(* --- Properties --------------------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  let cap_op =
+    (* A random (attempted) derivation step. *)
+    oneof
+      [ map (fun d -> `Inc d) (int_range (-64) 512);
+        map (fun l -> `Bounds l) (int_range 0 1024);
+        map (fun p -> `Perms p) (int_range 0 Perms.all);
+        always `Cleartag ]
+  in
+  let apply c = function
+    | `Inc d -> Cap.inc_addr c d
+    | `Bounds l -> (try Cap.set_bounds c ~len:l with Cap.Cap_error _ -> c)
+    | `Perms p -> (try Cap.and_perms c p with Cap.Cap_error _ -> c)
+    | `Cleartag -> Cap.clear_tag c
+  in
+  [ Test.make ~name:"monotonicity: any derivation chain stays within the root"
+      ~count:500
+      (list_of_size Gen.(int_range 1 30) cap_op)
+      (fun ops ->
+        let r = Cap.make_root ~base:4096 ~top:65536 () in
+        let final = List.fold_left apply (Cap.set_addr r 8192) ops in
+        (not (Cap.is_tagged final)) || Cap.derives_from final r);
+    Test.make ~name:"crrl is idempotent and >= len" ~count:1000
+      (int_range 0 (1 lsl 30))
+      (fun len ->
+        let r = Compress.crrl len in
+        r >= len && Compress.crrl r = r);
+    Test.make ~name:"pad covers the request" ~count:1000
+      (pair (int_range 0 (1 lsl 30)) (int_range 1 (1 lsl 24)))
+      (fun (base, len) ->
+        let pbase, ptop = Compress.pad ~base ~top:(base + len) in
+        pbase <= base && ptop >= base + len);
+    Test.make ~name:"untagged caps never pass access checks" ~count:200
+      (int_range 0 (1 lsl 20))
+      (fun a ->
+        let c = Cap.untagged ~addr:a in
+        match Cap.check_access c ~perm:Perms.load ~len:1 with
+        | () -> false
+        | exception Cap.Cap_error Cap.Tag_violation -> true
+        | exception Cap.Cap_error _ -> false);
+  ]
+
+let suite =
+  [ "perms subset", `Quick, test_perms_subset;
+    "perms ops", `Quick, test_perms_ops;
+    "null", `Quick, test_null;
+    "root", `Quick, test_root;
+    "set_bounds narrows", `Quick, test_set_bounds_narrows;
+    "set_bounds monotonic", `Quick, test_set_bounds_monotonic;
+    "set_bounds untagged", `Quick, test_set_bounds_untagged;
+    "and_perms monotonic", `Quick, test_and_perms_monotonic;
+    "address arithmetic and representability", `Quick, test_addr_arithmetic;
+    "access checks", `Quick, test_access_checks;
+    "seal/unseal", `Quick, test_seal_unseal;
+    "from_ptr with NULL DDC", `Quick, test_from_ptr_null_ddc;
+    "from_ptr with tagged DDC", `Quick, test_from_ptr_tagged_ddc;
+    "crrl small", `Quick, test_crrl_small;
+    "crrl large", `Quick, test_crrl_large_rounds_up;
+    "exactness", `Quick, test_exactness;
+    "set_bounds exact traps", `Quick, test_set_bounds_exact_traps;
+    "set_bounds pads", `Quick, test_set_bounds_pads ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,111 @@
+(* Negative compiler tests: the front end must reject ill-formed CSmall
+   with a diagnostic, never crash or miscompile. *)
+
+(* substring search without extra deps *)
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let rejects ?(substring = "") src =
+  match Cheri_cc.Parser.parse src with
+  | exception Cheri_cc.Ast.Compile_error msg ->
+    if substring <> "" && not (contains msg substring) then
+      Alcotest.failf "wrong diagnostic: %S (wanted %S)" msg substring
+  | ast ->
+    (match Cheri_cc.Sema.check ast with
+     | exception Cheri_cc.Ast.Compile_error msg ->
+       if substring <> "" && not (contains msg substring) then
+         Alcotest.failf "wrong diagnostic: %S (wanted %S)" msg substring
+     | _ -> Alcotest.failf "accepted ill-formed program: %s" src)
+
+let accepts src =
+  match Cheri_cc.Sema.check (Cheri_cc.Parser.parse src) with
+  | _ -> ()
+  | exception Cheri_cc.Ast.Compile_error msg ->
+    Alcotest.failf "rejected well-formed program: %s" msg
+
+let test_lexer_errors () =
+  rejects "int main(int a, char **b) { return 0; } /* unterminated";
+  rejects {| int main(int a, char **b) { char *s = "unterminated; } |};
+  rejects "int main(int a, char **b) { return 0x; }"
+
+let test_parser_errors () =
+  rejects "int main(int a, char **b) { return 0 }";       (* missing ; *)
+  rejects "int main(int a, char **b) { if return 0; }";
+  rejects "int main(int a, char **b) { int x[; }";
+  rejects "int f(int";
+  rejects "struct s { int x; int main(int a, char **b) { return 0; }"
+
+let test_sema_undeclared () =
+  rejects ~substring:"undeclared"
+    "int main(int a, char **b) { return nope; }";
+  rejects ~substring:"unknown function"
+    "int main(int a, char **b) { return mystery(1); }"
+
+let test_sema_types () =
+  rejects ~substring:"mismatch"
+    {| void f(char *p) { }
+       int main(int a, char **b) { f(3 + 4); return 0; } |};
+  rejects ~substring:"dereference"
+    "int main(int a, char **b) { int x = 1; return *x; }";
+  rejects ~substring:"arguments"
+    {| int f(int x, int y) { return x; }
+       int main(int a, char **b) { return f(1); } |};
+  rejects ~substring:"non-lvalue"
+    "int main(int a, char **b) { 3 = 4; return 0; }";
+  rejects ~substring:"struct"
+    {| struct s { int x; };
+       int main(int a, char **b) { struct s v; return v.nope; } |}
+
+let test_sema_redeclaration () =
+  rejects ~substring:"redeclaration"
+    "int main(int a, char **b) { int x; int x; return 0; }"
+
+let test_return_checking () =
+  rejects ~substring:"return"
+    "void f() { return 3; } int main(int a, char **b) { return 0; }";
+  rejects ~substring:"return"
+    "int f() { return; } int main(int a, char **b) { return 0; }"
+
+let test_pointer_arith_restrictions () =
+  (* bitwise arithmetic on pointers needs an explicit integer cast
+     (the compiler warnings the paper added) *)
+  rejects ~substring:"cast"
+    {| int main(int a, char **b) {
+         char buf[8];
+         char *p = buf;
+         return p & 7;
+       } |};
+  accepts
+    {| int main(int a, char **b) {
+         char buf[8];
+         char *p = buf;
+         return (int)p & 7;
+       } |}
+
+let test_shadowing_in_scopes_ok () =
+  accepts
+    {| int main(int a, char **b) {
+         int x = 1;
+         { int x = 2; a = a + x; }
+         return x;
+       } |}
+
+let test_forward_references_ok () =
+  accepts
+    {| extern int odd(int);
+       int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+       int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+       int main(int a, char **b) { return even(10) - 1; } |}
+
+let suite =
+  [ "lexer errors", `Quick, test_lexer_errors;
+    "parser errors", `Quick, test_parser_errors;
+    "undeclared identifiers", `Quick, test_sema_undeclared;
+    "type errors", `Quick, test_sema_types;
+    "redeclaration", `Quick, test_sema_redeclaration;
+    "return checking", `Quick, test_return_checking;
+    "pointer arithmetic needs casts", `Quick, test_pointer_arith_restrictions;
+    "scoped shadowing ok", `Quick, test_shadowing_in_scopes_ok;
+    "mutual recursion ok", `Quick, test_forward_references_ok ]

@@ -1,0 +1,522 @@
+(* End-to-end kernel tests with hand-assembled programs: process startup
+   (Fig. 1), syscalls through user capabilities (Fig. 3), signal delivery
+   with capability frames (Fig. 2), memory protection, and ptrace. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Insn = Cheri_isa.Insn
+module Asm = Cheri_isa.Asm
+module Reg = Cheri_isa.Reg
+module Abi = Cheri_core.Abi
+module Sobj = Cheri_rtld.Sobj
+module Kernel = Cheri_kernel.Kernel
+module Proc = Cheri_kernel.Proc
+module Sysno = Cheri_kernel.Sysno
+module Signo = Cheri_kernel.Signo
+module Crt0 = Cheri_libc.Crt0
+module Runtime = Cheri_libc.Runtime
+module Rtnum = Cheri_libc.Rtnum
+
+let boot () =
+  let k = Kernel.boot () in
+  Runtime.install k;
+  k
+
+let install_exe k ~path ~abi prog =
+  let image = Sobj.image ~name:path ~entry:"_start" [ Crt0.sobj abi; prog ] in
+  Cheri_kernel.Vfs.add_exe k.Cheri_kernel.Kstate.vfs path ~abi image
+
+let run k path =
+  let status, out, p = Kernel.run_program k ~path ~argv:[ path ] in
+  status, out, p
+
+let check_exit expected (status, out, _) =
+  Alcotest.(check (option string))
+    "exit status"
+    (Some (Printf.sprintf "exit %d" expected))
+    (Option.map
+       (function
+         | Proc.Exited c -> Printf.sprintf "exit %d" c
+         | Proc.Signaled s -> "signal " ^ Signo.name s)
+       status);
+  out
+
+let check_signal expected (status, _, _) =
+  match status with
+  | Some (Proc.Signaled s) when s = expected -> ()
+  | Some (Proc.Signaled s) ->
+    Alcotest.failf "expected %s, got %s" (Signo.name expected) (Signo.name s)
+  | Some (Proc.Exited c) ->
+    Alcotest.failf "expected %s, process exited %d" (Signo.name expected) c
+  | None -> Alcotest.failf "process did not terminate"
+
+(* --- hello world, both ABIs ------------------------------------------------------ *)
+
+let hello_prog = function
+  | Abi.Cheriabi ->
+    Sobj.make ~name:"hello"
+      ~data:(Bytes.of_string "hello\000")
+      ~exports:
+        [ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 };
+          { Sobj.exp_name = "msg"; exp_kind = Sobj.Data 6; exp_off = 0 } ]
+      ~got_syms:[ "msg" ]
+      [ Asm.Lbl "main";
+        Asm.Ref ("got$msg", fun off -> Insn.CLC { cd = Reg.ca0; cb = Reg.cgp; off });
+        Asm.I (Insn.Rt Rtnum.rt_print_str);
+        Asm.I (Insn.Li (Reg.v0, 42));
+        Asm.I (Insn.CJR Reg.cra) ]
+  | Abi.Mips64 | Abi.Asan ->
+    Sobj.make ~name:"hello"
+      ~data:(Bytes.of_string "hello\000")
+      ~exports:
+        [ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 };
+          { Sobj.exp_name = "msg"; exp_kind = Sobj.Data 6; exp_off = 0 } ]
+      [ Asm.Lbl "main";
+        Asm.Ref ("addr$msg", fun a -> Insn.Li (Reg.a0, a));
+        Asm.I (Insn.Rt Rtnum.rt_print_str);
+        Asm.I (Insn.Li (Reg.v0, 42));
+        Asm.I (Insn.Jr Reg.ra) ]
+
+let test_hello_mips64 () =
+  let k = boot () in
+  install_exe k ~path:"/bin/hello" ~abi:Abi.Mips64 (hello_prog Abi.Mips64);
+  let out = check_exit 42 (run k "/bin/hello") in
+  Alcotest.(check string) "output" "hello" out
+
+let test_hello_cheriabi () =
+  let k = boot () in
+  install_exe k ~path:"/bin/hello" ~abi:Abi.Cheriabi (hello_prog Abi.Cheriabi);
+  let out = check_exit 42 (run k "/bin/hello") in
+  Alcotest.(check string) "output" "hello" out
+
+(* --- argv delivery ----------------------------------------------------------------- *)
+
+(* Print argv[1]. CheriABI: argv is a capability array reached through the
+   argument header; legacy: an address array in a1. *)
+let argv_prog = function
+  | Abi.Cheriabi ->
+    Sobj.make ~name:"argv"
+      ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+      [ Asm.Lbl "main";
+        (* main(argc=a0, argv=ca1): load argv[1] capability and print. *)
+        Asm.I (Insn.CLC { cd = Reg.ca0; cb = Reg.ca0 + 1; off = 16 });
+        Asm.I (Insn.Rt Rtnum.rt_print_str);
+        Asm.I (Insn.Li (Reg.v0, 0));
+        Asm.I (Insn.CJR Reg.cra) ]
+  | Abi.Mips64 | Abi.Asan ->
+    Sobj.make ~name:"argv"
+      ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+      [ Asm.Lbl "main";
+        Asm.I (Insn.Load { w = 8; signed = false; rd = Reg.a0; base = Reg.a1; off = 8 });
+        Asm.I (Insn.Rt Rtnum.rt_print_str);
+        Asm.I (Insn.Li (Reg.v0, 0));
+        Asm.I (Insn.Jr Reg.ra) ]
+
+let test_argv () =
+  List.iter
+    (fun abi ->
+      let k = boot () in
+      install_exe k ~path:"/bin/argv" ~abi (argv_prog abi);
+      let status, out, _ =
+        Kernel.run_program k ~path:"/bin/argv" ~argv:[ "argv"; "world" ]
+      in
+      let _ = check_exit 0 (status, out, ()) in
+      Alcotest.(check string)
+        (Printf.sprintf "argv[1] under %s" (Abi.to_string abi))
+        "world" out)
+    [ Abi.Mips64; Abi.Cheriabi ]
+
+(* --- spatial protection -------------------------------------------------------------- *)
+
+(* Store 8 bytes at [small + 16] where small is an 8-byte global. CheriABI
+   GOT capabilities are bounded per variable: SIGPROT. Legacy: silent
+   corruption of the neighbouring global. *)
+let oob_global_prog = function
+  | Abi.Cheriabi ->
+    Sobj.make ~name:"oob"
+      ~data:(Bytes.create 32)
+      ~exports:
+        [ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 };
+          { Sobj.exp_name = "small"; exp_kind = Sobj.Data 8; exp_off = 0 };
+          { Sobj.exp_name = "next"; exp_kind = Sobj.Data 8; exp_off = 16 } ]
+      ~got_syms:[ "small" ]
+      [ Asm.Lbl "main";
+        Asm.Ref ("got$small", fun off -> Insn.CLC { cd = Reg.cs0; cb = Reg.cgp; off });
+        Asm.I (Insn.Li (Reg.t0, 7));
+        Asm.I (Insn.CStore { w = 8; rs = Reg.t0; cb = Reg.cs0; off = 16 });
+        Asm.I (Insn.Li (Reg.v0, 0));
+        Asm.I (Insn.CJR Reg.cra) ]
+  | Abi.Mips64 | Abi.Asan ->
+    Sobj.make ~name:"oob"
+      ~data:(Bytes.create 32)
+      ~exports:
+        [ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 };
+          { Sobj.exp_name = "small"; exp_kind = Sobj.Data 8; exp_off = 0 };
+          { Sobj.exp_name = "next"; exp_kind = Sobj.Data 8; exp_off = 16 } ]
+      [ Asm.Lbl "main";
+        Asm.Ref ("addr$small", fun a -> Insn.Li ((Reg.t0 + 1), a));
+        Asm.I (Insn.Li (Reg.t0, 7));
+        Asm.I (Insn.Store { w = 8; rs = Reg.t0; base = (Reg.t0 + 1); off = 16 });
+        Asm.I (Insn.Li (Reg.v0, 0));
+        Asm.I (Insn.Jr Reg.ra) ]
+
+let test_oob_global_cheriabi_traps () =
+  let k = boot () in
+  install_exe k ~path:"/bin/oob" ~abi:Abi.Cheriabi (oob_global_prog Abi.Cheriabi);
+  check_signal Signo.sigprot (run k "/bin/oob")
+
+let test_oob_global_mips64_silent () =
+  let k = boot () in
+  install_exe k ~path:"/bin/oob" ~abi:Abi.Mips64 (oob_global_prog Abi.Mips64);
+  let _ = check_exit 0 (run k "/bin/oob") in
+  ()
+
+(* --- heap protection ------------------------------------------------------------------ *)
+
+let heap_oob_prog ~off = function
+  | Abi.Cheriabi ->
+    Sobj.make ~name:"heap"
+      ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+      [ Asm.Lbl "main";
+        Asm.I (Insn.Li (Reg.a0, 24));
+        Asm.I (Insn.Rt Rtnum.rt_malloc);
+        (* result capability in ca0 *)
+        Asm.I (Insn.Li (Reg.t0, 1));
+        Asm.I (Insn.CStore { w = 8; rs = Reg.t0; cb = Reg.ca0; off });
+        Asm.I (Insn.Li (Reg.v0, 0));
+        Asm.I (Insn.CJR Reg.cra) ]
+  | Abi.Mips64 | Abi.Asan ->
+    Sobj.make ~name:"heap"
+      ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+      [ Asm.Lbl "main";
+        Asm.I (Insn.Li (Reg.a0, 24));
+        Asm.I (Insn.Rt Rtnum.rt_malloc);
+        Asm.I (Insn.Li (Reg.t0, 1));
+        Asm.I (Insn.Store { w = 8; rs = Reg.t0; base = Reg.v0; off });
+        Asm.I (Insn.Li (Reg.v0, 0));
+        Asm.I (Insn.Jr Reg.ra) ]
+
+let test_heap_in_bounds_ok () =
+  List.iter
+    (fun abi ->
+      let k = boot () in
+      install_exe k ~path:"/bin/h" ~abi (heap_oob_prog ~off:16 abi);
+      let _ = check_exit 0 (run k "/bin/h") in
+      ())
+    [ Abi.Mips64; Abi.Cheriabi ]
+
+let test_heap_oob_cheriabi_traps () =
+  let k = boot () in
+  (* 24-byte allocation: offset 32 is out of bounds (crrl 24 = 24). *)
+  install_exe k ~path:"/bin/h" ~abi:Abi.Cheriabi
+    (heap_oob_prog ~off:32 Abi.Cheriabi);
+  check_signal Signo.sigprot (run k "/bin/h")
+
+let test_heap_oob_mips64_silent () =
+  let k = boot () in
+  install_exe k ~path:"/bin/h" ~abi:Abi.Mips64 (heap_oob_prog ~off:32 Abi.Mips64);
+  let _ = check_exit 0 (run k "/bin/h") in
+  ()
+
+(* --- DDC is NULL under CheriABI -------------------------------------------------------- *)
+
+let legacy_load_prog =
+  Sobj.make ~name:"legacyload"
+    ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+    [ Asm.Lbl "main";
+      Asm.I (Insn.Li (Reg.t0, 0x2000_0000));
+      Asm.I (Insn.Load { w = 8; signed = false; rd = (Reg.t0 + 1); base = Reg.t0; off = 0 });
+      Asm.I (Insn.Li (Reg.v0, 0));
+      Asm.I (Insn.CJR Reg.cra) ]
+
+let test_ddc_null_blocks_legacy_loads () =
+  let k = boot () in
+  install_exe k ~path:"/bin/l" ~abi:Abi.Cheriabi legacy_load_prog;
+  check_signal Signo.sigprot (run k "/bin/l")
+
+(* --- fork / wait ------------------------------------------------------------------------ *)
+
+let fork_prog = function
+  | Abi.Cheriabi ->
+    Sobj.make ~name:"fork"
+      ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+      [ Asm.Lbl "main";
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_fork));
+        Asm.I Insn.Syscall;
+        Asm.bne Reg.v0 Reg.zero "parent";
+        (* child *)
+        Asm.I (Insn.Li (Reg.a0, 7));
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_exit));
+        Asm.I Insn.Syscall;
+        Asm.Lbl "parent";
+        Asm.I (Insn.Li (Reg.a0, -1));
+        Asm.I (Insn.CMove (Reg.ca0, Reg.cnull));  (* statusp = NULL *)
+        Asm.I (Insn.Li (Reg.a1, 0));
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_wait4));
+        Asm.I Insn.Syscall;
+        Asm.I (Insn.Li (Reg.v0, 3));
+        Asm.I (Insn.CJR Reg.cra) ]
+  | Abi.Mips64 | Abi.Asan ->
+    Sobj.make ~name:"fork"
+      ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+      [ Asm.Lbl "main";
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_fork));
+        Asm.I Insn.Syscall;
+        Asm.bne Reg.v0 Reg.zero "parent";
+        Asm.I (Insn.Li (Reg.a0, 7));
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_exit));
+        Asm.I Insn.Syscall;
+        Asm.Lbl "parent";
+        Asm.I (Insn.Li (Reg.a0, -1));
+        Asm.I (Insn.Li (Reg.a1, 0));
+        Asm.I (Insn.Li (Reg.a2, 0));
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_wait4));
+        Asm.I Insn.Syscall;
+        Asm.I (Insn.Li (Reg.v0, 3));
+        Asm.I (Insn.Jr Reg.ra) ]
+
+let test_fork_wait () =
+  List.iter
+    (fun abi ->
+      let k = boot () in
+      install_exe k ~path:"/bin/fork" ~abi (fork_prog abi);
+      let _ = check_exit 3 (run k "/bin/fork") in
+      ())
+    [ Abi.Mips64; Abi.Cheriabi ]
+
+(* --- signals ------------------------------------------------------------------------------ *)
+
+let signal_prog = function
+  | Abi.Cheriabi ->
+    Sobj.make ~name:"sig"
+      ~exports:
+        [ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 };
+          { Sobj.exp_name = "handler"; exp_kind = Sobj.Func; exp_off = 0 } ]
+      ~got_syms:[ "handler" ]
+      [ Asm.Lbl "main";
+        Asm.I (Insn.CIncOffsetImm (Reg.csp, Reg.csp, -32));
+        Asm.Ref ("got$handler",
+                 fun off -> Insn.CLC { cd = Reg.cs0; cb = Reg.cgp; off });
+        Asm.I (Insn.CSC { cs = Reg.cs0; cb = Reg.csp; off = 0 });
+        (* sigaction(SIGUSR1, csp, NULL) *)
+        Asm.I (Insn.Li (Reg.a0, Signo.sigusr1));
+        Asm.I (Insn.CMove (Reg.ca0, Reg.csp));
+        Asm.I (Insn.CMove (Reg.ca0 + 1, Reg.cnull));
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_sigaction));
+        Asm.I Insn.Syscall;
+        (* kill(getpid(), SIGUSR1) *)
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_getpid));
+        Asm.I Insn.Syscall;
+        Asm.I (Insn.Move (Reg.a0, Reg.v0));
+        Asm.I (Insn.Li (Reg.a1, Signo.sigusr1));
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_kill));
+        Asm.I Insn.Syscall;
+        (* resumed here after the handler returns through sigreturn *)
+        Asm.I (Insn.Li (Reg.v0, 5));
+        Asm.I (Insn.CIncOffsetImm (Reg.csp, Reg.csp, 32));
+        Asm.I (Insn.CJR Reg.cra);
+        Asm.Lbl "handler";
+        Asm.I (Insn.Li (Reg.a0, Char.code 'H'));
+        Asm.I (Insn.Rt Rtnum.rt_print_char);
+        Asm.I (Insn.CJR Reg.cra) ]
+  | Abi.Mips64 | Abi.Asan ->
+    Sobj.make ~name:"sig"
+      ~exports:
+        [ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 };
+          { Sobj.exp_name = "handler"; exp_kind = Sobj.Func; exp_off = 0 } ]
+      [ Asm.Lbl "main";
+        Asm.I (Insn.Addiu (Reg.sp, Reg.sp, -32));
+        Asm.Ref ("addr$handler", fun a -> Insn.Li (Reg.t0, a));
+        Asm.I (Insn.Store { w = 8; rs = Reg.t0; base = Reg.sp; off = 0 });
+        Asm.I (Insn.Li (Reg.a0, Signo.sigusr1));
+        Asm.I (Insn.Move (Reg.a1, Reg.sp));
+        Asm.I (Insn.Li (Reg.a2, 0));
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_sigaction));
+        Asm.I Insn.Syscall;
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_getpid));
+        Asm.I Insn.Syscall;
+        Asm.I (Insn.Move (Reg.a0, Reg.v0));
+        Asm.I (Insn.Li (Reg.a1, Signo.sigusr1));
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_kill));
+        Asm.I Insn.Syscall;
+        Asm.I (Insn.Li (Reg.v0, 5));
+        Asm.I (Insn.Addiu (Reg.sp, Reg.sp, 32));
+        Asm.I (Insn.Jr Reg.ra);
+        Asm.Lbl "handler";
+        Asm.I (Insn.Li (Reg.a0, Char.code 'H'));
+        Asm.I (Insn.Rt Rtnum.rt_print_char);
+        Asm.I (Insn.Jr Reg.ra) ]
+
+let test_signal_handler () =
+  List.iter
+    (fun abi ->
+      let k = boot () in
+      install_exe k ~path:"/bin/sig" ~abi (signal_prog abi);
+      let out = check_exit 5 (run k "/bin/sig") in
+      Alcotest.(check string)
+        (Printf.sprintf "handler ran under %s" (Abi.to_string abi))
+        "H" out)
+    [ Abi.Mips64; Abi.Cheriabi ]
+
+(* A CheriABI handler registered from an untagged value cannot be entered:
+   provenance is enforced even for signal dispatch. *)
+let bad_handler_prog =
+  Sobj.make ~name:"badsig"
+    ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+    [ Asm.Lbl "main";
+      Asm.I (Insn.CIncOffsetImm (Reg.csp, Reg.csp, -32));
+      (* Forge a "handler" from an integer: untagged capability. *)
+      Asm.I (Insn.Li (Reg.t0, 0x123456));
+      Asm.I (Insn.CFromPtr (Reg.cs0, Reg.cnull, Reg.t0));
+      Asm.I (Insn.CSC { cs = Reg.cs0; cb = Reg.csp; off = 0 });
+      Asm.I (Insn.Li (Reg.a0, Signo.sigusr1));
+      Asm.I (Insn.CMove (Reg.ca0, Reg.csp));
+      Asm.I (Insn.CMove (Reg.ca0 + 1, Reg.cnull));
+      Asm.I (Insn.Li (Reg.v0, Sysno.sys_sigaction));
+      Asm.I Insn.Syscall;
+      (* sigaction must have failed with EPROT: v0 < 0. *)
+      Asm.bltz Reg.v0 "ok";
+      Asm.I (Insn.Li (Reg.v0, 1));
+      Asm.I (Insn.CJR Reg.cra);
+      Asm.Lbl "ok";
+      Asm.I (Insn.Li (Reg.v0, 0));
+      Asm.I (Insn.CJR Reg.cra) ]
+
+let test_forged_handler_rejected () =
+  let k = boot () in
+  install_exe k ~path:"/bin/badsig" ~abi:Abi.Cheriabi bad_handler_prog;
+  let _ = check_exit 0 (run k "/bin/badsig") in
+  ()
+
+(* --- pipes across fork --------------------------------------------------------------------- *)
+
+let pipe_prog =
+  (* CheriABI: pipe(fds); fork; child writes "x", parent reads it. *)
+  Sobj.make ~name:"pipe"
+    ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+    [ Asm.Lbl "main";
+      Asm.I (Insn.CIncOffsetImm (Reg.csp, Reg.csp, -32));
+      (* pipe(csp) *)
+      Asm.I (Insn.CMove (Reg.ca0, Reg.csp));
+      Asm.I (Insn.Li (Reg.v0, Sysno.sys_pipe));
+      Asm.I Insn.Syscall;
+      (* s0 = rfd, s1 = wfd *)
+      Asm.I (Insn.CLoad { w = 8; signed = false; rd = Reg.s0; cb = Reg.csp; off = 0 });
+      Asm.I (Insn.CLoad { w = 8; signed = false; rd = Reg.s0 + 1; cb = Reg.csp; off = 8 });
+      Asm.I (Insn.Li (Reg.v0, Sysno.sys_fork));
+      Asm.I Insn.Syscall;
+      Asm.bne Reg.v0 Reg.zero "parent";
+      (* child: write one byte 'x' at csp+16 *)
+      Asm.I (Insn.Li (Reg.t0, Char.code 'x'));
+      Asm.I (Insn.CStore { w = 1; rs = Reg.t0; cb = Reg.csp; off = 16 });
+      Asm.I (Insn.Move (Reg.a0, Reg.s0 + 1));
+      Asm.I (Insn.CIncOffsetImm (Reg.ca0, Reg.csp, 16));
+      Asm.I (Insn.Li (Reg.a1, 1));
+      Asm.I (Insn.Li (Reg.v0, Sysno.sys_write));
+      Asm.I Insn.Syscall;
+      Asm.I (Insn.Li (Reg.a0, 0));
+      Asm.I (Insn.Li (Reg.v0, Sysno.sys_exit));
+      Asm.I Insn.Syscall;
+      Asm.Lbl "parent";
+      (* read(rfd, csp+24, 1) — blocks until the child writes *)
+      Asm.I (Insn.Move (Reg.a0, Reg.s0));
+      Asm.I (Insn.CIncOffsetImm (Reg.ca0, Reg.csp, 24));
+      Asm.I (Insn.Li (Reg.a1, 1));
+      Asm.I (Insn.Li (Reg.v0, Sysno.sys_read));
+      Asm.I Insn.Syscall;
+      (* exit with the byte read *)
+      Asm.I (Insn.CLoad { w = 1; signed = false; rd = Reg.v0; cb = Reg.csp; off = 24 });
+      Asm.I (Insn.CIncOffsetImm (Reg.csp, Reg.csp, 32));
+      Asm.I (Insn.CJR Reg.cra) ]
+
+let test_pipe_across_fork () =
+  let k = boot () in
+  install_exe k ~path:"/bin/pipe" ~abi:Abi.Cheriabi pipe_prog;
+  let _ = check_exit (Char.code 'x') (run k "/bin/pipe") in
+  ()
+
+(* --- getcwd with an undersized buffer (the BOdiag syscall case) --------------------------- *)
+
+let getcwd_prog ~buflen ~asklen = function
+  | Abi.Cheriabi ->
+    Sobj.make ~name:"cwd"
+      ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+      [ Asm.Lbl "main";
+        Asm.I (Insn.CIncOffsetImm (Reg.csp, Reg.csp, -256));
+        (* a bounded capability to a [buflen]-byte stack buffer *)
+        Asm.I (Insn.CIncOffsetImm (Reg.cs0, Reg.csp, 0));
+        Asm.I (Insn.CSetBoundsImm (Reg.ca0, Reg.cs0, buflen));
+        Asm.I (Insn.Li (Reg.a0, asklen));
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_getcwd));
+        Asm.I Insn.Syscall;
+        (* v0 < 0 (EPROT) means the kernel's copyout was stopped: report 9 *)
+        Asm.bltz Reg.v0 "detected";
+        Asm.I (Insn.Li (Reg.v0, 0));
+        Asm.I (Insn.CIncOffsetImm (Reg.csp, Reg.csp, 256));
+        Asm.I (Insn.CJR Reg.cra);
+        Asm.Lbl "detected";
+        Asm.I (Insn.Li (Reg.v0, 9));
+        Asm.I (Insn.CIncOffsetImm (Reg.csp, Reg.csp, 256));
+        Asm.I (Insn.CJR Reg.cra) ]
+  | Abi.Mips64 | Abi.Asan ->
+    Sobj.make ~name:"cwd"
+      ~exports:[ { Sobj.exp_name = "main"; exp_kind = Sobj.Func; exp_off = 0 } ]
+      [ Asm.Lbl "main";
+        Asm.I (Insn.Addiu (Reg.sp, Reg.sp, -256));
+        Asm.I (Insn.Move (Reg.a0 + 1, Reg.sp));  (* buffer address in slot 0 *)
+        Asm.I (Insn.Move (Reg.a0, Reg.sp));
+        Asm.I (Insn.Li (Reg.a1, asklen));
+        Asm.I (Insn.Li (Reg.v0, Sysno.sys_getcwd));
+        Asm.I Insn.Syscall;
+        Asm.bltz Reg.v0 "detected";
+        Asm.I (Insn.Li (Reg.v0, 0));
+        Asm.I (Insn.Addiu (Reg.sp, Reg.sp, 256));
+        Asm.I (Insn.Jr Reg.ra);
+        Asm.Lbl "detected";
+        Asm.I (Insn.Li (Reg.v0, 9));
+        Asm.I (Insn.Addiu (Reg.sp, Reg.sp, 256));
+        Asm.I (Insn.Jr Reg.ra) ]
+
+let test_getcwd_overflow_detected_cheriabi () =
+  let k = boot () in
+  (* buffer is 32 bytes, but the program claims 128: the kernel's copyout
+     through the user capability faults -> EPROT -> exit 9. *)
+  install_exe k ~path:"/bin/cwd" ~abi:Abi.Cheriabi
+    (getcwd_prog ~buflen:32 ~asklen:128 Abi.Cheriabi);
+  let _ = check_exit 9 (run k "/bin/cwd") in
+  ()
+
+let test_getcwd_overflow_missed_mips64 () =
+  let k = boot () in
+  install_exe k ~path:"/bin/cwd" ~abi:Abi.Mips64
+    (getcwd_prog ~buflen:32 ~asklen:128 Abi.Mips64);
+  (* Legacy kernel writes 128 bytes over a 32-byte buffer: silent. *)
+  let _ = check_exit 0 (run k "/bin/cwd") in
+  ()
+
+let test_getcwd_correct_ok_cheriabi () =
+  let k = boot () in
+  install_exe k ~path:"/bin/cwd" ~abi:Abi.Cheriabi
+    (getcwd_prog ~buflen:128 ~asklen:128 Abi.Cheriabi);
+  let _ = check_exit 0 (run k "/bin/cwd") in
+  ()
+
+let suite =
+  [ "hello mips64", `Quick, test_hello_mips64;
+    "hello cheriabi", `Quick, test_hello_cheriabi;
+    "argv delivery", `Quick, test_argv;
+    "OOB global traps (cheriabi)", `Quick, test_oob_global_cheriabi_traps;
+    "OOB global silent (mips64)", `Quick, test_oob_global_mips64_silent;
+    "heap in bounds ok", `Quick, test_heap_in_bounds_ok;
+    "heap OOB traps (cheriabi)", `Quick, test_heap_oob_cheriabi_traps;
+    "heap OOB silent (mips64)", `Quick, test_heap_oob_mips64_silent;
+    "NULL DDC blocks legacy loads", `Quick, test_ddc_null_blocks_legacy_loads;
+    "fork + wait", `Quick, test_fork_wait;
+    "signal handler roundtrip", `Quick, test_signal_handler;
+    "forged signal handler rejected", `Quick, test_forged_handler_rejected;
+    "pipe across fork", `Quick, test_pipe_across_fork;
+    "getcwd overflow detected (cheriabi)", `Quick,
+    test_getcwd_overflow_detected_cheriabi;
+    "getcwd overflow missed (mips64)", `Quick,
+    test_getcwd_overflow_missed_mips64;
+    "getcwd correct ok (cheriabi)", `Quick, test_getcwd_correct_ok_cheriabi ]

@@ -1,0 +1,257 @@
+(* C-runtime tests: the allocator's bounds/permissions discipline and the
+   capability-preserving memory builtins, exercised through real CheriABI
+   programs plus direct allocator checks. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Compress = Cheri_cap.Compress
+module Abi = Cheri_core.Abi
+module Kernel = Cheri_kernel.Kernel
+module Proc = Cheri_kernel.Proc
+module Signo = Cheri_kernel.Signo
+module Malloc_impl = Cheri_libc.Malloc_impl
+
+let boot () =
+  let k = Kernel.boot () in
+  Cheri_libc.Runtime.install k;
+  k
+
+(* A stopped CheriABI process to allocate against. *)
+let proc_for_alloc k =
+  Cheri_workloads.Stdlib_src.install k ~path:"/bin/idle" ~abi:Abi.Cheriabi
+    "int main(int argc, char **argv) { return 0; }";
+  Kernel.spawn k ~path:"/bin/idle" ~argv:[ "idle" ] ()
+
+let test_malloc_bounds_exact () =
+  let k = boot () in
+  let p = proc_for_alloc k in
+  List.iter
+    (fun len ->
+      let addr, cap = Malloc_impl.malloc k p len in
+      match cap with
+      | Some c ->
+        Alcotest.(check int) "cursor at base" addr (Cap.addr c);
+        Alcotest.(check int)
+          (Printf.sprintf "len %d bounds = crrl" len)
+          (Compress.crrl len) (Cap.length c)
+      | None -> Alcotest.fail "cheriabi malloc must return a capability")
+    [ 1; 16; 24; 100; 4096; 5000; 100_000 ]
+
+let test_malloc_perms_stripped () =
+  let k = boot () in
+  let p = proc_for_alloc k in
+  let _, cap = Malloc_impl.malloc k p 64 in
+  let c = Option.get cap in
+  Alcotest.(check bool) "no VMMAP" false (Perms.has (Cap.perms c) Perms.vmmap);
+  Alcotest.(check bool) "no EXECUTE" false
+    (Perms.has (Cap.perms c) Perms.execute);
+  Alcotest.(check bool) "read/write" true
+    (Perms.has (Cap.perms c) Perms.load && Perms.has (Cap.perms c) Perms.store)
+
+let test_free_reuses () =
+  let k = boot () in
+  let p = proc_for_alloc k in
+  let a1, _ = Malloc_impl.malloc k p 64 in
+  ignore (Malloc_impl.free k p a1);
+  let a2, _ = Malloc_impl.malloc k p 64 in
+  Alcotest.(check int) "same class reuses the slot" a1 a2
+
+let test_double_free_rejected () =
+  let k = boot () in
+  let p = proc_for_alloc k in
+  let a, _ = Malloc_impl.malloc k p 64 in
+  ignore (Malloc_impl.free k p a);
+  Alcotest.(check bool) "double free faults" true
+    (match Malloc_impl.free k p a with
+     | _ -> false
+     | exception Malloc_impl.Alloc_fault _ -> true)
+
+let test_allocations_disjoint () =
+  let k = boot () in
+  let p = proc_for_alloc k in
+  let spans =
+    List.init 50 (fun i ->
+        let len = 16 + (i * 13 mod 400) in
+        let a, _ = Malloc_impl.malloc k p len in
+        a, a + len)
+  in
+  List.iteri
+    (fun i (b1, t1) ->
+      List.iteri
+        (fun j (b2, t2) ->
+          if i < j then
+            Alcotest.(check bool) "disjoint" true (t1 <= b2 || t2 <= b1))
+        spans)
+    spans
+
+let test_large_alloc_unmapped_after_free () =
+  let k = boot () in
+  let p = proc_for_alloc k in
+  let a, _ = Malloc_impl.malloc k p 100_000 in
+  ignore (Malloc_impl.free k p a);
+  (* The dedicated region is gone. *)
+  Alcotest.(check bool) "unmapped" true
+    (Cheri_vm.Pmap.kernel_touch
+       (Cheri_vm.Addr_space.pmap p.Proc.asp) a ~write:false
+     = None)
+
+(* --- Behaviour through compiled programs ------------------------------------------ *)
+
+let run_c ~abi src =
+  let k = boot () in
+  Cheri_workloads.Stdlib_src.install k ~path:"/bin/t" ~abi src;
+  Kernel.run_program k ~path:"/bin/t" ~argv:[ "t" ]
+
+let check_ok ~abi src =
+  match run_c ~abi src with
+  | Some (Proc.Exited 0), _, _ -> ()
+  | Some (Proc.Exited c), out, _ -> Alcotest.failf "exit %d (%s)" c out
+  | Some (Proc.Signaled s), _, p ->
+    Alcotest.failf "%s (%s)" (Signo.name s)
+      (String.concat ";" p.Proc.fault_log)
+  | None, _, _ -> Alcotest.fail "timeout"
+
+let test_memcpy_preserves_caps () =
+  (* Copying an array of pointers must preserve their tags (the qsort /
+     pointer-propagation requirement of §4). *)
+  check_ok ~abi:Abi.Cheriabi
+    {|
+      int a = 1;
+      int b = 2;
+      int *src[2];
+      int *dst[2];
+      int main(int argc, char **argv) {
+        src[0] = &a;
+        src[1] = &b;
+        memcpy((char*)dst, (char*)src, 2 * sizeof(int*));
+        assert(*dst[0] == 1);
+        assert(*dst[1] == 2);
+        return 0;
+      }
+    |}
+
+let test_memcpy_unaligned_strips () =
+  (* An unaligned copy of capability bytes strips tags: dereferencing the
+     copied "pointer" traps. *)
+  let status, _, _ =
+    run_c ~abi:Abi.Cheriabi
+      {|
+        int a = 1;
+        int *src[2];
+        char raw[64];
+        int main(int argc, char **argv) {
+          src[0] = &a;
+          memcpy(raw + 1, (char*)src, sizeof(int*));
+          memcpy((char*)src + 1, raw + 2, sizeof(int*) - 1);
+          int **p = (int**)raw;
+          /* raw+1 holds the bytes but never a tag *)  */
+          memcpy((char*)src, raw + 1, sizeof(int*));
+          return **src;
+        }
+      |}
+  in
+  match status with
+  | Some (Proc.Signaled s) when s = Signo.sigprot -> ()
+  | Some (Proc.Exited c) -> Alcotest.failf "survived with exit %d" c
+  | _ -> Alcotest.fail "expected SIGPROT"
+
+let test_strlen_respects_bounds () =
+  let status, _, _ =
+    run_c ~abi:Abi.Cheriabi
+      {|
+        int main(int argc, char **argv) {
+          char *p = malloc(8);
+          memset(p, 'x', 8);   /* no NUL inside the allocation *)  */
+          return strlen(p);
+        }
+      |}
+  in
+  match status with
+  | Some (Proc.Signaled s) when s = Signo.sigprot -> ()
+  | _ -> Alcotest.fail "strlen must fault at the capability boundary"
+
+let test_calloc_and_realloc_chain () =
+  List.iter
+    (fun abi ->
+      check_ok ~abi
+        {|
+          int main(int argc, char **argv) {
+            int *p = (int*)calloc(8, sizeof(int));
+            int i;
+            for (i = 0; i < 8; i = i + 1) assert(p[i] == 0);
+            for (i = 0; i < 8; i = i + 1) p[i] = i * i;
+            p = (int*)realloc((char*)p, 64 * sizeof(int));
+            for (i = 0; i < 8; i = i + 1) assert(p[i] == i * i);
+            p = (int*)realloc((char*)p, 4 * sizeof(int));
+            for (i = 0; i < 4; i = i + 1) assert(p[i] == i * i);
+            free((char*)p);
+            return 0;
+          }
+        |})
+    [ Abi.Mips64; Abi.Cheriabi; Abi.Asan ]
+
+let test_realloc_rebounds () =
+  (* After realloc shrinks an allocation, the old wider capability is gone;
+     the new one is bounded to the new size. *)
+  let status, _, _ =
+    run_c ~abi:Abi.Cheriabi
+      {|
+        int main(int argc, char **argv) {
+          char *p = malloc(64);
+          p = realloc(p, 16);
+          p[16] = 1;
+          return 0;
+        }
+      |}
+  in
+  match status with
+  | Some (Proc.Signaled s) when s = Signo.sigprot -> ()
+  | _ -> Alcotest.fail "expected SIGPROT beyond the reallocated bounds"
+
+let test_asan_uaf_detected () =
+  (* ASan's poisoned freed payload catches use-after-free — which CheriABI
+     (spatial only) does not. *)
+  let src =
+    {|
+      int main(int argc, char **argv) {
+        char *p = malloc(32);
+        p[0] = 1;
+        free(p);
+        return p[0];
+      }
+    |}
+  in
+  (match run_c ~abi:Abi.Asan src with
+   | Some (Proc.Signaled s), _, _ when s = Signo.sigabrt -> ()
+   | _ -> Alcotest.fail "asan should catch UAF");
+  match run_c ~abi:Abi.Cheriabi src with
+  | Some (Proc.Exited _), _, _ -> ()
+  | _ -> Alcotest.fail "cheriabi UAF within bounds is not spatial"
+
+let test_tls_isolation_after_exec () =
+  (* Arenas are per-principal: a fresh exec gets a fresh heap. *)
+  let k = boot () in
+  let p = proc_for_alloc k in
+  let a1, _ = Malloc_impl.malloc k p 64 in
+  ignore a1;
+  let m1, f1, live1 = Malloc_impl.stats p in
+  Alcotest.(check int) "one live alloc" 1 (live1 + 0 * m1 * f1);
+  (* run the idle program to completion: its own mallocs are separate *)
+  let _ = Kernel.run ~max_steps:1_000_000 k in
+  ()
+
+let suite =
+  [ "malloc bounds are CRRL-exact", `Quick, test_malloc_bounds_exact;
+    "malloc strips VMMAP/EXECUTE", `Quick, test_malloc_perms_stripped;
+    "free reuses slots", `Quick, test_free_reuses;
+    "double free rejected", `Quick, test_double_free_rejected;
+    "allocations disjoint", `Quick, test_allocations_disjoint;
+    "large alloc unmapped after free", `Quick,
+    test_large_alloc_unmapped_after_free;
+    "memcpy preserves capabilities", `Quick, test_memcpy_preserves_caps;
+    "unaligned copies strip tags", `Quick, test_memcpy_unaligned_strips;
+    "strlen respects bounds", `Quick, test_strlen_respects_bounds;
+    "calloc/realloc chain", `Quick, test_calloc_and_realloc_chain;
+    "realloc rebounds", `Quick, test_realloc_rebounds;
+    "asan catches UAF; cheriabi does not", `Quick, test_asan_uaf_detected;
+    "arenas per principal", `Quick, test_tls_isolation_after_exec ]

@@ -1,0 +1,188 @@
+(* Tests for tagged physical memory, the frame allocator and the caches. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Tagmem = Cheri_tagmem.Tagmem
+module Phys = Cheri_tagmem.Phys
+module Cache = Cheri_tagmem.Cache
+
+let mk () = Tagmem.create ~size:(1 lsl 16)
+
+let some_cap ?(base = 0x100) ?(len = 64) () =
+  let r = Cap.make_root ~base:0 ~top:(1 lsl 16) () in
+  Cap.set_bounds (Cap.set_addr r base) ~len
+
+let test_data_roundtrip () =
+  let m = mk () in
+  Tagmem.write_int m 0x100 ~len:8 0x1122334455667788;
+  Alcotest.(check int) "u64" 0x1122334455667788 (Tagmem.read_int m 0x100 ~len:8);
+  Tagmem.write_int m 0x200 ~len:4 0xdeadbeef;
+  Alcotest.(check int) "u32" 0xdeadbeef (Tagmem.read_int m 0x200 ~len:4);
+  Tagmem.write_u8 m 0x300 0xab;
+  Alcotest.(check int) "u8" 0xab (Tagmem.read_u8 m 0x300)
+
+let test_signed_read () =
+  let m = mk () in
+  Tagmem.write_int m 0x10 ~len:1 0xff;
+  Alcotest.(check int) "s8" (-1) (Tagmem.read_int_signed m 0x10 ~len:1);
+  Tagmem.write_int m 0x18 ~len:4 0x80000000;
+  Alcotest.(check int) "s32" (-2147483648) (Tagmem.read_int_signed m 0x18 ~len:4);
+  Tagmem.write_int m 0x20 ~len:2 0x7fff;
+  Alcotest.(check int) "s16 positive" 0x7fff (Tagmem.read_int_signed m 0x20 ~len:2)
+
+let test_cap_roundtrip () =
+  let m = mk () in
+  let c = some_cap () in
+  Tagmem.write_cap m 0x400 c;
+  Alcotest.(check bool) "tag set" true (Tagmem.get_tag m 0x400);
+  let c' = Tagmem.read_cap m 0x400 in
+  Alcotest.(check bool) "identical" true (Cap.equal c c')
+
+let test_data_store_clears_tag () =
+  let m = mk () in
+  Tagmem.write_cap m 0x400 (some_cap ());
+  (* Overwriting any byte of the granule with data clears the tag:
+     capability integrity. *)
+  Tagmem.write_u8 m 0x407 0x42;
+  Alcotest.(check bool) "tag cleared" false (Tagmem.get_tag m 0x400);
+  let c = Tagmem.read_cap m 0x400 in
+  Alcotest.(check bool) "read back untagged" false (Cap.is_tagged c)
+
+let test_untagged_read_sees_cursor () =
+  let m = mk () in
+  let c = Cap.inc_addr (some_cap ~base:0x100 ~len:64 ()) 8 in
+  Tagmem.write_cap m 0x400 c;
+  Tagmem.write_u8 m 0x40f 0;  (* strikes the metadata, clears tag *)
+  let c' = Tagmem.read_cap m 0x400 in
+  Alcotest.(check int) "cursor still visible as data" 0x108 (Cap.addr c')
+
+let test_cap_alignment () =
+  let m = mk () in
+  Alcotest.check_raises "unaligned write_cap"
+    (Cap.Cap_error Cap.Alignment_violation)
+    (fun () -> Tagmem.write_cap m 0x404 (some_cap ()))
+
+let test_move_preserves_tags () =
+  let m = mk () in
+  Tagmem.write_cap m 0x400 (some_cap ());
+  Tagmem.write_int m 0x410 ~len:8 77;
+  Tagmem.move m ~src:0x400 ~dst:0x800 ~len:32;
+  Alcotest.(check bool) "tag moved" true (Tagmem.get_tag m 0x800);
+  Alcotest.(check int) "data moved" 77 (Tagmem.read_int m 0x810 ~len:8);
+  Alcotest.(check bool) "cap equal" true
+    (Cap.equal (some_cap ()) (Tagmem.read_cap m 0x800))
+
+let test_move_unaligned_strips_tags () =
+  let m = mk () in
+  Tagmem.write_cap m 0x400 (some_cap ());
+  Tagmem.move m ~src:0x400 ~dst:0x808 ~len:24;
+  Alcotest.(check bool) "dst tag stripped" false (Tagmem.get_tag m 0x808)
+
+let test_scan_tags () =
+  let m = mk () in
+  Tagmem.write_cap m 0x1000 (some_cap ());
+  Tagmem.write_cap m 0x1040 (some_cap ());
+  let offs = Tagmem.scan_tags m 0x1000 4096 in
+  Alcotest.(check (list int)) "offsets" [ 0x0; 0x40 ] offs
+
+let test_fill_clears_tags () =
+  let m = mk () in
+  Tagmem.write_cap m 0x500 (some_cap ());
+  Tagmem.fill m 0x500 16 0;
+  Alcotest.(check bool) "cleared" false (Tagmem.get_tag m 0x500)
+
+(* --- Phys ------------------------------------------------------------------- *)
+
+let test_phys_alloc_free () =
+  let m = Tagmem.create ~size:(64 * 4096) in
+  let p = Phys.create m in
+  let before = Phys.free_frames p in
+  let f = Phys.alloc_frame p in
+  Alcotest.(check int) "one fewer" (before - 1) (Phys.free_frames p);
+  Alcotest.(check bool) "frame addr page aligned" true
+    (Phys.frame_addr f land 4095 = 0);
+  Phys.decref p f;
+  Alcotest.(check int) "returned" before (Phys.free_frames p)
+
+let test_phys_refcount () =
+  let m = Tagmem.create ~size:(64 * 4096) in
+  let p = Phys.create m in
+  let f = Phys.alloc_frame p in
+  Phys.incref p f;
+  Alcotest.(check int) "rc 2" 2 (Phys.refcount p f);
+  Phys.decref p f;
+  Alcotest.(check int) "rc 1" 1 (Phys.refcount p f);
+  let free_before = Phys.free_frames p in
+  Phys.decref p f;
+  Alcotest.(check int) "freed" (free_before + 1) (Phys.free_frames p)
+
+let test_phys_alloc_zeroes () =
+  let m = Tagmem.create ~size:(64 * 4096) in
+  let p = Phys.create m in
+  let f = Phys.alloc_frame p in
+  let pa = Phys.frame_addr f in
+  Tagmem.write_cap m pa (some_cap ());
+  Tagmem.write_int m (pa + 100) ~len:8 999;
+  Phys.decref p f;
+  let f2 = Phys.alloc_frame p in
+  let pa2 = Phys.frame_addr f2 in
+  Alcotest.(check int) "same frame" f f2;
+  Alcotest.(check int) "zeroed" 0 (Tagmem.read_int m (pa2 + 100) ~len:8);
+  Alcotest.(check bool) "tag gone" false (Tagmem.get_tag m pa2)
+
+let test_phys_oom () =
+  let m = Tagmem.create ~size:(4 * 4096) in
+  let p = Phys.create m in
+  (* 3 usable frames (frame 0 reserved). *)
+  let _ = Phys.alloc_frame p and _ = Phys.alloc_frame p and _ = Phys.alloc_frame p in
+  Alcotest.check_raises "oom" Phys.Out_of_memory (fun () ->
+      ignore (Phys.alloc_frame p))
+
+(* --- Cache ------------------------------------------------------------------ *)
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create ~name:"t" ~size:1024 ~ways:2 in
+  Alcotest.(check bool) "first is miss" false (Cache.access c 0x100 8);
+  Alcotest.(check bool) "second is hit" true (Cache.access c 0x100 8);
+  Alcotest.(check bool) "same line hit" true (Cache.access c 0x108 8)
+
+let test_cache_eviction () =
+  let c = Cache.create ~name:"t" ~size:(2 * 64) ~ways:1 in
+  (* Direct-mapped, 2 sets: lines mapping to the same set evict. *)
+  ignore (Cache.access c 0 8);
+  ignore (Cache.access c 128 8);   (* same set as 0 *)
+  Alcotest.(check bool) "evicted" false (Cache.access c 0 8)
+
+let test_cache_straddle () =
+  let c = Cache.create ~name:"t" ~size:1024 ~ways:2 in
+  ignore (Cache.access c 60 8);    (* straddles two lines *)
+  Alcotest.(check bool) "both lines present" true
+    (Cache.access c 56 8 && Cache.access c 64 8)
+
+let test_hierarchy_costs () =
+  let h = Cache.create_hierarchy () in
+  let miss = Cache.data_access h 0x4000 8 in
+  let hit = Cache.data_access h 0x4000 8 in
+  Alcotest.(check bool) "miss costs more" true (miss > hit);
+  Alcotest.(check int) "hit is l1 latency" h.Cache.l1_hit_cycles hit;
+  Alcotest.(check bool) "l2 miss counted" true (Cache.l2_misses h >= 1)
+
+let suite =
+  [ "data roundtrip", `Quick, test_data_roundtrip;
+    "signed reads", `Quick, test_signed_read;
+    "cap roundtrip", `Quick, test_cap_roundtrip;
+    "data store clears tag", `Quick, test_data_store_clears_tag;
+    "untagged read sees cursor", `Quick, test_untagged_read_sees_cursor;
+    "cap alignment enforced", `Quick, test_cap_alignment;
+    "move preserves tags", `Quick, test_move_preserves_tags;
+    "unaligned move strips tags", `Quick, test_move_unaligned_strips_tags;
+    "scan tags", `Quick, test_scan_tags;
+    "fill clears tags", `Quick, test_fill_clears_tags;
+    "phys alloc/free", `Quick, test_phys_alloc_free;
+    "phys refcount", `Quick, test_phys_refcount;
+    "phys alloc zeroes", `Quick, test_phys_alloc_zeroes;
+    "phys oom", `Quick, test_phys_oom;
+    "cache hit after miss", `Quick, test_cache_hit_after_miss;
+    "cache eviction", `Quick, test_cache_eviction;
+    "cache line straddle", `Quick, test_cache_straddle;
+    "hierarchy costs", `Quick, test_hierarchy_costs ]

@@ -1,0 +1,270 @@
+(* Workload-level integration tests, including differential testing of the
+   compiler: random expression programs must compute identical results
+   under all three backends, and those results must match an independent
+   OCaml evaluation. *)
+
+module Abi = Cheri_core.Abi
+open Cheri_workloads
+
+(* --- Differential compiler testing ---------------------------------------------------- *)
+
+(* A tiny expression language with a reference evaluator. *)
+type e =
+  | Num of int
+  | Add of e * e
+  | Sub of e * e
+  | Mul of e * e
+  | And of e * e
+  | Or of e * e
+  | Xor of e * e
+  | Shl of e * e    (* by 0..7 *)
+  | Lt of e * e
+  | Ifnz of e * e * e
+
+let rec eval_ref = function
+  | Num n -> n
+  | Add (a, b) -> eval_ref a + eval_ref b
+  | Sub (a, b) -> eval_ref a - eval_ref b
+  | Mul (a, b) -> eval_ref a * eval_ref b
+  | And (a, b) -> eval_ref a land eval_ref b
+  | Or (a, b) -> eval_ref a lor eval_ref b
+  | Xor (a, b) -> eval_ref a lxor eval_ref b
+  | Shl (a, b) -> eval_ref a lsl (eval_ref b land 7)
+  | Lt (a, b) -> if eval_ref a < eval_ref b then 1 else 0
+  | Ifnz (c, a, b) -> if eval_ref c <> 0 then eval_ref a else eval_ref b
+
+let rec to_c = function
+  | Num n -> string_of_int n
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_c a) (to_c b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_c a) (to_c b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_c a) (to_c b)
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (to_c a) (to_c b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (to_c a) (to_c b)
+  | Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (to_c a) (to_c b)
+  | Shl (a, b) -> Printf.sprintf "(%s << (%s & 7))" (to_c a) (to_c b)
+  | Lt (a, b) -> Printf.sprintf "(%s < %s)" (to_c a) (to_c b)
+  | Ifnz (c, a, b) ->
+    (* no ternary in CSmall: use arithmetic selection via a helper *)
+    Printf.sprintf "pick(%s, %s, %s)" (to_c c) (to_c a) (to_c b)
+
+let gen_expr =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+      if n <= 0 then map (fun v -> Num v) (int_range (-1000) 1000)
+      else
+        let sub = self (n / 2) in
+        oneof
+          [ map (fun v -> Num v) (int_range (-1000) 1000);
+            map2 (fun a b -> Add (a, b)) sub sub;
+            map2 (fun a b -> Sub (a, b)) sub sub;
+            map2 (fun a b -> Mul (a, b)) sub sub;
+            map2 (fun a b -> And (a, b)) sub sub;
+            map2 (fun a b -> Or (a, b)) sub sub;
+            map2 (fun a b -> Xor (a, b)) sub sub;
+            map2 (fun a b -> Shl (a, b)) sub sub;
+            map2 (fun a b -> Lt (a, b)) sub sub;
+            map3 (fun c a b -> Ifnz (c, a, b)) sub sub sub ])
+
+let arb_expr = QCheck.make ~print:to_c (QCheck.Gen.(gen_expr >>= fun e -> return e))
+
+let run_expr ~abi e =
+  let src =
+    Printf.sprintf
+      {| int pick(int c, int a, int b) { if (c) return a; return b; }
+         int main(int argc, char **argv) {
+           print_int(%s);
+           return 0;
+         } |}
+      (to_c e)
+  in
+  let k = Cheri_kernel.Kernel.boot ~mem_size:(8 * 1024 * 1024) () in
+  Cheri_libc.Runtime.install k;
+  Cheri_cc.Compile.install k ~path:"/bin/e" ~abi src;
+  let status, out, _ =
+    Cheri_kernel.Kernel.run_program ~max_steps:1_000_000 k ~path:"/bin/e"
+      ~argv:[ "e" ]
+  in
+  match status with
+  | Some (Cheri_kernel.Proc.Exited 0) -> int_of_string (String.trim out)
+  | _ -> failwith "expression program failed"
+
+let qcheck_differential =
+  [ QCheck.Test.make ~name:"compiled expressions match the reference, all ABIs"
+      ~count:20 arb_expr
+      (fun e ->
+        (* Mul can overflow 63-bit ints differently than C's 64-bit; our
+           reference uses OCaml ints like the simulator, so values agree. *)
+        let expect = eval_ref e in
+        run_expr ~abi:Abi.Mips64 e = expect
+        && run_expr ~abi:Abi.Cheriabi e = expect
+        && run_expr ~abi:Abi.Asan e = expect) ]
+
+(* --- Benchmarks ----------------------------------------------------------------------- *)
+
+let test_benchmark_outputs_agree () =
+  (* Spot-check three kernels: identical output and sane overhead. *)
+  List.iter
+    (fun name ->
+      let src = Option.get (Mibench.find name) in
+      let c = Harness.compare_abis ~name src in
+      Alcotest.(check bool)
+        (name ^ " cycle overhead within +-15%")
+        true
+        (abs_float c.Harness.c_cycle_pct < 15.0))
+    [ "security-sha"; "auto-qsort"; "spec2006-xalancbmk" ]
+
+let test_initdb_all_abis () =
+  let base = Minipg.run ~abi:Abi.Mips64 () in
+  let cheri = Minipg.run ~abi:Abi.Cheriabi () in
+  let asan = Minipg.run ~abi:Abi.Asan () in
+  Alcotest.(check bool) "mips64 ok" true (Harness.ok base);
+  Alcotest.(check bool) "cheriabi ok" true (Harness.ok cheri);
+  Alcotest.(check bool) "asan ok" true (Harness.ok asan);
+  Alcotest.(check string) "same output" base.Harness.m_output
+    cheri.Harness.m_output;
+  Alcotest.(check bool) "cheriabi costs more cycles" true
+    (cheri.Harness.m_cycles > base.Harness.m_cycles);
+  Alcotest.(check bool) "asan costs much more" true
+    (float_of_int asan.Harness.m_cycles
+     > 1.3 *. float_of_int base.Harness.m_cycles)
+
+let test_clc_ablation_direction () =
+  let big = Minipg.run ~abi:Abi.Cheriabi () in
+  let small =
+    Minipg.run
+      ~opts:(Some { (Cheri_cc.Compile.default_options Abi.Cheriabi) with clc_large_imm = false })
+      ~abi:Abi.Cheriabi ()
+  in
+  Alcotest.(check bool) "small imm slower" true
+    (small.Harness.m_cycles > big.Harness.m_cycles);
+  Alcotest.(check bool) "small imm bigger code" true
+    (small.Harness.m_code_bytes > big.Harness.m_code_bytes)
+
+(* --- BOdiagsuite (sampled: every 13th test, all variants, all ABIs) --------------------- *)
+
+let test_bodiag_sample_invariants () =
+  let sample =
+    List.filteri (fun i _ -> i mod 13 = 0) Bodiag.tests
+  in
+  List.iter
+    (fun t ->
+      (* ok variants pass everywhere *)
+      List.iter
+        (fun abi ->
+          match Bodiag.run_one ~abi t Bodiag.Vok with
+          | Bodiag.Missed -> ()
+          | Bodiag.Detected d ->
+            Alcotest.failf "test %d ok spuriously detected (%s, %s)"
+              t.Bodiag.t_id d (Abi.to_string abi)
+          | Bodiag.Error e -> Alcotest.failf "test %d ok error: %s" t.Bodiag.t_id e)
+        [ Abi.Mips64; Abi.Cheriabi; Abi.Asan ];
+      (* cheriabi catches every large variant *)
+      match Bodiag.run_one ~abi:Abi.Cheriabi t Bodiag.Vlarge with
+      | Bodiag.Detected _ -> ()
+      | Bodiag.Missed ->
+        Alcotest.failf "cheriabi missed large variant of %d" t.Bodiag.t_id
+      | Bodiag.Error e -> Alcotest.failf "large error: %s" e)
+    sample
+
+let test_bodiag_intra_object_semantics () =
+  (* The documented CheriABI blind spot. *)
+  let intra =
+    List.find
+      (fun t -> t.Bodiag.t_family = Bodiag.Fintra false)
+      Bodiag.tests
+  in
+  (match Bodiag.run_one ~abi:Abi.Cheriabi intra Bodiag.Vmin with
+   | Bodiag.Missed -> ()
+   | _ -> Alcotest.fail "intra-object min should be missed");
+  match Bodiag.run_one ~abi:Abi.Cheriabi intra Bodiag.Vmed with
+  | Bodiag.Detected _ -> ()
+  | _ -> Alcotest.fail "shallow intra-object med should be caught"
+
+(* --- Table 1 suites ----------------------------------------------------------------------- *)
+
+let test_suites_shape () =
+  let sys_m = Testsuite.run_system_suite ~abi:Abi.Mips64 in
+  Alcotest.(check int) "mips64 system all pass" 0 sys_m.Testsuite.failed;
+  let sys_c = Testsuite.run_system_suite ~abi:Abi.Cheriabi in
+  Alcotest.(check int) "cheriabi system fails the 4 idiom tests" 4
+    sys_c.Testsuite.failed;
+  Alcotest.(check int) "cheriabi skips sbrk" 1 sys_c.Testsuite.skipped;
+  let pg_c = Testsuite.run_pg_suite ~abi:Abi.Cheriabi in
+  Alcotest.(check int) "postgres cheriabi fails 2" 2 pg_c.Testsuite.failed;
+  let xx_c = Testsuite.run_xx_suite ~abi:Abi.Cheriabi in
+  Alcotest.(check int) "libc++-like cheriabi fails 5 (atomics)" 5
+    xx_c.Testsuite.failed
+
+(* --- Figure 5 / syscall benches -------------------------------------------------------------- *)
+
+let test_openssl_trace_properties () =
+  let status, _, events = Openssl_sim.run_traced () in
+  Alcotest.(check bool) "exchange succeeded" true
+    (status = Some (Cheri_kernel.Proc.Exited 0));
+  let module G = Cheri_core.Granularity in
+  let regions =
+    G.regions_of_trace ~stack_range:Openssl_sim.stack_range events
+  in
+  let es = G.entries regions events in
+  let s = G.summarize es in
+  Alcotest.(check bool) "hundreds of capabilities" true (s.G.s_total > 100);
+  Alcotest.(check bool) "mostly small" true (s.G.s_pct_under_1k > 80.0);
+  Alcotest.(check bool) "none over 16MiB" true s.G.s_largest_under_16m;
+  (* The audit: everything in the trace derives from a user root. *)
+  let root =
+    Cheri_cap.Cap.make_root ~base:Cheri_vm.Addr_space.user_base_default
+      ~top:Cheri_vm.Addr_space.user_top_default ()
+  in
+  Alcotest.(check int) "abstract-capability audit clean" 0
+    (List.length (Cheri_core.Abstract_cap.audit ~principal:1 ~root events))
+
+let test_sysbench_shape () =
+  let rs = Sysbench.run_all () in
+  let get n = (List.find (fun r -> r.Sysbench.r_name = n) rs).Sysbench.r_pct in
+  Alcotest.(check bool) "fork slower under cheriabi" true (get "fork" > 0.0);
+  Alcotest.(check bool) "select faster under cheriabi" true
+    (get "select" < 0.0);
+  Alcotest.(check bool) "getpid small" true (abs_float (get "getpid") < 10.0)
+
+let test_bug_census () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (v.Bugs.v_name ^ " detected by cheriabi") true
+        v.Bugs.v_detected_by_cheri;
+      Alcotest.(check string) (v.Bugs.v_name ^ " silent on mips64") "silent"
+        v.Bugs.v_mips64)
+    (Bugs.run_all ())
+
+let suite =
+  [ "benchmark outputs agree", `Slow, test_benchmark_outputs_agree;
+    "initdb all ABIs", `Slow, test_initdb_all_abis;
+    "CLC ablation direction", `Slow, test_clc_ablation_direction;
+    "bodiag sample invariants", `Slow, test_bodiag_sample_invariants;
+    "bodiag intra-object semantics", `Quick, test_bodiag_intra_object_semantics;
+    "table-1 suite shape", `Slow, test_suites_shape;
+    "openssl trace properties", `Quick, test_openssl_trace_properties;
+    "sysbench shape", `Slow, test_sysbench_shape;
+    "bug census", `Quick, test_bug_census ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_differential
+
+(* --- Cache study direction --------------------------------------------------------------- *)
+
+let test_cache_study_direction () =
+  (* With a tiny L2 the pointer-size footprint difference must show up as
+     more CheriABI L2 misses; and the cheriabi miss count must shrink as
+     the L2 grows. *)
+  let rows =
+    Harness.cache_study ~name:"patricia" ~l2_sizes:[ 64; 512 ]
+      (Option.get (Mibench.find "network-patricia"))
+  in
+  match rows with
+  | [ (_, _, base_small, cheri_small); (_, _, _, cheri_big) ] ->
+    Alcotest.(check bool) "cheri misses more at small L2" true
+      (cheri_small > base_small);
+    Alcotest.(check bool) "bigger L2 helps cheri" true
+      (cheri_big < cheri_small)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let cache_suite =
+  [ "cache study direction", `Slow, test_cache_study_direction ]

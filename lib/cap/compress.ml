@@ -51,13 +51,23 @@ let crrl len =
 let is_exact ~base ~len = crrl len = len && base land lnot (cram len) = 0
 
 (* Pad a requested span out to a representable one. Returns (base, top).
-   The padded span always contains the request. *)
+   The padded span always contains the request.
+
+   Aligning the base down grows the length, which can push it across an
+   exponent boundary; the larger exponent then demands *coarser* base
+   alignment, so one align-down/round-up pass is not enough. Iterate to a
+   fixpoint: each step only lowers the base and raises the top, and the
+   exponent is bounded, so the loop terminates (in practice in <= 2
+   passes) with a span that satisfies [is_exact]. *)
 let pad ~base ~top =
-  let len = top - base in
-  let mask = lnot (cram len) in
-  let pbase = base land lnot mask in
-  let plen = crrl (top - pbase) in
-  pbase, pbase + plen
+  let rec go pbase ptop =
+    let len = ptop - pbase in
+    let pbase' = pbase land cram len in
+    let ptop' = pbase' + crrl (ptop - pbase') in
+    if pbase' = pbase && ptop' = ptop then pbase, ptop
+    else go pbase' ptop'
+  in
+  go base top
 
 (* How far outside [base, top) the cursor may sit while remaining
    representable. Small objects get a fixed slack (one page); larger ones

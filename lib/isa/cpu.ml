@@ -128,77 +128,75 @@ let step m ctx : stop option =
     let insn = m.fetch pc in
     ctx.cycles <- ctx.cycles + Insn.base_cycles insn;
     ctx.instret <- ctx.instret + 1;
-    let g = rd_gpr ctx and c = rd_creg ctx in
-    let sg = wr_gpr ctx and sc = wr_creg ctx in
     let next = ref (pc + 4) in
     let next_pcc = ref None in    (* capability jump replaces PCC wholesale *)
     let stop = ref None in
     (match insn with
-     | Insn.Li (rd, v) -> sg rd v
-     | Move (rd, rs) -> sg rd (g rs)
-     | Addu (rd, rs, rt) -> sg rd (g rs + g rt)
-     | Addiu (rd, rs, i) -> sg rd (g rs + i)
-     | Subu (rd, rs, rt) -> sg rd (g rs - g rt)
-     | Mul (rd, rs, rt) -> sg rd (g rs * g rt)
+     | Insn.Li (rd, v) -> wr_gpr ctx rd v
+     | Move (rd, rs) -> wr_gpr ctx rd (rd_gpr ctx rs)
+     | Addu (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs + rd_gpr ctx rt)
+     | Addiu (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs + i)
+     | Subu (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs - rd_gpr ctx rt)
+     | Mul (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs * rd_gpr ctx rt)
      | Div (rd, rs, rt) ->
-       if g rt = 0 then Trap.raise_trap Trap.Div_by_zero;
-       sg rd (g rs / g rt)
+       if rd_gpr ctx rt = 0 then Trap.raise_trap Trap.Div_by_zero;
+       wr_gpr ctx rd (rd_gpr ctx rs / rd_gpr ctx rt)
      | Rem (rd, rs, rt) ->
-       if g rt = 0 then Trap.raise_trap Trap.Div_by_zero;
-       sg rd (g rs mod g rt)
-     | And_ (rd, rs, rt) -> sg rd (g rs land g rt)
-     | Andi (rd, rs, i) -> sg rd (g rs land i)
-     | Or_ (rd, rs, rt) -> sg rd (g rs lor g rt)
-     | Ori (rd, rs, i) -> sg rd (g rs lor i)
-     | Xor_ (rd, rs, rt) -> sg rd (g rs lxor g rt)
-     | Xori (rd, rs, i) -> sg rd (g rs lxor i)
-     | Nor_ (rd, rs, rt) -> sg rd (lnot (g rs lor g rt))
-     | Sll (rd, rs, sh) -> sg rd (g rs lsl sh)
-     | Srl (rd, rs, sh) -> sg rd (g rs lsr sh)
-     | Sra (rd, rs, sh) -> sg rd (g rs asr sh)
-     | Sllv (rd, rs, rt) -> sg rd (g rs lsl (g rt land 63))
-     | Srlv (rd, rs, rt) -> sg rd (g rs lsr (g rt land 63))
-     | Srav (rd, rs, rt) -> sg rd (g rs asr (g rt land 63))
-     | Slt (rd, rs, rt) -> sg rd (if g rs < g rt then 1 else 0)
+       if rd_gpr ctx rt = 0 then Trap.raise_trap Trap.Div_by_zero;
+       wr_gpr ctx rd (rd_gpr ctx rs mod rd_gpr ctx rt)
+     | And_ (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs land rd_gpr ctx rt)
+     | Andi (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs land i)
+     | Or_ (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lor rd_gpr ctx rt)
+     | Ori (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs lor i)
+     | Xor_ (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lxor rd_gpr ctx rt)
+     | Xori (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs lxor i)
+     | Nor_ (rd, rs, rt) -> wr_gpr ctx rd (lnot (rd_gpr ctx rs lor rd_gpr ctx rt))
+     | Sll (rd, rs, sh) -> wr_gpr ctx rd (rd_gpr ctx rs lsl sh)
+     | Srl (rd, rs, sh) -> wr_gpr ctx rd (rd_gpr ctx rs lsr sh)
+     | Sra (rd, rs, sh) -> wr_gpr ctx rd (rd_gpr ctx rs asr sh)
+     | Sllv (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lsl (rd_gpr ctx rt land 63))
+     | Srlv (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lsr (rd_gpr ctx rt land 63))
+     | Srav (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs asr (rd_gpr ctx rt land 63))
+     | Slt (rd, rs, rt) -> wr_gpr ctx rd (if rd_gpr ctx rs < rd_gpr ctx rt then 1 else 0)
      | Sltu (rd, rs, rt) ->
        (* Unsigned compare on 63-bit OCaml ints: compare shifted. *)
-       let a = g rs and b = g rt in
+       let a = rd_gpr ctx rs and b = rd_gpr ctx rt in
        let ua = a lxor min_int and ub = b lxor min_int in
-       sg rd (if ua < ub then 1 else 0)
-     | Slti (rd, rs, i) -> sg rd (if g rs < i then 1 else 0)
+       wr_gpr ctx rd (if ua < ub then 1 else 0)
+     | Slti (rd, rs, i) -> wr_gpr ctx rd (if rd_gpr ctx rs < i then 1 else 0)
      | Sltiu (rd, rs, i) ->
-       let ua = g rs lxor min_int and ub = i lxor min_int in
-       sg rd (if ua < ub then 1 else 0)
-     | Beq (rs, rt, t) -> if g rs = g rt then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | Bne (rs, rt, t) -> if g rs <> g rt then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | Blez (rs, t) -> if g rs <= 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | Bgtz (rs, t) -> if g rs > 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | Bltz (rs, t) -> if g rs < 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | Bgez (rs, t) -> if g rs >= 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
+       let ua = rd_gpr ctx rs lxor min_int and ub = i lxor min_int in
+       wr_gpr ctx rd (if ua < ub then 1 else 0)
+     | Beq (rs, rt, t) -> if rd_gpr ctx rs = rd_gpr ctx rt then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bne (rs, rt, t) -> if rd_gpr ctx rs <> rd_gpr ctx rt then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | Blez (rs, t) -> if rd_gpr ctx rs <= 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bgtz (rs, t) -> if rd_gpr ctx rs > 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bltz (rs, t) -> if rd_gpr ctx rs < 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bgez (rs, t) -> if rd_gpr ctx rs >= 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
      | J t -> next := t
-     | Jal t -> sg Reg.ra (pc + 4); next := t
-     | Jr rs -> next := g rs
-     | Jalr (rd, rs) -> sg rd (pc + 4); next := g rs
+     | Jal t -> wr_gpr ctx Reg.ra (pc + 4); next := t
+     | Jr rs -> next := rd_gpr ctx rs
+     | Jalr (rd, rs) -> wr_gpr ctx rd (pc + 4); next := rd_gpr ctx rs
      | Load { w; signed; rd; base; off } ->
-       let vaddr = g base + off in
+       let vaddr = rd_gpr ctx base + off in
        check_cap ctx.ddc ~reg:(-2) ~perm:Perms.load ~vaddr ~len:w;
-       sg rd (mem_read m ctx vaddr w ~signed)
+       wr_gpr ctx rd (mem_read m ctx vaddr w ~signed)
      | Store { w; rs; base; off } ->
-       let vaddr = g base + off in
+       let vaddr = rd_gpr ctx base + off in
        check_cap ctx.ddc ~reg:(-2) ~perm:Perms.store ~vaddr ~len:w;
-       mem_write m ctx vaddr w (g rs)
+       mem_write m ctx vaddr w (rd_gpr ctx rs)
      | CLoad { w; signed; rd; cb; off } ->
-       let cap = c cb in
+       let cap = rd_creg ctx cb in
        let vaddr = Cap.addr cap + off in
        check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:w;
-       sg rd (mem_read m ctx vaddr w ~signed)
+       wr_gpr ctx rd (mem_read m ctx vaddr w ~signed)
      | CStore { w; rs; cb; off } ->
-       let cap = c cb in
+       let cap = rd_creg ctx cb in
        let vaddr = Cap.addr cap + off in
        check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:w;
-       mem_write m ctx vaddr w (g rs)
+       mem_write m ctx vaddr w (rd_gpr ctx rs)
      | CLC { cd; cb; off } ->
-       let cap = c cb in
+       let cap = rd_creg ctx cb in
        let vaddr = Cap.addr cap + off in
        check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:Cap.sizeof;
        let loaded = mem_read_cap m ctx vaddr in
@@ -207,12 +205,12 @@ let step m ctx : stop option =
          if Perms.has (Cap.perms cap) Perms.load_cap then loaded
          else Cap.clear_tag loaded
        in
-       sc cd loaded
+       wr_creg ctx cd loaded
      | CSC { cs; cb; off } ->
-       let cap = c cb in
+       let cap = rd_creg ctx cb in
        let vaddr = Cap.addr cap + off in
        check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:Cap.sizeof;
-       let v = c cs in
+       let v = rd_creg ctx cs in
        if Cap.is_tagged v then begin
          if not (Perms.has (Cap.perms cap) Perms.store_cap) then
            cap_fault (Cap.Permit_violation Perms.store_cap) ~reg:cb ~vaddr;
@@ -221,75 +219,75 @@ let step m ctx : stop option =
          then cap_fault (Cap.Permit_violation Perms.store_local_cap) ~reg:cb ~vaddr
        end;
        mem_write_cap m ctx vaddr v
-     | CMove (cd, cb) -> sc cd (c cb)
-     | CGetBase (rd, cb) -> sg rd (Cap.base (c cb))
-     | CGetLen (rd, cb) -> sg rd (Cap.length (c cb))
-     | CGetAddr (rd, cb) -> sg rd (Cap.addr (c cb))
-     | CGetOffset (rd, cb) -> sg rd (Cap.offset (c cb))
-     | CGetPerm (rd, cb) -> sg rd (Cap.perms (c cb))
-     | CGetTag (rd, cb) -> sg rd (if Cap.is_tagged (c cb) then 1 else 0)
-     | CGetType (rd, cb) -> sg rd (Cap.otype (c cb))
+     | CMove (cd, cb) -> wr_creg ctx cd (rd_creg ctx cb)
+     | CGetBase (rd, cb) -> wr_gpr ctx rd (Cap.base (rd_creg ctx cb))
+     | CGetLen (rd, cb) -> wr_gpr ctx rd (Cap.length (rd_creg ctx cb))
+     | CGetAddr (rd, cb) -> wr_gpr ctx rd (Cap.addr (rd_creg ctx cb))
+     | CGetOffset (rd, cb) -> wr_gpr ctx rd (Cap.offset (rd_creg ctx cb))
+     | CGetPerm (rd, cb) -> wr_gpr ctx rd (Cap.perms (rd_creg ctx cb))
+     | CGetTag (rd, cb) -> wr_gpr ctx rd (if Cap.is_tagged (rd_creg ctx cb) then 1 else 0)
+     | CGetType (rd, cb) -> wr_gpr ctx rd (Cap.otype (rd_creg ctx cb))
      | CSetBounds (cd, cb, rt) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.set_bounds (c cb) ~len:(g rt)) in
+       let r = derive ~reg:cb ~pc (fun () -> Cap.set_bounds (rd_creg ctx cb) ~len:(rd_gpr ctx rt)) in
        trace_derive m ctx "csetbounds" r;
-       sc cd r
+       wr_creg ctx cd r
      | CSetBoundsImm (cd, cb, len) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.set_bounds (c cb) ~len) in
+       let r = derive ~reg:cb ~pc (fun () -> Cap.set_bounds (rd_creg ctx cb) ~len) in
        trace_derive m ctx "csetbounds" r;
-       sc cd r
+       wr_creg ctx cd r
      | CSetBoundsExact (cd, cb, rt) ->
        let r =
-         derive ~reg:cb ~pc (fun () -> Cap.set_bounds ~exact:true (c cb) ~len:(g rt))
+         derive ~reg:cb ~pc (fun () -> Cap.set_bounds ~exact:true (rd_creg ctx cb) ~len:(rd_gpr ctx rt))
        in
        trace_derive m ctx "csetboundsexact" r;
-       sc cd r
+       wr_creg ctx cd r
      | CAndPerm (cd, cb, rt) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.and_perms (c cb) (g rt)) in
+       let r = derive ~reg:cb ~pc (fun () -> Cap.and_perms (rd_creg ctx cb) (rd_gpr ctx rt)) in
        trace_derive m ctx "candperm" r;
-       sc cd r
+       wr_creg ctx cd r
      | CAndPermImm (cd, cb, mask) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.and_perms (c cb) mask) in
+       let r = derive ~reg:cb ~pc (fun () -> Cap.and_perms (rd_creg ctx cb) mask) in
        trace_derive m ctx "candperm" r;
-       sc cd r
-     | CIncOffset (cd, cb, rt) -> sc cd (Cap.inc_addr (c cb) (g rt))
-     | CIncOffsetImm (cd, cb, i) -> sc cd (Cap.inc_addr (c cb) i)
-     | CSetAddr (cd, cb, rt) -> sc cd (Cap.set_addr (c cb) (g rt))
-     | CClearTag (cd, cb) -> sc cd (Cap.clear_tag (c cb))
+       wr_creg ctx cd r
+     | CIncOffset (cd, cb, rt) -> wr_creg ctx cd (Cap.inc_addr (rd_creg ctx cb) (rd_gpr ctx rt))
+     | CIncOffsetImm (cd, cb, i) -> wr_creg ctx cd (Cap.inc_addr (rd_creg ctx cb) i)
+     | CSetAddr (cd, cb, rt) -> wr_creg ctx cd (Cap.set_addr (rd_creg ctx cb) (rd_gpr ctx rt))
+     | CClearTag (cd, cb) -> wr_creg ctx cd (Cap.clear_tag (rd_creg ctx cb))
      | CFromPtr (cd, cb, rt) ->
-       let src = if cb = 0 then ctx.ddc else c cb in
-       let r = derive ~reg:cb ~pc (fun () -> Cap.from_ptr src (g rt)) in
+       let src = if cb = 0 then ctx.ddc else rd_creg ctx cb in
+       let r = derive ~reg:cb ~pc (fun () -> Cap.from_ptr src (rd_gpr ctx rt)) in
        trace_derive m ctx "cfromptr" r;
-       sc cd r
+       wr_creg ctx cd r
      | CSeal (cd, cb, ct) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.seal (c cb) ~with_:(c ct)) in
-       sc cd r
+       let r = derive ~reg:cb ~pc (fun () -> Cap.seal (rd_creg ctx cb) ~with_:(rd_creg ctx ct)) in
+       wr_creg ctx cd r
      | CUnseal (cd, cb, ct) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.unseal (c cb) ~with_:(c ct)) in
-       sc cd r
-     | CRRL (rd, rs) -> sg rd (Cheri_cap.Compress.crrl (g rs))
-     | CRAM (rd, rs) -> sg rd (Cheri_cap.Compress.cram (g rs))
+       let r = derive ~reg:cb ~pc (fun () -> Cap.unseal (rd_creg ctx cb) ~with_:(rd_creg ctx ct)) in
+       wr_creg ctx cd r
+     | CRRL (rd, rs) -> wr_gpr ctx rd (Cheri_cap.Compress.crrl (rd_gpr ctx rs))
+     | CRAM (rd, rs) -> wr_gpr ctx rd (Cheri_cap.Compress.cram (rd_gpr ctx rs))
      | CJR cb ->
-       let target = c cb in
+       let target = rd_creg ctx cb in
        if not (Cap.is_tagged target) then
          cap_fault Cap.Tag_violation ~reg:cb ~vaddr:pc;
        next_pcc := Some target
      | CJAL (cd, t) ->
-       sc cd (Cap.set_addr ctx.pcc (pc + 4));
+       wr_creg ctx cd (Cap.set_addr ctx.pcc (pc + 4));
        next := t
      | CJALR (cd, cb) ->
-       let target = c cb in
+       let target = rd_creg ctx cb in
        if not (Cap.is_tagged target) then
          cap_fault Cap.Tag_violation ~reg:cb ~vaddr:pc;
-       sc cd (Cap.set_addr ctx.pcc (pc + 4));
+       wr_creg ctx cd (Cap.set_addr ctx.pcc (pc + 4));
        next_pcc := Some target
      | CReadDDC cd ->
        if not (Perms.has (Cap.perms ctx.pcc) Perms.system_regs) then
          cap_fault (Cap.Permit_violation Perms.system_regs) ~reg:cd ~vaddr:pc;
-       sc cd ctx.ddc
+       wr_creg ctx cd ctx.ddc
      | CWriteDDC cb ->
        if not (Perms.has (Cap.perms ctx.pcc) Perms.system_regs) then
          cap_fault (Cap.Permit_violation Perms.system_regs) ~reg:cb ~vaddr:pc;
-       ctx.ddc <- c cb
+       ctx.ddc <- rd_creg ctx cb
      | Syscall -> stop := Some Stop_syscall
      | Break n -> Trap.raise_trap (Trap.Break_trap n)
      | Rt n -> stop := Some (Stop_rt n)

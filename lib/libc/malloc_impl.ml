@@ -18,6 +18,8 @@ module Perms = Cheri_cap.Perms
 module Compress = Cheri_cap.Compress
 module Abi = Cheri_core.Abi
 module Addr_space = Cheri_vm.Addr_space
+module Pmap = Cheri_vm.Pmap
+module Tagmem = Cheri_tagmem.Tagmem
 module K = Cheri_kernel.Kstate
 module Proc = Cheri_kernel.Proc
 module Sys_impl = Cheri_kernel.Sys_impl
@@ -54,10 +56,15 @@ type alloc_info = {
 type arena = {
   a_abi : Abi.t;
   mutable a_chunks : chunk list;
+  (* Interval index: page number -> owning chunk, so the per-allocation
+     parent-capability lookup is O(1) instead of a chunk-list walk. *)
+  a_chunk_pages : (int, chunk) Hashtbl.t;
   a_free : int list array;     (* per-class free lists of addresses *)
   a_live : (int, alloc_info) Hashtbl.t;
   mutable a_mallocs : int;
   mutable a_frees : int;
+  mutable a_tags_cleared : int;  (* stale capabilities swept by free() *)
+  mutable a_unmap_leaks : int;   (* large frees whose unmap failed *)
 }
 
 (* Arenas are keyed by address-space principal, so a fresh image (execve)
@@ -70,8 +77,10 @@ let arena_of (p : Proc.t) =
   | Some a -> a
   | None ->
     let a =
-      { a_abi = p.Proc.abi; a_chunks = []; a_free = Array.make nclasses [];
-        a_live = Hashtbl.create 64; a_mallocs = 0; a_frees = 0 }
+      { a_abi = p.Proc.abi; a_chunks = []; a_chunk_pages = Hashtbl.create 64;
+        a_free = Array.make nclasses [];
+        a_live = Hashtbl.create 64; a_mallocs = 0; a_frees = 0;
+        a_tags_cleared = 0; a_unmap_leaks = 0 }
     in
     Hashtbl.replace arenas key a;
     a
@@ -91,6 +100,16 @@ let notify_map k p base len =
    never sit at the very start of a mapping. *)
 let chunk_header = 16
 
+let page_shift = Cheri_tagmem.Phys.page_shift
+
+(* Register every page of a fresh chunk in the interval index. *)
+let index_chunk a ck =
+  let first = ck.ck_base lsr page_shift
+  and last = (ck.ck_base + ck.ck_len - 1) lsr page_shift in
+  for pg = first to last do
+    Hashtbl.replace a.a_chunk_pages pg ck
+  done
+
 (* Acquire a chunk through the mmap syscall path (paying its costs and,
    under CheriABI, receiving a VMMAP capability). *)
 let grow k (p : Proc.t) a =
@@ -104,12 +123,14 @@ let grow k (p : Proc.t) a =
     let ck = { ck_base = base; ck_len = chunk_size; ck_cap = None;
                ck_next = base + chunk_header } in
     a.a_chunks <- ck :: a.a_chunks;
+    index_chunk a ck;
     notify_map k p base chunk_size;
     ck
   | Sys_impl.RPtr (Uarg.Ucap c) ->
     let ck = { ck_base = Cap.base c; ck_len = chunk_size; ck_cap = Some c;
                ck_next = Cap.base c + chunk_header } in
     a.a_chunks <- ck :: a.a_chunks;
+    index_chunk a ck;
     notify_map k p (Cap.base c) chunk_size;
     ck
   | Sys_impl.RInt _ | Sys_impl.RNone -> raise (Alloc_fault Errno.ENOMEM)
@@ -151,14 +172,12 @@ let carve k p a ci =
   in
   find a.a_chunks
 
+(* O(1) via the page index: a page belongs to at most one chunk. *)
 let chunk_cap_for a addr =
-  let rec go = function
-    | [] -> None
-    | ck :: rest ->
-      if addr >= ck.ck_base && addr < ck.ck_base + ck.ck_len then ck.ck_cap
-      else go rest
-  in
-  go a.a_chunks
+  match Hashtbl.find_opt a.a_chunk_pages (addr lsr page_shift) with
+  | Some ck when addr >= ck.ck_base && addr < ck.ck_base + ck.ck_len ->
+    ck.ck_cap
+  | _ -> None
 
 (* Heap-pointer permissions: data access only — no VMMAP, no EXECUTE. *)
 let heap_perms = Perms.data
@@ -204,6 +223,29 @@ let lookup (p : Proc.t) addr =
   let a = arena_of p in
   Hashtbl.find_opt a.a_live addr
 
+(* Sweep stale capabilities off the freed object: clear every tag covering
+   [addr, addr+len). Without this a recycled allocation can read a tagged
+   capability left behind by its previous owner — the heap capability-leak
+   class that CHERI temporal-safety work (CHERIvoke / Cornucopia) targets.
+   Only resident pages can carry tags (zero-fill and swap-in rewrite the
+   others), so the sweep never faults anything in. *)
+let sweep_freed_tags (p : Proc.t) addr len =
+  let pmap = Addr_space.pmap p.Proc.asp in
+  let mem = Pmap.mem pmap in
+  let page = Addr_space.page_size in
+  let cleared = ref 0 in
+  let first = addr lsr page_shift and last = (addr + len - 1) lsr page_shift in
+  for pg = first to last do
+    let va = pg * page in
+    match Pmap.resident_pa pmap va with
+    | None -> ()
+    | Some pa ->
+      let lo = max addr va and hi = min (addr + len) (va + page) in
+      cleared :=
+        !cleared + Tagmem.clear_tags_covering_count mem (pa + (lo - va)) (hi - lo)
+  done;
+  !cleared
+
 let free k (p : Proc.t) addr =
   let a = arena_of p in
   match Hashtbl.find_opt a.a_live addr with
@@ -212,16 +254,33 @@ let free k (p : Proc.t) addr =
     Hashtbl.remove a.a_live addr;
     a.a_frees <- a.a_frees + 1;
     K.charge k p 60;
+    let freed_span =
+      if info.ai_class >= 0 then size_classes.(info.ai_class)
+      else Compress.crrl info.ai_size
+    in
+    a.a_tags_cleared <- a.a_tags_cleared + sweep_freed_tags p addr freed_span;
     if info.ai_class >= 0 then
       a.a_free.(info.ai_class) <- addr :: a.a_free.(info.ai_class)
     else begin
-      (* Large allocation: unmap its dedicated region. *)
-      let rlen = Compress.crrl info.ai_size in
+      (* Large allocation: unmap its dedicated region. map_large mapped a
+         page-aligned span, so unmap the same page-aligned length; a failed
+         unmap is a real leak and is counted, not swallowed. *)
+      let rlen = Addr_space.page_align_up (Compress.crrl info.ai_size) in
       try Addr_space.unmap p.Proc.asp ~start:addr ~len:rlen
-      with Addr_space.Map_error _ -> ()
+      with Addr_space.Map_error _ -> a.a_unmap_leaks <- a.a_unmap_leaks + 1
     end;
     info
 
+type arena_stats = {
+  st_mallocs : int;
+  st_frees : int;
+  st_live : int;
+  st_tags_cleared : int;   (* stale capabilities swept on free *)
+  st_unmap_leaks : int;    (* large frees whose unmap failed *)
+}
+
 let stats (p : Proc.t) =
   let a = arena_of p in
-  a.a_mallocs, a.a_frees, Hashtbl.length a.a_live
+  { st_mallocs = a.a_mallocs; st_frees = a.a_frees;
+    st_live = Hashtbl.length a.a_live;
+    st_tags_cleared = a.a_tags_cleared; st_unmap_leaks = a.a_unmap_leaks }

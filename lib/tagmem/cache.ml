@@ -3,17 +3,27 @@
    Used purely for cycle accounting: the benchmark platform in the paper is
    an FPGA CHERI-MIPS with 32 KiB L1 caches and a shared 256 KiB L2, and
    Figure 4 reports L2-miss overheads. We model a two-level hierarchy
-   (separate I/D L1s over a shared L2) with fixed hit/miss latencies. *)
+   (separate I/D L1s over a shared L2) with fixed hit/miss latencies.
+
+   Geometry is required to be power-of-two (sets and line size), so set and
+   tag extraction are a mask and a shift, never a division. Tag/LRU state
+   is kept in flat arrays indexed [set * ways + way]; the way scan is
+   unrolled for the common 4-way (and smaller) configurations. Replacement
+   decisions and hit/miss statistics are bit-identical to the reference
+   per-set implementation — bench/micro.ml replays a recorded trace against
+   both to assert it. *)
 
 type t = {
   name : string;
   sets : int;
   ways : int;
+  set_mask : int;     (* sets - 1 *)
+  set_shift : int;    (* log2 sets: line tag = line lsr set_shift *)
   line_shift : int;
-  (* tags.(set).(way) = line tag, or -1 if invalid. *)
-  tags : int array array;
-  (* lru.(set).(way): higher = more recently used. *)
-  lru : int array array;
+  (* tags.(set * ways + way) = line tag, or -1 if invalid. *)
+  tags : int array;
+  (* lru.(set * ways + way): higher = more recently used. *)
+  lru : int array;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -22,13 +32,19 @@ type t = {
 let line_size = 64
 let line_shift = 6
 
+let log2_exact n =
+  let rec go i = if 1 lsl i = n then i else go (i + 1) in
+  go 0
+
 let create ~name ~size ~ways =
   let lines = size / line_size in
   let sets = lines / ways in
-  if sets <= 0 then invalid_arg "Cache.create";
-  { name; sets; ways; line_shift;
-    tags = Array.init sets (fun _ -> Array.make ways (-1));
-    lru = Array.init sets (fun _ -> Array.make ways 0);
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.create: set count must be a positive power of two";
+  { name; sets; ways; set_mask = sets - 1; set_shift = log2_exact sets;
+    line_shift;
+    tags = Array.make (sets * ways) (-1);
+    lru = Array.make (sets * ways) 0;
     clock = 0; hits = 0; misses = 0 }
 
 let hits t = t.hits
@@ -39,42 +55,61 @@ let reset_stats t =
   t.hits <- 0;
   t.misses <- 0
 
-let flush t =
-  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1)) t.tags
+let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)
+
+(* Miss: evict the LRU way of the row starting at [base]. *)
+let fill_line t base tag =
+  t.misses <- t.misses + 1;
+  let victim = ref base in
+  for i = base + 1 to base + t.ways - 1 do
+    if Array.unsafe_get t.lru i < Array.unsafe_get t.lru !victim then victim := i
+  done;
+  Array.unsafe_set t.tags !victim tag;
+  Array.unsafe_set t.lru !victim t.clock;
+  false
+
+let[@inline] hit_way t w =
+  Array.unsafe_set t.lru w t.clock;
+  t.hits <- t.hits + 1;
+  true
 
 (* Probe a single line. Returns true on hit; on miss the line is filled. *)
 let access_line t line =
-  let set = line mod t.sets in
-  let tag = line / t.sets in
-  let tags = t.tags.(set) and lru = t.lru.(set) in
+  let set = line land t.set_mask in
+  let tag = line lsr t.set_shift in
+  let base = set * t.ways in
   t.clock <- t.clock + 1;
-  let rec find w = if w >= t.ways then -1 else if tags.(w) = tag then w else find (w + 1) in
-  let w = find 0 in
-  if w >= 0 then begin
-    lru.(w) <- t.clock;
-    t.hits <- t.hits + 1;
-    true
+  if t.ways = 4 then begin
+    (* Unrolled scan for the 4-way L1s (covers ways <= 4 via the generic
+       arm below; 4 is the hot geometry). *)
+    if Array.unsafe_get t.tags base = tag then hit_way t base
+    else if Array.unsafe_get t.tags (base + 1) = tag then hit_way t (base + 1)
+    else if Array.unsafe_get t.tags (base + 2) = tag then hit_way t (base + 2)
+    else if Array.unsafe_get t.tags (base + 3) = tag then hit_way t (base + 3)
+    else fill_line t base tag
   end else begin
-    t.misses <- t.misses + 1;
-    (* Evict the LRU way. *)
-    let victim = ref 0 in
-    for i = 1 to t.ways - 1 do
-      if lru.(i) < lru.(!victim) then victim := i
-    done;
-    tags.(!victim) <- tag;
-    lru.(!victim) <- t.clock;
-    false
+    let rec find i =
+      if i >= base + t.ways then fill_line t base tag
+      else if Array.unsafe_get t.tags i = tag then hit_way t i
+      else find (i + 1)
+    in
+    find base
   end
 
 (* Probe an access of [len] bytes at [addr]; true iff all lines hit. *)
 let access t addr len =
   let first = addr lsr t.line_shift in
   let last = (addr + (if len > 0 then len - 1 else 0)) lsr t.line_shift in
-  let ok = ref true in
-  for line = first to last do
-    if not (access_line t line) then ok := false
-  done;
-  !ok
+  if first = last then
+    (* Fast path: the common <= 8-byte aligned access touches one line. *)
+    access_line t first
+  else begin
+    let ok = ref true in
+    for line = first to last do
+      if not (access_line t line) then ok := false
+    done;
+    !ok
+  end
 
 (* --- Two-level hierarchy --------------------------------------------------- *)
 

@@ -42,6 +42,9 @@ let fault_count t = t.faults
 
 let find t vaddr = Hashtbl.find_opt t.table (vpn_of vaddr)
 
+(* The physical tagged memory this pmap's frames live in. *)
+let mem t = Phys.mem t.phys
+
 (* Install a range of lazy (zero-fill) pages. *)
 let enter_range t ~vaddr ~len ~prot =
   let first = vpn_of vaddr and last = vpn_of (vaddr + len - 1) in
@@ -116,11 +119,23 @@ and evict_to_swap t ~n =
 let page_fault vaddr ~write ~exec =
   Trap.raise_trap (Trap.Page_fault { vaddr; write; exec })
 
-(* Hot path: virtual -> physical, raising on anything needing the kernel. *)
-let translate t vaddr ~write ~exec =
+(* Physical address of [vaddr] if its page is resident, without faulting,
+   touching protection, or perturbing any statistic. Used by the allocator
+   to sweep tags off freed objects (no tags can live on non-resident
+   pages: zero-fill and swap-in both rewrite them). *)
+let resident_pa t vaddr =
   match Hashtbl.find_opt t.table (vpn_of vaddr) with
-  | None -> page_fault vaddr ~write ~exec
-  | Some e ->
+  | Some { state = Present f; _ } ->
+    Some (Phys.frame_addr f + (vaddr land (page_size - 1)))
+  | _ -> None
+
+(* Hot path: virtual -> physical, raising on anything needing the kernel.
+   Uses [Hashtbl.find] rather than [find_opt] to keep the hit path
+   allocation-free. *)
+let translate t vaddr ~write ~exec =
+  match Hashtbl.find t.table (vpn_of vaddr) with
+  | exception Not_found -> page_fault vaddr ~write ~exec
+  | e ->
     (match e.state with
      | Present f ->
        if (write && not e.prot.Prot.write)

@@ -176,6 +176,26 @@ let test_set_bounds_pads () =
   Alcotest.(check int) "length is crrl-sized" (Compress.crrl (Cap.length c))
     (Cap.length c)
 
+(* Regression for the pre-fixpoint [Compress.pad]. Aligning the base down
+   grows the span; when that growth crosses an exponent boundary, the new
+   exponent demands *coarser* base alignment, which a single
+   align-down/round-up pass does not restore. [base:3 top:16387] is such a
+   span: one pass yields base 2 / len 16388, and an exponent-2 encoding
+   requires 4-byte base alignment — not exact. The fixpoint pad must keep
+   iterating until [is_exact] holds. *)
+let test_pad_fixpoint_regression () =
+  let base = 3 and top = 16387 in
+  (* The old single-pass computation, inlined: *)
+  let obase = base land Compress.cram (top - base) in
+  let otop = obase + Compress.crrl (top - obase) in
+  Alcotest.(check bool) "single align/round pass is not exact" false
+    (Compress.is_exact ~base:obase ~len:(otop - obase));
+  (* The fixed pad reaches an exact span that still covers the request. *)
+  let pbase, ptop = Compress.pad ~base ~top in
+  Alcotest.(check bool) "covers request" true (pbase <= base && ptop >= top);
+  Alcotest.(check bool) "pad result is exact" true
+    (Compress.is_exact ~base:pbase ~len:(ptop - pbase))
+
 (* --- Properties --------------------------------------------------------------- *)
 
 let qcheck_tests =
@@ -211,6 +231,21 @@ let qcheck_tests =
       (fun (base, len) ->
         let pbase, ptop = Compress.pad ~base ~top:(base + len) in
         pbase <= base && ptop >= base + len);
+    Test.make ~name:"pad result is exactly representable" ~count:1000
+      (pair (int_range 0 (1 lsl 30)) (int_range 1 (1 lsl 24)))
+      (fun (base, len) ->
+        let pbase, ptop = Compress.pad ~base ~top:(base + len) in
+        Compress.is_exact ~base:pbase ~len:(ptop - pbase));
+    Test.make ~name:"crrl is monotone in len" ~count:1000
+      (pair (int_range 0 (1 lsl 28)) (int_range 0 (1 lsl 12)))
+      (fun (len, d) -> Compress.crrl len <= Compress.crrl (len + d));
+    Test.make ~name:"cram-aligned base with crrl length is exact" ~count:1000
+      (pair (int_range 0 (1 lsl 30)) (int_range 0 (1 lsl 24)))
+      (fun (base, len) ->
+        (* Alignment must use the mask of the *rounded* length — using the
+           raw length's mask is exactly the pad bug above. *)
+        let rlen = Compress.crrl len in
+        Compress.is_exact ~base:(base land Compress.cram rlen) ~len:rlen);
     Test.make ~name:"untagged caps never pass access checks" ~count:200
       (int_range 0 (1 lsl 20))
       (fun a ->
@@ -239,5 +274,6 @@ let suite =
     "crrl large", `Quick, test_crrl_large_rounds_up;
     "exactness", `Quick, test_exactness;
     "set_bounds exact traps", `Quick, test_set_bounds_exact_traps;
-    "set_bounds pads", `Quick, test_set_bounds_pads ]
+    "set_bounds pads", `Quick, test_set_bounds_pads;
+    "pad fixpoint regression", `Quick, test_pad_fixpoint_regression ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_tests

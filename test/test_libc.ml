@@ -10,6 +10,9 @@ module Kernel = Cheri_kernel.Kernel
 module Proc = Cheri_kernel.Proc
 module Signo = Cheri_kernel.Signo
 module Malloc_impl = Cheri_libc.Malloc_impl
+module Tagmem = Cheri_tagmem.Tagmem
+module Pmap = Cheri_vm.Pmap
+module Addr_space = Cheri_vm.Addr_space
 
 let boot () =
   let k = Kernel.boot () in
@@ -84,16 +87,55 @@ let test_allocations_disjoint () =
         spans)
     spans
 
+let test_free_sweeps_tags () =
+  let k = boot () in
+  let p = proc_for_alloc k in
+  let addr, cap = Malloc_impl.malloc k p 64 in
+  let c = Option.get cap in
+  let pmap = Addr_space.pmap p.Proc.asp in
+  (* Store a capability into the allocation, then free it: the stale tag
+     must be swept so a recycled slot cannot leak the old owner's
+     capability. *)
+  let pa = Option.get (Pmap.kernel_touch pmap addr ~write:true) in
+  let mem = Pmap.mem pmap in
+  Tagmem.write_cap mem pa c;
+  Alcotest.(check bool) "tag present before free" true (Tagmem.get_tag mem pa);
+  ignore (Malloc_impl.free k p addr);
+  Alcotest.(check bool) "tag swept by free" false (Tagmem.get_tag mem pa);
+  let st = Malloc_impl.stats p in
+  Alcotest.(check bool) "sweep counted in stats" true
+    (st.Malloc_impl.st_tags_cleared >= 1);
+  (* The recycled slot hands out untagged memory. *)
+  let addr2, _ = Malloc_impl.malloc k p 64 in
+  Alcotest.(check int) "slot reused" addr addr2;
+  Alcotest.(check bool) "no stale tag after reuse" false (Tagmem.get_tag mem pa)
+
+let test_double_free_stats_consistent () =
+  let k = boot () in
+  let p = proc_for_alloc k in
+  let a, _ = Malloc_impl.malloc k p 64 in
+  ignore (Malloc_impl.free k p a);
+  let st1 = Malloc_impl.stats p in
+  (* A rejected double free must not perturb any counter. *)
+  (try ignore (Malloc_impl.free k p a)
+   with Malloc_impl.Alloc_fault _ -> ());
+  let st2 = Malloc_impl.stats p in
+  Alcotest.(check int) "frees not double counted"
+    st1.Malloc_impl.st_frees st2.Malloc_impl.st_frees;
+  Alcotest.(check int) "tag sweeps not double counted"
+    st1.Malloc_impl.st_tags_cleared st2.Malloc_impl.st_tags_cleared;
+  Alcotest.(check int) "nothing live" 0 st2.Malloc_impl.st_live
+
 let test_large_alloc_unmapped_after_free () =
   let k = boot () in
   let p = proc_for_alloc k in
   let a, _ = Malloc_impl.malloc k p 100_000 in
   ignore (Malloc_impl.free k p a);
-  (* The dedicated region is gone. *)
+  (* The dedicated region is gone, and the unmap succeeded (no leak). *)
   Alcotest.(check bool) "unmapped" true
-    (Cheri_vm.Pmap.kernel_touch
-       (Cheri_vm.Addr_space.pmap p.Proc.asp) a ~write:false
-     = None)
+    (Pmap.kernel_touch (Addr_space.pmap p.Proc.asp) a ~write:false = None);
+  let st = Malloc_impl.stats p in
+  Alcotest.(check int) "no unmap leak" 0 st.Malloc_impl.st_unmap_leaks
 
 (* --- Behaviour through compiled programs ------------------------------------------ *)
 
@@ -234,8 +276,8 @@ let test_tls_isolation_after_exec () =
   let p = proc_for_alloc k in
   let a1, _ = Malloc_impl.malloc k p 64 in
   ignore a1;
-  let m1, f1, live1 = Malloc_impl.stats p in
-  Alcotest.(check int) "one live alloc" 1 (live1 + 0 * m1 * f1);
+  let st = Malloc_impl.stats p in
+  Alcotest.(check int) "one live alloc" 1 st.Malloc_impl.st_live;
   (* run the idle program to completion: its own mallocs are separate *)
   let _ = Kernel.run ~max_steps:1_000_000 k in
   ()
@@ -245,6 +287,9 @@ let suite =
     "malloc strips VMMAP/EXECUTE", `Quick, test_malloc_perms_stripped;
     "free reuses slots", `Quick, test_free_reuses;
     "double free rejected", `Quick, test_double_free_rejected;
+    "free sweeps stale tags", `Quick, test_free_sweeps_tags;
+    "double free leaves stats consistent", `Quick,
+    test_double_free_stats_consistent;
     "allocations disjoint", `Quick, test_allocations_disjoint;
     "large alloc unmapped after free", `Quick,
     test_large_alloc_unmapped_after_free;

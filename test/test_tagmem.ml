@@ -78,6 +78,53 @@ let test_move_unaligned_strips_tags () =
   Tagmem.move m ~src:0x400 ~dst:0x808 ~len:24;
   Alcotest.(check bool) "dst tag stripped" false (Tagmem.get_tag m 0x808)
 
+(* Overlapping moves exercise the word-granule fast path: capabilities must
+   be collected from the source before the destination is rewritten, or an
+   overlapping copy reads its own output. *)
+let test_move_overlap_aligned_forward () =
+  let m = mk () in
+  let c0 = some_cap ~base:0x100 () and c1 = some_cap ~base:0x200 () in
+  Tagmem.write_cap m 0x400 c0;
+  Tagmem.write_cap m 0x410 c1;
+  (* memmove with dst = src + 16: the ranges share [0x410, 0x420). *)
+  Tagmem.move m ~src:0x400 ~dst:0x410 ~len:32;
+  Alcotest.(check bool) "untouched src granule keeps its tag" true
+    (Tagmem.get_tag m 0x400);
+  Alcotest.(check bool) "cap 0 at dst" true
+    (Cap.equal c0 (Tagmem.read_cap m 0x410));
+  Alcotest.(check bool) "cap 1 at dst+16" true
+    (Cap.equal c1 (Tagmem.read_cap m 0x420))
+
+let test_move_overlap_aligned_backward () =
+  let m = mk () in
+  let c0 = some_cap ~base:0x100 () and c1 = some_cap ~base:0x200 () in
+  Tagmem.write_cap m 0x410 c0;
+  Tagmem.write_cap m 0x420 c1;
+  (* memmove with dst = src - 16. *)
+  Tagmem.move m ~src:0x410 ~dst:0x400 ~len:32;
+  Alcotest.(check bool) "cap 0 at dst" true
+    (Cap.equal c0 (Tagmem.read_cap m 0x400));
+  Alcotest.(check bool) "cap 1 at dst+16" true
+    (Cap.equal c1 (Tagmem.read_cap m 0x410));
+  (* The source-only tail granule was never written, so it keeps c1. *)
+  Alcotest.(check bool) "source-only granule keeps its tag" true
+    (Tagmem.get_tag m 0x420)
+
+let test_move_overlap_unaligned () =
+  let m = mk () in
+  let c0 = some_cap ~base:0x100 () in
+  Tagmem.write_cap m 0x400 c0;
+  Tagmem.write_int m 0x410 ~len:8 0xabcdef;
+  (* Unaligned overlapping memmove: the bytes must still be copied with
+     memmove semantics, and every destination granule loses its tag. *)
+  Tagmem.move m ~src:0x400 ~dst:0x408 ~len:24;
+  Alcotest.(check bool) "dst tags stripped" false
+    (Tagmem.get_tag m 0x400 || Tagmem.get_tag m 0x410);
+  Alcotest.(check int) "cursor bytes shifted to dst"
+    (Cap.addr c0) (Tagmem.read_int m 0x408 ~len:8);
+  Alcotest.(check int) "trailing data shifted to dst"
+    0xabcdef (Tagmem.read_int m 0x418 ~len:8)
+
 let test_scan_tags () =
   let m = mk () in
   Tagmem.write_cap m 0x1000 (some_cap ());
@@ -176,6 +223,9 @@ let suite =
     "cap alignment enforced", `Quick, test_cap_alignment;
     "move preserves tags", `Quick, test_move_preserves_tags;
     "unaligned move strips tags", `Quick, test_move_unaligned_strips_tags;
+    "overlapping move forward", `Quick, test_move_overlap_aligned_forward;
+    "overlapping move backward", `Quick, test_move_overlap_aligned_backward;
+    "overlapping move unaligned", `Quick, test_move_overlap_unaligned;
     "scan tags", `Quick, test_scan_tags;
     "fill clears tags", `Quick, test_fill_clears_tags;
     "phys alloc/free", `Quick, test_phys_alloc_free;

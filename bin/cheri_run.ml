@@ -33,11 +33,40 @@ let abi_conv =
   in
   Arg.conv (parse, fun ppf a -> Fmt.string ppf (Abi.to_string a))
 
-let run file abi args dump_asm stats trace no_libc clc_small =
+(* Lines the libc prototypes add in front of the user's source: compile
+   errors are re-biased so they name lines of [file] itself. *)
+let externs_lines =
+  String.fold_left
+    (fun n c -> if c = '\n' then n + 1 else n)
+    0 Cheri_workloads.Stdlib_src.libc_externs
+
+let run file abi args dump_asm stats trace no_libc clc_small lint =
   let src = read_file file in
   let opts =
     { (Cheri_cc.Compile.default_options abi) with clc_large_imm = not clc_small }
   in
+  if lint then begin
+    let externs =
+      if no_libc then "" else Cheri_workloads.Stdlib_src.libc_externs
+    in
+    match Cheri_analysis.Lint.analyze_source ~externs src with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      2
+    | Ok [] ->
+      Printf.printf "%s: no lint diagnostics\n" file;
+      0
+    | Ok diags ->
+      List.iter
+        (fun d ->
+          Printf.printf "%s: %s\n" file (Cheri_analysis.Lint.pp_diag d))
+        diags;
+      Printf.printf "%s: %d diagnostic%s\n" file (List.length diags)
+        (if List.length diags = 1 then "" else "s");
+      1
+  end
+  else begin
+  try
   if dump_asm then begin
     let obj =
       Cheri_cc.Compile.compile_source ~name:"prog" ~opts
@@ -60,7 +89,7 @@ let run file abi args dump_asm stats trace no_libc clc_small =
     (if no_libc then Cheri_cc.Compile.install k ~path:"/bin/prog" ~abi src
      else
        Cheri_workloads.Stdlib_src.install k ~path:"/bin/prog" ~abi
-         ~opts:(Some opts) src);
+         ~opts src);
     let argv = Filename.basename file :: args in
     let status, out, p = Kernel.run_program k ~path:"/bin/prog" ~argv in
     print_string out;
@@ -110,6 +139,11 @@ let run file abi args dump_asm stats trace no_libc clc_small =
     end;
     code
   end
+  with Cheri_cc.Ast.Compile_error msg ->
+    let bias = if no_libc then 0 else externs_lines in
+    Printf.eprintf "%s: %s\n" file (Cheri_analysis.Lint.shift_line ~bias msg);
+    2
+  end
 
 let cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -134,9 +168,15 @@ let cmd =
          & info [ "clc-small-imm" ]
              ~doc:"Use the pre-extension CLC with a small immediate.")
   in
+  let lint =
+    Arg.(value & flag
+         & info [ "lint" ]
+             ~doc:"Run the capability provenance lint instead of executing. \
+                   Exits 0 if clean, 1 with diagnostics, 2 on compile errors.")
+  in
   Cmd.v
     (Cmd.info "cheri_run" ~doc:"Run a CSmall program on the CheriABI simulator")
     Term.(const run $ file $ abi $ args $ dump $ stats $ trace $ no_libc
-          $ clc_small)
+          $ clc_small $ lint)
 
 let () = exit (Cmd.eval' cmd)

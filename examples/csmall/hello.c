@@ -1,0 +1,28 @@
+/* A clean CSmall program: runs identically under every ABI and produces
+   no lint diagnostics.
+
+     dune exec bin/cheri_run.exe -- examples/csmall/hello.c
+     dune exec bin/cheri_run.exe -- --lint examples/csmall/hello.c */
+
+int sum_to(int n) {
+  int s = 0;
+  int i = 1;
+  while (i <= n) { s = s + i; i = i + 1; }
+  return s;
+}
+
+int main(int argc, char **argv) {
+  char buf[32];
+  char *msg = strcpy(buf, "hello, cheriabi");
+  print_str(msg);
+  print_str("\n");
+  print_int(sum_to(10));
+  print_str("\n");
+  int *xs = (int *)malloc(4 * sizeof(int));
+  xs[0] = 3; xs[1] = 1; xs[2] = 2; xs[3] = 0;
+  qsort_ints(xs, 0, 3);
+  print_int(xs[0] * 1000 + xs[1] * 100 + xs[2] * 10 + xs[3]);
+  print_str("\n");
+  free(xs);
+  return 0;
+}

@@ -1,0 +1,59 @@
+/* One of each legacy pointer idiom from the paper's Table 2 taxonomy.
+   Not meant to run: under CheriABI most of these trap. Use the lint:
+
+     dune exec bin/cheri_run.exe -- --lint examples/csmall/lint_demo.c */
+
+int g_table[8];
+
+/* A capability field at a legacy (mips64) offset that is not 16-byte
+   aligned: alignment (A). */
+struct packet {
+  char tag;
+  char *payload;
+};
+
+/* Returning the address of a local: pointer provenance (PP). */
+int *bad_escape(int n) {
+  int tmp[2];
+  tmp[0] = n;
+  return tmp;
+}
+
+/* Deriving an index from a pointer's address with %: hashing (H). */
+int hash_ptr(char *p) {
+  return ((int)p >> 4) % 64;
+}
+
+int main(int argc, char **argv) {
+  /* Integer provenance (IP): a pointer conjured from an integer. */
+  int device = 4096;
+  char *mmio = (char *)device;
+  *mmio = 1;
+
+  /* Pointer as integer (I): a sentinel constant. */
+  char *sentinel = (char *)-1;
+
+  /* Virtual address (VA) + bit flags (BF): round-trip through an int
+     with a flag stashed in the low bit. */
+  char buf[32];
+  char *p = buf;
+  int word = (int)p;
+  char *flagged = (char *)(word | 1);
+
+  /* Alignment (A): aligning by integer mask arithmetic. */
+  char *aligned = (char *)(((int)p + 15) & -16);
+
+  /* Monotonicity (M): a constant out-of-bounds index. */
+  int x = g_table[9];
+
+  /* Pointer shape (PS): copying only half of a capability's bytes. */
+  char *dst;
+  memcpy((char *)&dst, (char *)&p, 8);
+
+  /* Calling convention (CC): an indirect call nobody type-checked. */
+  int *fp = (int *)7;
+  int r = fp(1, 2);
+
+  int *esc = bad_escape(x);
+  return r + hash_ptr(aligned) + *flagged + *sentinel + *dst + esc[0];
+}

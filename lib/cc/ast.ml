@@ -38,7 +38,11 @@ type binop =
   | Eq | Ne | Lt | Le | Gt | Ge
   | Land | Lor
 
-type expr =
+(* Expressions and statements carry the source line they started on, so
+   that Sema diagnostics and the provenance lint can report locations. *)
+type expr = { e : edesc; eline : int }
+
+and edesc =
   | Enum of int
   | Estr of string
   | Evar of string
@@ -54,7 +58,9 @@ type expr =
   | Ecast of ty * expr
   | Esizeof of ty
 
-type stmt =
+type stmt = { s : sdesc; sline : int }
+
+and sdesc =
   | Sdecl of ty * string * expr option
   | Sexpr of expr
   | Sif of expr * stmt * stmt option
@@ -83,6 +89,7 @@ type decl =
       f_name : string;
       f_params : (ty * string) list;
       f_body : stmt list;
+      f_line : int;
     }
   | Dextern of { x_ret : ty; x_name : string; x_params : ty list }
 

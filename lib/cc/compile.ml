@@ -12,32 +12,37 @@ type options = Codegen.options = {
 
 let default_options = Codegen.default_options
 
-(* Compile one translation unit. *)
-let compile_source ~name ~opts src : Sobj.t =
+(* Compile one translation unit. [diagnostics] is a hook handed the typed
+   unit before code generation — the provenance lint (lib/analysis) plugs
+   in here without the compiler depending on it. *)
+let compile_source ~name ~opts ?diagnostics src : Sobj.t =
   let ast = Parser.parse src in
   let tu = Sema.check ast in
+  (match diagnostics with Some f -> f tu | None -> ());
   Codegen.compile_unit ~name ~opts tu
 
 (* Build an executable image: crt0, the program, then shared libraries.
    [libs] are (name, source) pairs compiled as separate shared objects —
    the dynamic-linking path of the paper (GOT capabilities bounded per
    symbol, function capabilities bounded per object). *)
-let build_image ?(opts = None) ~abi ~name ?(libs = []) src =
+let build_image ?opts ~abi ~name ?(libs = []) ?diagnostics src =
   let opts =
     match opts with
     | Some o -> o
     | None -> default_options abi
   in
-  let prog = compile_source ~name:"prog" ~opts src in
+  let prog = compile_source ~name:"prog" ~opts ?diagnostics src in
   let libobjs =
-    List.map (fun (lname, lsrc) -> compile_source ~name:lname ~opts lsrc) libs
+    List.map
+      (fun (lname, lsrc) -> compile_source ~name:lname ~opts ?diagnostics lsrc)
+      libs
   in
   Sobj.image ~name ~entry:"_start"
     (Cheri_libc.Crt0.sobj abi :: prog :: libobjs)
 
 (* Compile and install an executable into a kernel's VFS. *)
-let install k ~path ~abi ?(opts = None) ?(libs = []) src =
-  let image = build_image ~opts ~abi ~name:path ~libs src in
+let install k ~path ~abi ?opts ?(libs = []) src =
+  let image = build_image ?opts ~abi ~name:path ~libs src in
   Cheri_kernel.Vfs.add_exe k.Cheri_kernel.Kstate.vfs path ~abi image
 
 (* Total static code size of an image, in bytes (for the code-size

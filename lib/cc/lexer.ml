@@ -12,6 +12,7 @@ type t = {
   mutable pos : int;
   mutable line : int;
   mutable tok : token;        (* current token *)
+  mutable tok_line : int;     (* line the current token started on *)
 }
 
 let keywords =
@@ -173,9 +174,12 @@ let scan lx =
       Tpunct p
     end
 
-let next lx = lx.tok <- scan lx
+let next lx =
+  skip_ws lx;
+  lx.tok_line <- lx.line;
+  lx.tok <- scan lx
 
 let create src =
-  let lx = { src; pos = 0; line = 1; tok = Teof } in
+  let lx = { src; pos = 0; line = 1; tok = Teof; tok_line = 1 } in
   next lx;
   lx

@@ -4,10 +4,18 @@ open Ast
 
 type t = { lx : Lexer.t }
 
-let fail p fmt = Printf.ksprintf (fun s -> error "line %d: %s" p.lx.Lexer.line s) fmt
+let fail p fmt =
+  Printf.ksprintf (fun s -> error "line %d: %s" p.lx.Lexer.tok_line s) fmt
 
 let tok p = p.lx.Lexer.tok
 let next p = Lexer.next p.lx
+
+(* Line of the token about to be consumed: expressions and statements are
+   stamped with the line they start on. *)
+let line p = p.lx.Lexer.tok_line
+
+let mke line e = { e; eline = line }
+let mks line s = { s; sline = line }
 
 let eat_punct p s =
   match tok p with
@@ -71,103 +79,123 @@ let parse_type p = stars p (base_type p)
 let rec expr p = assign_expr p
 
 and assign_expr p =
+  let ln = line p in
   let lhs = lor_expr p in
-  if accept_punct p "=" then Eassign (lhs, assign_expr p)
-  else if accept_punct p "+=" then Eassign (lhs, Ebin (Add, lhs, assign_expr p))
-  else if accept_punct p "-=" then Eassign (lhs, Ebin (Sub, lhs, assign_expr p))
-  else if accept_punct p "*=" then Eassign (lhs, Ebin (Mul, lhs, assign_expr p))
-  else if accept_punct p "/=" then Eassign (lhs, Ebin (Div, lhs, assign_expr p))
+  if accept_punct p "=" then mke ln (Eassign (lhs, assign_expr p))
+  else if accept_punct p "+=" then
+    mke ln (Eassign (lhs, mke ln (Ebin (Add, lhs, assign_expr p))))
+  else if accept_punct p "-=" then
+    mke ln (Eassign (lhs, mke ln (Ebin (Sub, lhs, assign_expr p))))
+  else if accept_punct p "*=" then
+    mke ln (Eassign (lhs, mke ln (Ebin (Mul, lhs, assign_expr p))))
+  else if accept_punct p "/=" then
+    mke ln (Eassign (lhs, mke ln (Ebin (Div, lhs, assign_expr p))))
   else lhs
 
 and lor_expr p =
+  let ln = line p in
   let l = land_expr p in
-  if accept_punct p "||" then Ebin (Lor, l, lor_expr p) else l
+  if accept_punct p "||" then mke ln (Ebin (Lor, l, lor_expr p)) else l
 
 and land_expr p =
+  let ln = line p in
   let l = bor_expr p in
-  if accept_punct p "&&" then Ebin (Land, l, land_expr p) else l
+  if accept_punct p "&&" then mke ln (Ebin (Land, l, land_expr p)) else l
 
 and bor_expr p =
-  let rec go l = if accept_punct p "|" then go (Ebin (Bor, l, bxor_expr p)) else l in
+  let ln = line p in
+  let rec go l =
+    if accept_punct p "|" then go (mke ln (Ebin (Bor, l, bxor_expr p))) else l
+  in
   go (bxor_expr p)
 
 and bxor_expr p =
-  let rec go l = if accept_punct p "^" then go (Ebin (Bxor, l, band_expr p)) else l in
+  let ln = line p in
+  let rec go l =
+    if accept_punct p "^" then go (mke ln (Ebin (Bxor, l, band_expr p))) else l
+  in
   go (band_expr p)
 
 and band_expr p =
+  let ln = line p in
   let rec go l =
     (* '&&' is caught earlier; single '&' here. *)
     if is_punct p "&" then begin
       next p;
-      go (Ebin (Band, l, eq_expr p))
+      go (mke ln (Ebin (Band, l, eq_expr p)))
     end
     else l
   in
   go (eq_expr p)
 
 and eq_expr p =
+  let ln = line p in
   let rec go l =
-    if accept_punct p "==" then go (Ebin (Eq, l, rel_expr p))
-    else if accept_punct p "!=" then go (Ebin (Ne, l, rel_expr p))
+    if accept_punct p "==" then go (mke ln (Ebin (Eq, l, rel_expr p)))
+    else if accept_punct p "!=" then go (mke ln (Ebin (Ne, l, rel_expr p)))
     else l
   in
   go (rel_expr p)
 
 and rel_expr p =
+  let ln = line p in
   let rec go l =
-    if accept_punct p "<=" then go (Ebin (Le, l, shift_expr p))
-    else if accept_punct p ">=" then go (Ebin (Ge, l, shift_expr p))
-    else if accept_punct p "<" then go (Ebin (Lt, l, shift_expr p))
-    else if accept_punct p ">" then go (Ebin (Gt, l, shift_expr p))
+    if accept_punct p "<=" then go (mke ln (Ebin (Le, l, shift_expr p)))
+    else if accept_punct p ">=" then go (mke ln (Ebin (Ge, l, shift_expr p)))
+    else if accept_punct p "<" then go (mke ln (Ebin (Lt, l, shift_expr p)))
+    else if accept_punct p ">" then go (mke ln (Ebin (Gt, l, shift_expr p)))
     else l
   in
   go (shift_expr p)
 
 and shift_expr p =
+  let ln = line p in
   let rec go l =
-    if accept_punct p "<<" then go (Ebin (Shl, l, add_expr p))
-    else if accept_punct p ">>" then go (Ebin (Shr, l, add_expr p))
+    if accept_punct p "<<" then go (mke ln (Ebin (Shl, l, add_expr p)))
+    else if accept_punct p ">>" then go (mke ln (Ebin (Shr, l, add_expr p)))
     else l
   in
   go (add_expr p)
 
 and add_expr p =
+  let ln = line p in
   let rec go l =
-    if accept_punct p "+" then go (Ebin (Add, l, mul_expr p))
-    else if accept_punct p "-" then go (Ebin (Sub, l, mul_expr p))
+    if accept_punct p "+" then go (mke ln (Ebin (Add, l, mul_expr p)))
+    else if accept_punct p "-" then go (mke ln (Ebin (Sub, l, mul_expr p)))
     else l
   in
   go (mul_expr p)
 
 and mul_expr p =
+  let ln = line p in
   let rec go l =
-    if accept_punct p "*" then go (Ebin (Mul, l, unary_expr p))
-    else if accept_punct p "/" then go (Ebin (Div, l, unary_expr p))
-    else if accept_punct p "%" then go (Ebin (Mod, l, unary_expr p))
+    if accept_punct p "*" then go (mke ln (Ebin (Mul, l, unary_expr p)))
+    else if accept_punct p "/" then go (mke ln (Ebin (Div, l, unary_expr p)))
+    else if accept_punct p "%" then go (mke ln (Ebin (Mod, l, unary_expr p)))
     else l
   in
   go (unary_expr p)
 
 and unary_expr p =
-  if accept_punct p "-" then Eun (Neg, unary_expr p)
-  else if accept_punct p "!" then Eun (Lognot, unary_expr p)
-  else if accept_punct p "~" then Eun (Bitnot, unary_expr p)
-  else if accept_punct p "*" then Ederef (unary_expr p)
-  else if accept_punct p "&" then Eaddr (unary_expr p)
+  let ln = line p in
+  if accept_punct p "-" then mke ln (Eun (Neg, unary_expr p))
+  else if accept_punct p "!" then mke ln (Eun (Lognot, unary_expr p))
+  else if accept_punct p "~" then mke ln (Eun (Bitnot, unary_expr p))
+  else if accept_punct p "*" then mke ln (Ederef (unary_expr p))
+  else if accept_punct p "&" then mke ln (Eaddr (unary_expr p))
   else if accept_punct p "++" then
     (* ++e  =>  e = e + 1 *)
     let e = unary_expr p in
-    Eassign (e, Ebin (Add, e, Enum 1))
+    mke ln (Eassign (e, mke ln (Ebin (Add, e, mke ln (Enum 1)))))
   else if accept_punct p "--" then
     let e = unary_expr p in
-    Eassign (e, Ebin (Sub, e, Enum 1))
+    mke ln (Eassign (e, mke ln (Ebin (Sub, e, mke ln (Enum 1)))))
   else if is_kw p "sizeof" then begin
     next p;
     eat_punct p "(";
     let t = parse_type p in
     eat_punct p ")";
-    Esizeof t
+    mke ln (Esizeof t)
   end
   else if is_punct p "(" then begin
     (* Either a cast or a parenthesized expression. *)
@@ -175,7 +203,7 @@ and unary_expr p =
     if is_type_start p then begin
       let t = parse_type p in
       eat_punct p ")";
-      Ecast (t, unary_expr p)
+      mke ln (Ecast (t, unary_expr p))
     end
     else begin
       let e = expr p in
@@ -186,13 +214,14 @@ and unary_expr p =
   else postfix p (primary p)
 
 and primary p =
+  let ln = line p in
   match tok p with
   | Lexer.Tnum n ->
     next p;
-    Enum n
+    mke ln (Enum n)
   | Lexer.Tstrlit s ->
     next p;
-    Estr s
+    mke ln (Estr s)
   | Lexer.Tid id when not (Lexer.is_keyword id) ->
     next p;
     if is_punct p "(" then begin
@@ -205,36 +234,39 @@ and primary p =
         done
       end;
       eat_punct p ")";
-      Ecall (id, List.rev !args)
+      mke ln (Ecall (id, List.rev !args))
     end
-    else Evar id
+    else mke ln (Evar id)
   | _ -> fail p "expected expression"
 
 and postfix p e =
+  let ln = e.eline in
   if accept_punct p "[" then begin
     let i = expr p in
     eat_punct p "]";
-    postfix p (Eindex (e, i))
+    postfix p (mke ln (Eindex (e, i)))
   end
-  else if accept_punct p "." then postfix p (Efield (e, ident p))
-  else if accept_punct p "->" then postfix p (Earrow (e, ident p))
+  else if accept_punct p "." then postfix p (mke ln (Efield (e, ident p)))
+  else if accept_punct p "->" then postfix p (mke ln (Earrow (e, ident p)))
   else if accept_punct p "++" then
     (* Postfix increment in statement position only; we desugar to
        pre-increment (CSmall workloads never use the value). *)
-    Eassign (e, Ebin (Add, e, Enum 1))
-  else if accept_punct p "--" then Eassign (e, Ebin (Sub, e, Enum 1))
+    mke ln (Eassign (e, mke ln (Ebin (Add, e, mke ln (Enum 1)))))
+  else if accept_punct p "--" then
+    mke ln (Eassign (e, mke ln (Ebin (Sub, e, mke ln (Enum 1)))))
   else e
 
 (* --- Statements ---------------------------------------------------------------------- *)
 
 let rec stmt p =
+  let ln = line p in
   if accept_punct p "{" then begin
     let body = ref [] in
     while not (is_punct p "}") do
       body := stmt p :: !body
     done;
     eat_punct p "}";
-    Sblock (List.rev !body)
+    mks ln (Sblock (List.rev !body))
   end
   else if is_kw p "if" then begin
     next p;
@@ -242,14 +274,15 @@ let rec stmt p =
     let c = expr p in
     eat_punct p ")";
     let th = stmt p in
-    if accept_kw p "else" then Sif (c, th, Some (stmt p)) else Sif (c, th, None)
+    if accept_kw p "else" then mks ln (Sif (c, th, Some (stmt p)))
+    else mks ln (Sif (c, th, None))
   end
   else if is_kw p "while" then begin
     next p;
     eat_punct p "(";
     let c = expr p in
     eat_punct p ")";
-    Swhile (c, stmt p)
+    mks ln (Swhile (c, stmt p))
   end
   else if is_kw p "do" then begin
     next p;
@@ -259,7 +292,7 @@ let rec stmt p =
     let c = expr p in
     eat_punct p ")";
     eat_punct p ";";
-    Sdo (body, c)
+    mks ln (Sdo (body, c))
   end
   else if is_kw p "for" then begin
     next p;
@@ -267,43 +300,44 @@ let rec stmt p =
     let init =
       if is_punct p ";" then None
       else if is_type_start p then Some (decl_stmt p)
-      else Some (Sexpr (expr p))
+      else Some (mks (line p) (Sexpr (expr p)))
     in
-    (match init with Some (Sdecl _) -> () | _ -> eat_punct p ";");
+    (match init with Some { s = Sdecl _; _ } -> () | _ -> eat_punct p ";");
     let cond = if is_punct p ";" then None else Some (expr p) in
     eat_punct p ";";
     let step = if is_punct p ")" then None else Some (expr p) in
     eat_punct p ")";
-    Sfor (init, cond, step, stmt p)
+    mks ln (Sfor (init, cond, step, stmt p))
   end
   else if is_kw p "return" then begin
     next p;
-    if accept_punct p ";" then Sreturn None
+    if accept_punct p ";" then mks ln (Sreturn None)
     else begin
       let e = expr p in
       eat_punct p ";";
-      Sreturn (Some e)
+      mks ln (Sreturn (Some e))
     end
   end
   else if is_kw p "break" then begin
     next p;
     eat_punct p ";";
-    Sbreak
+    mks ln Sbreak
   end
   else if is_kw p "continue" then begin
     next p;
     eat_punct p ";";
-    Scontinue
+    mks ln Scontinue
   end
   else if is_type_start p then decl_stmt p
   else begin
     let e = expr p in
     eat_punct p ";";
-    Sexpr e
+    mks ln (Sexpr e)
   end
 
 (* A local declaration, consuming the trailing ';'. *)
 and decl_stmt p =
+  let ln = line p in
   let base = base_type p in
   let ty = stars p base in
   let name = ident p in
@@ -322,7 +356,7 @@ and decl_stmt p =
   in
   let init = if accept_punct p "=" then Some (expr p) else None in
   eat_punct p ";";
-  Sdecl (ty, name, init)
+  mks ln (Sdecl (ty, name, init))
 
 (* --- Top level -------------------------------------------------------------------------- *)
 
@@ -378,6 +412,7 @@ let global_init p g_ty =
   else Gnone
 
 let top_decl p =
+  let ln = line p in
   if is_kw p "struct" then begin
     (* Either a struct definition or a struct-typed global/function. *)
     next p;
@@ -435,7 +470,7 @@ let top_decl p =
         done;
         eat_punct p "}";
         Dfun { f_ret = ty; f_name = dname; f_params = List.rev !params;
-               f_body = List.rev !body }
+               f_body = List.rev !body; f_line = ln }
       end
       else begin
         let ty =
@@ -508,7 +543,7 @@ let top_decl p =
       done;
       eat_punct p "}";
       Dfun { f_ret = ty; f_name = name; f_params = List.rev !params;
-             f_body = List.rev !body }
+             f_body = List.rev !body; f_line = ln }
     end
     else begin
       let ty =

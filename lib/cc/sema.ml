@@ -16,7 +16,10 @@ type callee =
   | Cextern of string                (* resolved at link time *)
   | Cintrin of Intrin.t
 
-type texpr = { te : tdesc; ty : ty }
+(* [tl] is the source line of the expression, threaded from the lexer so
+   that diagnostics (Sema errors and the provenance lint) carry
+   locations. *)
+type texpr = { te : tdesc; ty : ty; tl : int }
 
 and tdesc =
   | Xnum of int
@@ -52,6 +55,7 @@ type tfun = {
   tf_ret : ty;
   tf_params : (ty * string) list;
   tf_body : tstmt list;
+  tf_line : int;
 }
 
 type tglobal = {
@@ -77,7 +81,15 @@ type env = {
   mutable strings : string list;                     (* reversed *)
   mutable scopes : (string, ty) Hashtbl.t list;
   mutable current_ret : ty;
+  mutable cur_line : int;    (* line of the construct being checked *)
 }
+
+(* All Sema rejections report the line of the statement or expression
+   under check. *)
+let serr env fmt =
+  Printf.ksprintf
+    (fun s -> raise (Compile_error (Printf.sprintf "line %d: %s" env.cur_line s)))
+    fmt
 
 let add_string env s =
   let idx = List.length env.strings in
@@ -93,7 +105,7 @@ let pop_scope env =
 let declare_local env name ty =
   match env.scopes with
   | scope :: _ ->
-    if Hashtbl.mem scope name then error "redeclaration of %s" name;
+    if Hashtbl.mem scope name then serr env "redeclaration of %s" name;
     Hashtbl.replace scope name ty
   | [] -> assert false
 
@@ -113,12 +125,12 @@ let lookup_var env name =
 let struct_fields env name =
   match Hashtbl.find_opt env.structs name with
   | Some fs -> fs
-  | None -> error "unknown struct %s" name
+  | None -> serr env "unknown struct %s" name
 
 let field_ty env sname fname =
   match List.find_opt (fun (_, n) -> n = fname) (struct_fields env sname) with
   | Some (t, _) -> t
-  | None -> error "struct %s has no field %s" sname fname
+  | None -> serr env "struct %s has no field %s" sname fname
 
 (* --- Type utilities ----------------------------------------------------------------- *)
 
@@ -142,9 +154,9 @@ let rec compatible a b =
    matching operand kinds. *)
 let coerce target te =
   if is_pointer target && not (is_pointer te.ty) then
-    { te = Xcast (target, te); ty = target }
+    { te = Xcast (target, te); ty = target; tl = te.tl }
   else if (not (is_pointer target)) && target <> Tvoid && is_pointer te.ty
-  then { te = Xcast (Tint, te); ty = Tint }
+  then { te = Xcast (Tint, te); ty = Tint; tl = te.tl }
   else te
 
 let is_lvalue e =
@@ -157,79 +169,89 @@ let is_lvalue e =
 (* --- Expressions ------------------------------------------------------------------------ *)
 
 let rec check_expr env (e : expr) : texpr =
-  match e with
-  | Enum n -> { te = Xnum n; ty = Tint }
+  env.cur_line <- e.eline;
+  let l = e.eline in
+  let mk te ty = { te; ty; tl = l } in
+  match e.e with
+  | Enum n -> mk (Xnum n) Tint
   | Estr s ->
     let idx = add_string env s in
-    { te = Xstr idx; ty = Tptr Tchar }
+    mk (Xstr idx) (Tptr Tchar)
   | Evar name ->
     (match lookup_var env name with
-     | Some (ty, kind) -> { te = Xvar (name, kind); ty }
+     | Some (ty, kind) -> mk (Xvar (name, kind)) ty
      | None ->
-       if Hashtbl.mem env.funcs name then { te = Xfunref name; ty = Tptr Tvoid }
-       else error "undeclared identifier %s" name)
+       if Hashtbl.mem env.funcs name then mk (Xfunref name) (Tptr Tvoid)
+       else serr env "undeclared identifier %s" name)
   | Eun (op, a) ->
     let ta = rvalue env a in
+    env.cur_line <- l;
     (match op with
      | Neg | Bitnot ->
-       if decay ta.ty <> Tint then error "unary op on non-integer";
-       { te = Xun (op, ta); ty = Tint }
-     | Lognot -> { te = Xun (op, ta); ty = Tint })
-  | Ebin (op, a, b) -> check_binop env op a b
+       if decay ta.ty <> Tint then serr env "unary op on non-integer";
+       mk (Xun (op, ta)) Tint
+     | Lognot -> mk (Xun (op, ta)) Tint)
+  | Ebin (op, a, b) -> check_binop env l op a b
   | Eassign (lhs, rhs) ->
-    let tl = check_expr env lhs in
-    if not (is_lvalue tl) then error "assignment to non-lvalue";
+    let tl_ = check_expr env lhs in
+    env.cur_line <- l;
+    if not (is_lvalue tl_) then serr env "assignment to non-lvalue";
     let tr = rvalue env rhs in
+    env.cur_line <- l;
     let ok =
-      compatible tl.ty tr.ty
-      || (is_pointer tl.ty && tr.te = Xnum 0)
-      || (tl.ty = Tint && is_pointer tr.ty)      (* flagged by Compat, legal C-ish *)
-      || (is_pointer tl.ty && is_pointer tr.ty)
+      compatible tl_.ty tr.ty
+      || (is_pointer tl_.ty && tr.te = Xnum 0)
+      || (tl_.ty = Tint && is_pointer tr.ty)     (* flagged by Compat, legal C-ish *)
+      || (is_pointer tl_.ty && is_pointer tr.ty)
     in
     if not ok then
-      error "type mismatch in assignment: %s vs %s" (ty_to_string tl.ty)
+      serr env "type mismatch in assignment: %s vs %s" (ty_to_string tl_.ty)
         (ty_to_string tr.ty);
-    { te = Xassign (tl, coerce tl.ty tr); ty = decay tl.ty }
-  | Ecall (name, args) -> check_call env name args
+    mk (Xassign (tl_, coerce tl_.ty tr)) (decay tl_.ty)
+  | Ecall (name, args) -> check_call env l name args
   | Eindex (a, i) ->
     let ta = check_expr env a in
     let ti = rvalue env i in
-    if decay ti.ty <> Tint then error "index must be integer";
+    env.cur_line <- l;
+    if decay ti.ty <> Tint then serr env "index must be integer";
     let elem =
       match ta.ty with
       | Tarr (t, _) | Tptr t -> t
-      | t -> error "indexing non-array type %s" (ty_to_string t)
+      | t -> serr env "indexing non-array type %s" (ty_to_string t)
     in
-    { te = Xindex ((if is_lvalue ta || true then ta else ta), ti); ty = elem }
+    mk (Xindex (ta, ti)) elem
   | Ederef a ->
     let ta = rvalue env a in
+    env.cur_line <- l;
     (match ta.ty with
-     | Tptr Tvoid -> error "dereference of void*"
-     | Tptr t -> { te = Xderef ta; ty = t }
-     | t -> error "dereference of non-pointer %s" (ty_to_string t))
+     | Tptr Tvoid -> serr env "dereference of void*"
+     | Tptr t -> mk (Xderef ta) t
+     | t -> serr env "dereference of non-pointer %s" (ty_to_string t))
   | Eaddr a ->
     let ta = check_expr env a in
+    env.cur_line <- l;
     (match ta.te with
-     | Xvar _ | Xindex _ | Xderef _ | Xfield _ ->
-       { te = Xaddr ta; ty = Tptr ta.ty }
-     | Xfunref f -> { te = Xfunref f; ty = Tptr Tvoid }
-     | _ -> error "address of non-lvalue")
+     | Xvar _ | Xindex _ | Xderef _ | Xfield _ -> mk (Xaddr ta) (Tptr ta.ty)
+     | Xfunref f -> mk (Xfunref f) (Tptr Tvoid)
+     | _ -> serr env "address of non-lvalue")
   | Efield (a, f) ->
     let ta = check_expr env a in
+    env.cur_line <- l;
     (match ta.ty with
-     | Tstruct s -> { te = Xfield (ta, s, f); ty = field_ty env s f }
-     | t -> error ".%s on non-struct %s" f (ty_to_string t))
+     | Tstruct s -> mk (Xfield (ta, s, f)) (field_ty env s f)
+     | t -> serr env ".%s on non-struct %s" f (ty_to_string t))
   | Earrow (a, f) ->
     let ta = rvalue env a in
+    env.cur_line <- l;
     (match ta.ty with
      | Tptr (Tstruct s) ->
-       { te = Xfield ({ te = Xderef ta; ty = Tstruct s }, s, f);
-         ty = field_ty env s f }
-     | t -> error "->%s on %s" f (ty_to_string t))
+       mk (Xfield ({ te = Xderef ta; ty = Tstruct s; tl = l }, s, f))
+         (field_ty env s f)
+     | t -> serr env "->%s on %s" f (ty_to_string t))
   | Ecast (ty, a) ->
     let ta = rvalue env a in
-    { te = Xcast (ty, ta); ty }
-  | Esizeof t -> { te = Xsizeof t; ty = Tint }
+    mk (Xcast (ty, ta)) ty
+  | Esizeof t -> mk (Xsizeof t) Tint
 
 (* An expression used for its value: arrays decay to pointers. *)
 and rvalue env e =
@@ -238,111 +260,120 @@ and rvalue env e =
   | Tarr (t, _) -> { te with ty = Tptr t }
   | _ -> te
 
-and check_binop env op a b =
+and check_binop env l op a b =
   let ta = rvalue env a and tb = rvalue env b in
+  env.cur_line <- l;
+  let mk te ty = { te; ty; tl = l } in
   match op with
   | Add | Sub ->
     (match is_pointer ta.ty, is_pointer tb.ty with
      | true, false ->
-       if decay tb.ty <> Tint then error "pointer + non-integer";
-       { te = Xbin (op, ta, tb); ty = ta.ty }
+       if decay tb.ty <> Tint then serr env "pointer + non-integer";
+       mk (Xbin (op, ta, tb)) ta.ty
      | false, true ->
-       if op = Sub then error "integer - pointer";
-       { te = Xbin (op, tb, ta); ty = tb.ty }   (* normalize p on the left *)
+       if op = Sub then serr env "integer - pointer";
+       mk (Xbin (op, tb, ta)) tb.ty    (* normalize p on the left *)
      | true, true ->
-       if op <> Sub then error "pointer + pointer";
-       { te = Xbin (op, ta, tb); ty = Tint }    (* element difference *)
-     | false, false -> { te = Xbin (op, ta, tb); ty = Tint })
+       if op <> Sub then serr env "pointer + pointer";
+       mk (Xbin (op, ta, tb)) Tint     (* element difference *)
+     | false, false -> mk (Xbin (op, ta, tb)) Tint)
   | Mul | Div | Mod | Shl | Shr | Band | Bor | Bxor ->
     if is_pointer ta.ty || is_pointer tb.ty then
       (* Bitwise arithmetic on pointers: the idioms the paper's Table 2
          classifies (bit flags, hashing, alignment). CSmall requires the
          explicit integer casts, so reject here. *)
-      error "arithmetic %s on pointer requires an integer cast"
+      serr env "arithmetic %s on pointer requires an integer cast"
         (match op with
          | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
          | Mul -> "*" | Div -> "/" | Mod -> "%%" | _ -> "?");
-    { te = Xbin (op, ta, tb); ty = Tint }
-  | Eq | Ne | Lt | Le | Gt | Ge ->
-    { te = Xbin (op, ta, tb); ty = Tint }
-  | Land | Lor -> { te = Xbin (op, ta, tb); ty = Tint }
+    mk (Xbin (op, ta, tb)) Tint
+  | Eq | Ne | Lt | Le | Gt | Ge -> mk (Xbin (op, ta, tb)) Tint
+  | Land | Lor -> mk (Xbin (op, ta, tb)) Tint
 
-and check_call env name args =
+and check_call env l name args =
+  let mk te ty = { te; ty; tl = l } in
   (* A pointer-typed variable in scope makes this an indirect call (the
      callee's signature is the caller's responsibility, as with K&R C —
      the CC compatibility class). Defined/extern functions and intrinsics
      are checked normally. *)
   match lookup_var env name with
   | Some (ty, kind) when is_pointer ty ->
-    let fp = { te = Xvar (name, kind); ty = decay ty } in
+    let fp = { te = Xvar (name, kind); ty = decay ty; tl = l } in
     let targs = List.map (rvalue env) args in
-    { te = Xcalli (fp, targs); ty = Tint }
+    env.cur_line <- l;
+    mk (Xcalli (fp, targs)) Tint
   | Some _ | None ->
   match Hashtbl.find_opt env.funcs name with
   | Some (ret, ptys, defined) ->
     if List.length args <> List.length ptys then
-      error "%s expects %d arguments" name (List.length ptys);
+      serr env "%s expects %d arguments" name (List.length ptys);
     let targs =
       List.map2
         (fun a pty ->
           let ta = rvalue env a in
+          env.cur_line <- l;
           if not (compatible pty ta.ty || (is_pointer pty && ta.te = Xnum 0))
           then
-            error "argument type mismatch in call to %s: %s vs %s" name
+            serr env "argument type mismatch in call to %s: %s vs %s" name
               (ty_to_string pty) (ty_to_string ta.ty);
           coerce pty ta)
         args ptys
     in
-    { te = Xcall ((if defined then Cuser name else Cextern name), targs);
-      ty = ret }
+    mk (Xcall ((if defined then Cuser name else Cextern name), targs)) ret
   | None ->
     (match Intrin.find name with
-     | None -> error "unknown function %s" name
+     | None -> serr env "unknown function %s" name
      | Some intr ->
        if List.length args <> List.length intr.Intrin.i_args then
-         error "%s expects %d arguments" name (List.length intr.Intrin.i_args);
+         serr env "%s expects %d arguments" name
+           (List.length intr.Intrin.i_args);
        (* sigaction_fn's second argument is a function name. *)
        let targs =
          if intr.Intrin.i_kind = Intrin.Kspecial "sigaction_fn" then
            match args with
-           | [ s; Evar f ] when Hashtbl.mem env.funcs f ->
-             [ rvalue env s; { te = Xfunref f; ty = Tptr Tvoid } ]
-           | _ -> error "sigaction_fn needs a literal function name"
+           | [ s; { e = Evar f; _ } ] when Hashtbl.mem env.funcs f ->
+             [ rvalue env s; { te = Xfunref f; ty = Tptr Tvoid; tl = l } ]
+           | _ -> serr env "sigaction_fn needs a literal function name"
          else
            List.map2
              (fun a pty ->
                let ta = rvalue env a in
+               env.cur_line <- l;
                if not
                     (compatible pty ta.ty
                      || (is_pointer pty && ta.te = Xnum 0)
                      || (is_pointer pty && is_pointer ta.ty))
                then
-                 error "argument type mismatch in call to %s" name;
+                 serr env "argument type mismatch in call to %s" name;
                coerce pty ta)
              args intr.Intrin.i_args
        in
-       { te = Xcall (Cintrin intr, targs); ty = intr.Intrin.i_ret })
+       mk (Xcall (Cintrin intr, targs)) intr.Intrin.i_ret)
 
 (* --- Statements ------------------------------------------------------------------------- *)
 
 let rec check_stmt env (s : stmt) : tstmt =
-  match s with
+  env.cur_line <- s.sline;
+  let l = s.sline in
+  match s.s with
   | Sdecl (ty, name, init) ->
     (match ty with
-     | Tvoid -> error "void variable %s" name
+     | Tvoid -> serr env "void variable %s" name
      | _ -> ());
     let tinit =
       Option.map
         (fun e ->
           let te = rvalue env e in
+          env.cur_line <- l;
           if not
                (compatible ty te.ty
                 || (is_pointer ty && te.te = Xnum 0)
                 || (is_pointer ty && is_pointer te.ty))
-          then error "initializer type mismatch for %s" name;
+          then serr env "initializer type mismatch for %s" name;
           coerce ty te)
         init
     in
+    env.cur_line <- l;
     declare_local env name ty;
     Ydecl (ty, name, tinit)
   | Sexpr e -> Yexpr (check_expr env e)
@@ -360,16 +391,17 @@ let rec check_stmt env (s : stmt) : tstmt =
     Yfor (ti, tc, ts, tb)
   | Sreturn e ->
     let te = Option.map (rvalue env) e in
+    env.cur_line <- l;
     (match te, env.current_ret with
      | None, Tvoid -> ()
-     | None, _ -> error "missing return value"
-     | Some _, Tvoid -> error "return value in void function"
+     | None, _ -> serr env "missing return value"
+     | Some _, Tvoid -> serr env "return value in void function"
      | Some t, ret ->
        if not
             (compatible ret t.ty
              || (is_pointer ret && t.te = Xnum 0)
              || (is_pointer ret && is_pointer t.ty))
-       then error "return type mismatch");
+       then serr env "return type mismatch");
     Yreturn (Option.map (coerce env.current_ret) te)
   | Sbreak -> Ybreak
   | Scontinue -> Ycontinue
@@ -385,7 +417,7 @@ let check (prog : program) : tunit =
   let env =
     { structs = Hashtbl.create 16; globals = Hashtbl.create 32;
       funcs = Hashtbl.create 32; strings = [];
-      scopes = []; current_ret = Tvoid }
+      scopes = []; current_ret = Tvoid; cur_line = 0 }
   in
   (* String literals in global initializers also live in the table. *)
   let note_init_string = function
@@ -409,12 +441,13 @@ let check (prog : program) : tunit =
       (function
         | Dfun f ->
           env.current_ret <- f.f_ret;
+          env.cur_line <- f.f_line;
           push_scope env;
           List.iter (fun (ty, n) -> declare_local env n ty) f.f_params;
           let body = List.map (check_stmt env) f.f_body in
           pop_scope env;
           Some { tf_name = f.f_name; tf_ret = f.f_ret;
-                 tf_params = f.f_params; tf_body = body }
+                 tf_params = f.f_params; tf_body = body; tf_line = f.f_line }
         | Dstruct _ | Dglobal _ | Dextern _ -> None)
       prog
   in

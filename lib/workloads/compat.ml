@@ -1,9 +1,17 @@
 (* Table 2: the CheriABI compatibility study.
 
-   A static analyzer that recognizes the paper's idiom classes in C
-   source, mirroring the compiler warnings the authors added (bitwise math
-   on capabilities, remainder on pointers, unprototyped calls) plus
-   text-level pattern checks. Categories:
+   Two analyzers recognize the paper's idiom classes, mirroring the
+   compiler warnings the authors added (bitwise math on capabilities,
+   remainder on pointers, unprototyped calls):
+
+   - the *semantic* analyzer (lib/analysis/lint.ml): a typed-AST dataflow
+     pass run over every source CSmall can parse and type — all of this
+     repository's own workload sources;
+   - the *textual* patterns below, kept only for idioms CSmall cannot
+     type (va_args, preprocessor macros, uintptr_t typedefs) — i.e. the
+     synthetic legacy-C corpus standing in for the FreeBSD tree.
+
+   Categories:
 
    PP pointer provenance     IP integer provenance   M monotonicity
    PS pointer shape          I  pointer-as-integer   VA virtual address
@@ -11,7 +19,7 @@
    CC calling convention     U  unsupported
 
    We cannot analyze the real FreeBSD tree (not available here); the
-   analyzer runs over (a) a synthetic legacy-C corpus carrying these
+   analyzers run over (a) a synthetic legacy-C corpus carrying these
    idioms at realistic densities, organized into the paper's four groups,
    and (b) this repository's own CSmall sources. *)
 
@@ -87,7 +95,8 @@ let signatures =
     CC, [ "..."; "va_arg"; "va_start"; "K&R"; "()" ];
     U, [ "sbrk("; "^ (uintptr_t"; "xor_ptr(" ] ]
 
-(* Analyze one source file: per-category occurrence counts. *)
+(* Analyze one source file textually: per-category occurrence counts.
+   This is the fallback for sources CSmall cannot type. *)
 let analyze src =
   let src = normalize src in
   List.map
@@ -100,10 +109,62 @@ let add_counts a b =
 
 let zero_counts = List.map (fun c -> c, 0) categories
 
-(* Analyze a group of named files. *)
+(* --- Semantic analysis (lib/analysis) ----------------------------------------------- *)
+
+let of_lint_category = function
+  | Cheri_analysis.Lint.PP -> PP
+  | Cheri_analysis.Lint.IP -> IP
+  | Cheri_analysis.Lint.M -> M
+  | Cheri_analysis.Lint.PS -> PS
+  | Cheri_analysis.Lint.I -> I
+  | Cheri_analysis.Lint.VA -> VA
+  | Cheri_analysis.Lint.BF -> BF
+  | Cheri_analysis.Lint.H -> H
+  | Cheri_analysis.Lint.A -> A
+  | Cheri_analysis.Lint.CC -> CC
+
+(* Run the typed-AST provenance lint over a CSmall source. Returns [None]
+   when the source is not typeable CSmall (then only the textual patterns
+   apply). Sources referencing libc are retried with the prototypes
+   prepended. *)
+let analyze_semantic src : (category * int) list option =
+  let count diags =
+    List.map
+      (fun c ->
+        ( c,
+          List.length
+            (List.filter
+               (fun d -> of_lint_category d.Cheri_analysis.Lint.d_cat = c)
+               diags) ))
+      categories
+  in
+  match Cheri_analysis.Lint.analyze_source src with
+  | Ok diags -> Some (count diags)
+  | Error _ ->
+    (match
+       Cheri_analysis.Lint.analyze_source ~externs:Stdlib_src.libc_externs src
+     with
+     | Ok diags -> Some (count diags)
+     | Error _ -> None)
+
+(* Semantic first, textual fallback: the per-file analysis used for the
+   repository's own sources. *)
+let analyze_file src =
+  match analyze_semantic src with
+  | Some counts -> counts
+  | None -> analyze src
+
+(* Analyze a group of named files (textual patterns only — the legacy-C
+   corpus path). *)
 let analyze_group files =
   List.fold_left (fun acc (_, src) -> add_counts acc (analyze src)) zero_counts
     files
+
+(* Analyze a group semantically where possible. *)
+let analyze_group_semantic files =
+  List.fold_left
+    (fun acc (_, src) -> add_counts acc (analyze_file src))
+    zero_counts files
 
 (* --- The legacy-C corpus -------------------------------------------------------------- *)
 (* Synthetic files standing in for the FreeBSD tree's four groups. The

@@ -30,12 +30,12 @@ let status_string m =
   | None -> "running"
 
 (* Run [src] (linked against libc) under [abi] and measure. *)
-let run ?(opts = None) ?(extra_libs = []) ?(argv = [ "prog" ])
+let run ?opts ?(extra_libs = []) ?(argv = [ "prog" ])
     ?(max_steps = 400_000_000) ?l2_size ~abi src =
   let k = Kernel.boot ?l2_size () in
   Cheri_libc.Runtime.install k;
   let image =
-    Stdlib_src.build_image ~opts ~abi ~name:"bench" ~extra_libs src
+    Stdlib_src.build_image ?opts ~abi ~name:"bench" ~extra_libs src
   in
   Cheri_kernel.Vfs.add_exe k.Cheri_kernel.Kstate.vfs "/bin/bench" ~abi image;
   let status, out, p = Kernel.run_program ~max_steps k ~path:"/bin/bench" ~argv in

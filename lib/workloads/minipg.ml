@@ -185,6 +185,6 @@ let initdb_src =
   |}
 
 (* Run initdb under [abi] with the given code-generation options. *)
-let run ?(opts = None) ~abi () =
-  Harness.run ~opts ~abi ~extra_libs:[ "libpq", libpq_src ]
+let run ?opts ~abi () =
+  Harness.run ?opts ~abi ~extra_libs:[ "libpq", libpq_src ]
     ~argv:[ "initdb"; "-D"; "/pgdata" ] initdb_src

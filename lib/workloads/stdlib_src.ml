@@ -155,11 +155,11 @@ let libc_externs =
 
 (* Build an image for [src], dynamically linked against libc (and any
    extra shared objects). *)
-let build_image ?(opts = None) ~abi ~name ?(extra_libs = []) src =
-  Cheri_cc.Compile.build_image ~opts ~abi ~name
+let build_image ?opts ~abi ~name ?(extra_libs = []) src =
+  Cheri_cc.Compile.build_image ?opts ~abi ~name
     ~libs:(("libc", libc_src) :: extra_libs)
     (libc_externs ^ src)
 
-let install k ~path ~abi ?(opts = None) ?(extra_libs = []) src =
-  let image = build_image ~opts ~abi ~name:path ~extra_libs src in
+let install k ~path ~abi ?opts ?(extra_libs = []) src =
+  let image = build_image ?opts ~abi ~name:path ~extra_libs src in
   Cheri_kernel.Vfs.add_exe k.Cheri_kernel.Kstate.vfs path ~abi image

@@ -626,7 +626,7 @@ let test_subobject_bounds_optin () =
   let k = Kernel.boot () in
   Runtime.install k;
   let opts =
-    Some { (Compile.default_options Abi.Cheriabi) with subobject_bounds = true }
+    { (Compile.default_options Abi.Cheriabi) with subobject_bounds = true }
   in
   Cheri_kernel.Vfs.add_exe k.Cheri_kernel.Kstate.vfs "/bin/t" ~abi:Abi.Cheriabi
     (Compile.build_image ~opts ~abi:Abi.Cheriabi ~name:"t" src);

@@ -25,6 +25,20 @@ let accepts src =
   | exception Cheri_cc.Ast.Compile_error msg ->
     Alcotest.failf "rejected well-formed program: %s" msg
 
+(* Like [rejects], but also pin the reported source line: every front-end
+   diagnostic begins with "line N:". *)
+let rejects_at ~line ~substring src =
+  let check msg =
+    if not (contains msg substring) then
+      Alcotest.failf "wrong diagnostic: %S (wanted %S)" msg substring;
+    let want = Printf.sprintf "line %d:" line in
+    if not (contains msg want) then
+      Alcotest.failf "diagnostic %S does not report %S" msg want
+  in
+  match Cheri_cc.Sema.check (Cheri_cc.Parser.parse src) with
+  | exception Cheri_cc.Ast.Compile_error msg -> check msg
+  | _ -> Alcotest.failf "accepted ill-formed program: %s" src
+
 let test_lexer_errors () =
   rejects "int main(int a, char **b) { return 0; } /* unterminated";
   rejects {| int main(int a, char **b) { char *s = "unterminated; } |};
@@ -84,6 +98,48 @@ let test_pointer_arith_restrictions () =
          return (int)p & 7;
        } |}
 
+(* Diagnostics name the offending source line, through every front-end
+   layer: lexer, parser and sema. *)
+let test_error_lines () =
+  (* lexer: malformed hex literal *)
+  rejects_at ~line:2 ~substring:"hex"
+    "int main(int a, char **b) {\n  return 0x;\n}\n";
+  (* parser: statement keyword in expression position *)
+  rejects_at ~line:3 ~substring:"expect"
+    "int main(int a, char **b)\n{\n  if return 0;\n}\n";
+  (* parser: truncated parameter list at end of input *)
+  rejects_at ~line:2 ~substring:"" "int f(int x,\nint";
+  (* sema: undeclared identifier *)
+  rejects_at ~line:3 ~substring:"undeclared"
+    "int main(int a, char **b) {\n  int x = 1;\n  return nope + x;\n}\n";
+  (* sema: unknown function *)
+  rejects_at ~line:2 ~substring:"unknown function"
+    "int main(int a, char **b) {\n  return mystery(1);\n}\n";
+  (* sema: wrong argument count *)
+  rejects_at ~line:3 ~substring:"arguments"
+    "int f(int x, int y) { return x; }\nint main(int a, char **b) {\n  return f(1);\n}\n";
+  (* sema: dereferencing a non-pointer *)
+  rejects_at ~line:3 ~substring:"dereference"
+    "int main(int a, char **b) {\n  int x = 1;\n  return *x;\n}\n";
+  (* sema: assignment to a non-lvalue *)
+  rejects_at ~line:2 ~substring:"non-lvalue"
+    "int main(int a, char **b) {\n  3 = 4;\n  return 0;\n}\n";
+  (* sema: unknown struct field *)
+  rejects_at ~line:4 ~substring:"nope"
+    "struct s { int x; };\nint main(int a, char **b) {\n  struct s v;\n  return v.nope;\n}\n";
+  (* sema: redeclaration in the same scope *)
+  rejects_at ~line:3 ~substring:"redeclaration"
+    "int main(int a, char **b) {\n  int x;\n  int x;\n  return 0;\n}\n";
+  (* sema: returning a value from void *)
+  rejects_at ~line:2 ~substring:"return"
+    "void f() {\n  return 3;\n}\nint main(int a, char **b) { return 0; }\n";
+  (* sema: bitwise math on a pointer without a cast *)
+  rejects_at ~line:4 ~substring:"cast"
+    "int main(int a, char **b) {\n  char buf[8];\n  char *p = buf;\n  return p & 7;\n}\n";
+  (* sema: argument type mismatch *)
+  rejects_at ~line:3 ~substring:"mismatch"
+    "void f(char *p) { }\nint main(int a, char **b) {\n  f(3 + 4);\n  return 0;\n}\n"
+
 let test_shadowing_in_scopes_ok () =
   accepts
     {| int main(int a, char **b) {
@@ -107,5 +163,6 @@ let suite =
     "redeclaration", `Quick, test_sema_redeclaration;
     "return checking", `Quick, test_return_checking;
     "pointer arithmetic needs casts", `Quick, test_pointer_arith_restrictions;
+    "error line numbers", `Quick, test_error_lines;
     "scoped shadowing ok", `Quick, test_shadowing_in_scopes_ok;
     "mutual recursion ok", `Quick, test_forward_references_ok ]

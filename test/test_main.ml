@@ -13,6 +13,7 @@ let () =
       "cc", Test_cc.suite;
       "cc-ext", Test_cc.extension_suite;
       "cc-errors", Test_cc_errors.suite;
+      "analysis", Test_analysis.suite;
       "core", Test_core.suite;
       "workloads", Test_workloads.suite;
       "cache", Test_workloads.cache_suite ]

@@ -133,7 +133,7 @@ let test_clc_ablation_direction () =
   let big = Minipg.run ~abi:Abi.Cheriabi () in
   let small =
     Minipg.run
-      ~opts:(Some { (Cheri_cc.Compile.default_options Abi.Cheriabi) with clc_large_imm = false })
+      ~opts:{ (Cheri_cc.Compile.default_options Abi.Cheriabi) with clc_large_imm = false }
       ~abi:Abi.Cheriabi ()
   in
   Alcotest.(check bool) "small imm slower" true

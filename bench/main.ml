@@ -353,18 +353,124 @@ let simulator () =
   in
   List.iter run [ cap_test; tag_test; compile_test; exec_test ]
 
+(* --- Execution-engine throughput (docs/INTERP.md) ----------------------------------------------------
+
+   Host wall-clock comparison of the two interpreters over the Fig. 4 /
+   Fig. 5 workload mix.  Images are compiled outside the timed region, so
+   the timer wraps pure simulation; both engines must retire exactly the
+   same instruction count (bit-identical contract), which the run asserts. *)
+
+let opt_json = ref false
+let opt_smoke = ref false
+
+let engine_bench () =
+  header "Execution-engine throughput: step vs block (host wall-clock)";
+  let workloads =
+    if !opt_smoke then [ List.hd Mibench.benchmarks ] else Mibench.benchmarks
+  in
+  let images =
+    List.concat_map
+      (fun (name, src) ->
+        List.map
+          (fun abi ->
+            ( Printf.sprintf "%s/%s" name (Abi.to_string abi),
+              abi, [ "bench" ],
+              Stdlib_src.build_image ~abi ~name src ))
+          [ Abi.Mips64; Abi.Cheriabi ])
+      workloads
+    @
+    (if !opt_smoke then []
+     else
+       [ ( "openssl-s_server/cheriabi", Abi.Cheriabi,
+           [ "s_server"; "-port"; "4433" ],
+           Stdlib_src.build_image ~abi:Abi.Cheriabi ~name:"s_server"
+             ~extra_libs:[ "libssl", Openssl_sim.libssl_src ]
+             Openssl_sim.server_src ) ])
+  in
+  let run_engine engine =
+    List.fold_left
+      (fun (insns, secs) (label, abi, argv, image) ->
+        let k = Cheri_kernel.Kernel.boot () in
+        k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.engine <- engine;
+        Cheri_libc.Runtime.install k;
+        Cheri_kernel.Vfs.add_exe k.Cheri_kernel.Kstate.vfs "/bin/bench" ~abi
+          image;
+        let t0 = Unix.gettimeofday () in
+        let status, _out, p =
+          Cheri_kernel.Kernel.run_program k ~path:"/bin/bench" ~argv
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        (match status with
+         | Some _ -> ()
+         | None -> failwith (Printf.sprintf "engine bench: %s ran away" label));
+        insns + p.Cheri_kernel.Proc.ctx.Cheri_isa.Cpu.instret, secs +. dt)
+      (0, 0.0) images
+  in
+  let legs =
+    List.map
+      (fun (name, e) ->
+        let insns, secs = run_engine e in
+        name, insns, secs)
+      [ "step", Cheri_isa.Cpu.Step; "block", Cheri_isa.Cpu.Block ]
+  in
+  let mips insns secs = float_of_int insns /. secs /. 1e6 in
+  Printf.printf "%-8s %14s %10s %10s\n" "engine" "sim insns" "host s"
+    "sim-MIPS/s";
+  List.iter
+    (fun (name, insns, secs) ->
+      Printf.printf "%-8s %14d %10.3f %10.2f\n" name insns secs
+        (mips insns secs))
+    legs;
+  (match legs with
+   | [ (_, i1, s1); (_, i2, s2) ] ->
+     if i1 <> i2 then
+       failwith
+         (Printf.sprintf
+            "engine parity violated: step retired %d insns, block %d" i1 i2);
+     let speedup = mips i2 s2 /. mips i1 s1 in
+     Printf.printf "\nblock/step speedup: %.2fx (identical %d retired insns)\n"
+       speedup i1;
+     if !opt_json then begin
+       let oc = open_out "BENCH_simulator.json" in
+       Printf.fprintf oc
+         "{\n\
+         \  \"benchmark\": \"mibench+spec x {mips64,cheriabi} + openssl \
+          s_server\",\n\
+         \  \"engines\": [\n%s\n  ],\n\
+         \  \"speedup_block_over_step\": %.3f\n\
+          }\n"
+         (String.concat ",\n"
+            (List.map
+               (fun (name, insns, secs) ->
+                 Printf.sprintf
+                   "    { \"engine\": %S, \"instructions\": %d, \
+                    \"host_seconds\": %.3f, \"sim_mips\": %.3f }"
+                   name insns secs (mips insns secs))
+               legs))
+         speedup;
+       close_out oc;
+       Printf.printf "wrote BENCH_simulator.json\n"
+     end
+   | _ -> assert false)
+
 (* --- Driver ------------------------------------------------------------------------------------------ *)
 
 let experiments =
   [ "table1", table1; "table2", table2; "table3", table3; "fig4", fig4;
     "fig5", fig5; "syscalls", syscalls; "initdb", initdb;
     "ablation", ablation; "cachestudy", cachestudy; "bugs", bugs;
-    "simulator", simulator ]
+    "simulator", simulator; "engine", engine_bench ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let flags, args =
+    List.partition (fun a -> a = "--json" || a = "--smoke") args
+  in
+  opt_json := List.mem "--json" flags;
+  opt_smoke := List.mem "--smoke" flags;
   let selected =
     match args with
+    | [] when flags <> [] -> [ "engine" ]
     | [] | [ "all" ] -> List.map fst experiments
     | picks -> picks
   in

@@ -33,6 +33,17 @@ let abi_conv =
   in
   Arg.conv (parse, fun ppf a -> Fmt.string ppf (Abi.to_string a))
 
+let engine_conv =
+  let parse = function
+    | "step" -> Ok Cpu.Step
+    | "block" -> Ok Cpu.Block
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf e ->
+        Fmt.string ppf (match e with Cpu.Step -> "step" | Cpu.Block -> "block") )
+
 (* Lines the libc prototypes add in front of the user's source: compile
    errors are re-biased so they name lines of [file] itself. *)
 let externs_lines =
@@ -40,7 +51,7 @@ let externs_lines =
     (fun n c -> if c = '\n' then n + 1 else n)
     0 Cheri_workloads.Stdlib_src.libc_externs
 
-let run file abi args dump_asm stats trace no_libc clc_small lint =
+let run file abi engine args dump_asm stats trace no_libc clc_small lint =
   let src = read_file file in
   let opts =
     { (Cheri_cc.Compile.default_options abi) with clc_large_imm = not clc_small }
@@ -80,6 +91,7 @@ let run file abi args dump_asm stats trace no_libc clc_small lint =
   end
   else begin
     let k = Kernel.boot () in
+    k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.engine <- engine;
     Cheri_libc.Runtime.install k;
     let collector = Trace.collector () in
     if trace then begin
@@ -151,6 +163,13 @@ let cmd =
     Arg.(value & opt abi_conv Abi.Cheriabi
          & info [ "abi" ] ~doc:"Target ABI: mips64, cheriabi or asan.")
   in
+  let engine =
+    Arg.(value & opt engine_conv Cpu.Block
+         & info [ "engine" ]
+             ~doc:"Execution engine: $(b,step) (reference per-instruction \
+                   interpreter) or $(b,block) (decoded basic-block cache; \
+                   the default). Both produce bit-identical statistics.")
+  in
   let args =
     Arg.(value & opt_all string [] & info [ "arg" ] ~doc:"Program argument.")
   in
@@ -176,7 +195,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "cheri_run" ~doc:"Run a CSmall program on the CheriABI simulator")
-    Term.(const run $ file $ abi $ args $ dump $ stats $ trace $ no_libc
-          $ clc_small $ lint)
+    Term.(const run $ file $ abi $ engine $ args $ dump $ stats $ trace
+          $ no_libc $ clc_small $ lint)
 
 let () = exit (Cmd.eval' cmd)

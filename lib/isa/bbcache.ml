@@ -1,0 +1,380 @@
+(* Decoded basic-block cache: the simulator's fast execution engine.
+
+   [Cpu.step] pays a fixed per-instruction tax — a PCC execute/bounds
+   check, a translate callback, a fetch indirection, the big match
+   dispatch, and a fresh [Cap.set_addr] allocation to commit the PC. This
+   engine translates maximal straight-line instruction runs ("superblocks"
+   keyed by entry pc) into arrays of pre-resolved OCaml closures, then:
+
+   - hoists the per-instruction PCC execute check into one per-block
+     tag/seal/perm/bounds check ([block_ok]);
+   - keeps the PC as an implicit cursor (entry + 4*i) and materializes a
+     capability only at block exits, traps and stops;
+   - memoizes the instruction-side translate at page granularity within
+     one [run] (the kernel only remaps/evicts pages *between* runs, so a
+     (vpage -> frame) pair cannot go stale mid-run; the memo is reset on
+     every entry);
+   - skips the per-instruction fetch: decoding happened at build time.
+
+   What it must NOT batch: per-instruction [Cache.ifetch] probes and cycle
+   accounting stay inside each closure, in program order, because the IL1
+   and DL1 share the L2 — reordering or coalescing ifetches against data
+   accesses would change hit/miss counts. The contract (docs/INTERP.md) is
+   that [instret], [cycles], per-level cache statistics, trap causes and
+   PCs, and all architectural state are bit-identical to [Cpu.step]; the
+   differential fuzzer (test/test_engines.ml) and the kernel parity tests
+   enforce it.
+
+   Whenever a block cannot be run exactly — PCC that does not cover the
+   whole block, fuel that would expire mid-block, an undecodable entry —
+   the engine falls back to [Cpu.step] for one instruction, which is
+   always exact. Invalidation (context switch, exec, munmap/mprotect via
+   the pmap generation) is the caller's job: see [invalidate] and the
+   [map_gen] argument. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Cache = Cheri_tagmem.Cache
+
+let page_shift = Cheri_tagmem.Phys.page_shift
+let page_mask = Cheri_tagmem.Phys.page_size - 1
+
+(* How a block hands control back to the dispatch loop. *)
+type exit_ =
+  | Fall                   (* fall through to entry + 4*ilen *)
+  | Jump of int            (* taken branch/jump within the current PCC *)
+  | Jump_pcc of Cap.t      (* capability jump: replace PCC wholesale *)
+  | Stopped of Cpu.stop    (* syscall/rt upcall; PC already committed *)
+
+type block = {
+  b_entry : int;
+  b_ilen : int;                        (* instructions incl. terminator *)
+  b_body : (Cpu.ctx -> unit) array;    (* straight-line prefix *)
+  b_term : (Cpu.ctx -> exit_) option;  (* absent: block ended at max size
+                                          or at the edge of decoded code *)
+}
+
+type t = {
+  blocks : (int, block) Hashtbl.t;     (* entry pc -> decoded block *)
+  mutable map_gen : int;               (* pmap generation at last flush *)
+  (* Per-run ifetch translate memo (reset on every [run] entry). *)
+  mutable cur_vpage : int;
+  mutable cur_pbase : int;
+  (* Visibility counters (bench/docs; not part of the parity contract). *)
+  mutable built : int;
+  mutable flushes : int;
+  mutable block_runs : int;
+  mutable step_falls : int;
+}
+
+let max_block = 64
+
+let create () =
+  { blocks = Hashtbl.create 1024;
+    map_gen = min_int;
+    cur_vpage = -1; cur_pbase = 0;
+    built = 0; flushes = 0; block_runs = 0; step_falls = 0 }
+
+(* Drop every decoded block (context switch, exec image replacement). *)
+let invalidate t =
+  Hashtbl.reset t.blocks;
+  t.map_gen <- min_int;
+  t.cur_vpage <- -1;
+  t.flushes <- t.flushes + 1
+
+(* Per-instruction accounting prologue, shared by every closure: charge
+   the ifetch (through the memoized exec translate) plus base cycles, and
+   retire the instruction — exactly what [Cpu.step] does before executing,
+   so a faulting instruction still counts, as there. *)
+let account t m pc base ctx =
+  let vp = pc lsr page_shift in
+  let ipa =
+    if vp = t.cur_vpage then t.cur_pbase + (pc land page_mask)
+    else begin
+      let pa = m.Cpu.translate pc ~write:false ~exec:true in
+      t.cur_vpage <- vp;
+      t.cur_pbase <- pa - (pc land page_mask);
+      pa
+    end
+  in
+  ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.ifetch m.Cpu.hier ipa + base;
+  ctx.Cpu.instret <- ctx.Cpu.instret + 1
+
+(* --- Block compilation ---------------------------------------------------- *)
+
+(* Straight-line instruction at [pc] -> closure. The hottest ALU forms get
+   specialized closures (no re-dispatch per execution); everything else
+   funnels through the one shared semantics function, [Cpu.exec_straight].
+   The fuzzer exercises both paths against the step engine. *)
+let compile_straight t m ~pc insn =
+  let base = Insn.base_cycles insn in
+  match insn with
+  | Insn.Li (rd, v) ->
+    fun ctx -> account t m pc base ctx; Cpu.wr_gpr ctx rd v
+  | Insn.Move (rd, rs) ->
+    fun ctx -> account t m pc base ctx; Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs)
+  | Insn.Addu (rd, rs, rt) ->
+    fun ctx ->
+      account t m pc base ctx;
+      Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs + Cpu.rd_gpr ctx rt)
+  | Insn.Addiu (rd, rs, i) ->
+    fun ctx -> account t m pc base ctx; Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs + i)
+  | Insn.Subu (rd, rs, rt) ->
+    fun ctx ->
+      account t m pc base ctx;
+      Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs - Cpu.rd_gpr ctx rt)
+  | Insn.Andi (rd, rs, i) ->
+    fun ctx -> account t m pc base ctx; Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs land i)
+  | Insn.Ori (rd, rs, i) ->
+    fun ctx -> account t m pc base ctx; Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs lor i)
+  | Insn.Sll (rd, rs, sh) ->
+    fun ctx -> account t m pc base ctx; Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs lsl sh)
+  | Insn.Slt (rd, rs, rt) ->
+    fun ctx ->
+      account t m pc base ctx;
+      Cpu.wr_gpr ctx rd (if Cpu.rd_gpr ctx rs < Cpu.rd_gpr ctx rt then 1 else 0)
+  | Insn.Slti (rd, rs, i) ->
+    fun ctx ->
+      account t m pc base ctx;
+      Cpu.wr_gpr ctx rd (if Cpu.rd_gpr ctx rs < i then 1 else 0)
+  | Insn.Load { w; signed; rd; base = b; off } ->
+    fun ctx -> account t m pc base ctx; Cpu.do_load m ctx ~w ~signed ~rd ~base:b ~off
+  | Insn.Store { w; rs; base = b; off } ->
+    fun ctx -> account t m pc base ctx; Cpu.do_store m ctx ~w ~rs ~base:b ~off
+  | Insn.CLoad { w; signed; rd; cb; off } ->
+    fun ctx -> account t m pc base ctx; Cpu.do_cload m ctx ~w ~signed ~rd ~cb ~off
+  | Insn.CStore { w; rs; cb; off } ->
+    fun ctx -> account t m pc base ctx; Cpu.do_cstore m ctx ~w ~rs ~cb ~off
+  | Insn.CLC { cd; cb; off } ->
+    fun ctx -> account t m pc base ctx; Cpu.do_clc m ctx ~cd ~cb ~off
+  | Insn.CSC { cs; cb; off } ->
+    fun ctx -> account t m pc base ctx; Cpu.do_csc m ctx ~cs ~cb ~off
+  | Insn.CIncOffsetImm (cd, cb, i) ->
+    fun ctx ->
+      account t m pc base ctx;
+      Cpu.wr_creg ctx cd (Cap.inc_addr (Cpu.rd_creg ctx cb) i)
+  | Insn.CMove (cd, cb) ->
+    fun ctx -> account t m pc base ctx; Cpu.wr_creg ctx cd (Cpu.rd_creg ctx cb)
+  | Insn.Nop ->
+    fun ctx -> account t m pc base ctx
+  | insn ->
+    fun ctx -> account t m pc base ctx; Cpu.exec_straight m ctx ~pc insn
+
+(* Terminator at [pc] -> exit closure. Mirrors the control arms of
+   [Cpu.step] exactly, including the +1 taken-branch cycle, the alignment
+   check before any side effect, and the order of tag check / link-register
+   write on capability jumps. During block execution [ctx.pcc] is still
+   the block-entry PCC, whose non-address fields are exactly those of the
+   step engine's PCC at [pc] (set_addr never changes them in bounds), so
+   link capabilities built from it are bit-identical. *)
+let compile_term t m ~pc insn =
+  let base = Insn.base_cycles insn in
+  let branch cond target =
+    fun ctx ->
+      account t m pc base ctx;
+      if cond ctx then begin
+        Cpu.check_branch_target target;
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + 1;
+        Jump target
+      end
+      else Fall
+  in
+  match insn with
+  | Insn.Beq (rs, rt, tg) ->
+    branch (fun ctx -> Cpu.rd_gpr ctx rs = Cpu.rd_gpr ctx rt) tg
+  | Insn.Bne (rs, rt, tg) ->
+    branch (fun ctx -> Cpu.rd_gpr ctx rs <> Cpu.rd_gpr ctx rt) tg
+  | Insn.Blez (rs, tg) -> branch (fun ctx -> Cpu.rd_gpr ctx rs <= 0) tg
+  | Insn.Bgtz (rs, tg) -> branch (fun ctx -> Cpu.rd_gpr ctx rs > 0) tg
+  | Insn.Bltz (rs, tg) -> branch (fun ctx -> Cpu.rd_gpr ctx rs < 0) tg
+  | Insn.Bgez (rs, tg) -> branch (fun ctx -> Cpu.rd_gpr ctx rs >= 0) tg
+  | Insn.J tg ->
+    fun ctx -> account t m pc base ctx; Cpu.check_branch_target tg; Jump tg
+  | Insn.Jal tg ->
+    fun ctx ->
+      account t m pc base ctx;
+      Cpu.check_branch_target tg;
+      Cpu.wr_gpr ctx Reg.ra (pc + 4);
+      Jump tg
+  | Insn.Jr rs ->
+    fun ctx ->
+      account t m pc base ctx;
+      let tg = Cpu.rd_gpr ctx rs in
+      Cpu.check_branch_target tg;
+      Jump tg
+  | Insn.Jalr (rd, rs) ->
+    fun ctx ->
+      account t m pc base ctx;
+      let tg = Cpu.rd_gpr ctx rs in
+      Cpu.check_branch_target tg;
+      Cpu.wr_gpr ctx rd (pc + 4);
+      Jump tg
+  | Insn.CJR cb ->
+    fun ctx ->
+      account t m pc base ctx;
+      let target = Cpu.rd_creg ctx cb in
+      if not (Cap.is_tagged target) then
+        Cpu.cap_fault Cap.Tag_violation ~reg:cb ~vaddr:pc;
+      Cpu.check_branch_target (Cap.addr target);
+      Jump_pcc target
+  | Insn.CJAL (cd, tg) ->
+    fun ctx ->
+      account t m pc base ctx;
+      Cpu.check_branch_target tg;
+      Cpu.wr_creg ctx cd (Cap.set_addr ctx.Cpu.pcc (pc + 4));
+      Jump tg
+  | Insn.CJALR (cd, cb) ->
+    fun ctx ->
+      account t m pc base ctx;
+      let target = Cpu.rd_creg ctx cb in
+      if not (Cap.is_tagged target) then
+        Cpu.cap_fault Cap.Tag_violation ~reg:cb ~vaddr:pc;
+      Cpu.check_branch_target (Cap.addr target);
+      Cpu.wr_creg ctx cd (Cap.set_addr ctx.Cpu.pcc (pc + 4));
+      Jump_pcc target
+  | Insn.Syscall ->
+    fun ctx ->
+      account t m pc base ctx;
+      ctx.Cpu.pcc <- Cap.set_addr ctx.Cpu.pcc (pc + 4);
+      Stopped Cpu.Stop_syscall
+  | Insn.Rt n ->
+    fun ctx ->
+      account t m pc base ctx;
+      ctx.Cpu.pcc <- Cap.set_addr ctx.Cpu.pcc (pc + 4);
+      Stopped (Cpu.Stop_rt n)
+  | Insn.Break n ->
+    fun ctx ->
+      account t m pc base ctx;
+      Trap.raise_trap (Trap.Break_trap n)
+  | _ -> assert false
+
+(* Decode a maximal block starting at [entry]. Returns [None] when even
+   the first instruction is outside decoded code: the step fallback then
+   reproduces the fetch fault with exact accounting. Build never touches
+   translate, caches or counters, so it is invisible to the statistics. *)
+let build t m entry =
+  let body = ref [] in
+  let term = ref None in
+  let n = ref 0 in
+  (try
+     while !term = None && !n < max_block do
+       let pc = entry + (4 * !n) in
+       let insn = m.Cpu.fetch pc in
+       if Insn.is_terminator insn then term := Some (compile_term t m ~pc insn)
+       else body := compile_straight t m ~pc insn :: !body;
+       incr n
+     done
+   with Trap.Trap _ -> ());
+  if !n = 0 then None
+  else begin
+    t.built <- t.built + 1;
+    Some { b_entry = entry; b_ilen = !n;
+           b_body = Array.of_list (List.rev !body);
+           b_term = !term }
+  end
+
+(* --- Block execution ------------------------------------------------------- *)
+
+(* The hoisted PCC check: one tag/seal/execute/bounds test standing in for
+   [b_ilen] per-instruction [check_access_at] calls. If it fails the block
+   is NOT necessarily faulty — a PCC whose bounds end mid-block may still
+   execute a prefix — so the caller falls back to single-stepping, which
+   raises (or not) exactly as the reference engine. *)
+let block_ok (ctx : Cpu.ctx) b =
+  let p = ctx.Cpu.pcc in
+  Cap.is_tagged p
+  && (not (Cap.is_sealed p))
+  && Perms.has (Cap.perms p) Perms.execute
+  && b.b_entry >= Cap.base p
+  && b.b_entry + (4 * b.b_ilen) <= Cap.top p
+
+(* Execute [b]. On a mid-block trap the PCC is materialized at the
+   faulting instruction (entry + 4*i): [block_ok] guaranteed every such
+   address is in bounds, and the representable window contains the bounds,
+   so the iterated [set_addr] commits of the step engine produce exactly
+   this capability. *)
+let exec_block b (ctx : Cpu.ctx) =
+  let entry_pcc = ctx.Cpu.pcc in
+  let entry = b.b_entry in
+  let i = ref 0 in
+  try
+    let n = Array.length b.b_body in
+    while !i < n do
+      b.b_body.(!i) ctx;
+      incr i
+    done;
+    match b.b_term with
+    | None ->
+      ctx.Cpu.pcc <- Cap.set_addr entry_pcc (entry + (4 * b.b_ilen));
+      None
+    | Some term ->
+      (match term ctx with
+       | Fall ->
+         ctx.Cpu.pcc <- Cap.set_addr entry_pcc (entry + (4 * b.b_ilen));
+         None
+       | Jump tg ->
+         ctx.Cpu.pcc <- Cap.set_addr entry_pcc tg;
+         None
+       | Jump_pcc cap ->
+         ctx.Cpu.pcc <- cap;
+         None
+       | Stopped s -> Some s)
+  with
+  | Trap.Trap cause ->
+    ctx.Cpu.pcc <- Cap.set_addr entry_pcc (entry + (4 * !i));
+    Some (Cpu.Stop_trap cause)
+  | Cap.Cap_error v ->
+    let pc = entry + (4 * !i) in
+    ctx.Cpu.pcc <- Cap.set_addr entry_pcc pc;
+    Some (Cpu.Stop_trap (Trap.Cap_fault { violation = v; reg = -1; vaddr = pc }))
+
+(* --- Dispatch loop ---------------------------------------------------------- *)
+
+(* Run under the block engine until a stop or until [fuel] instructions
+   have executed — same contract as [Cpu.run]. [map_gen] is the owning
+   pmap's generation counter: a change means pages were unmapped or
+   re-protected, so decoded blocks are flushed. Whole blocks run only
+   when the remaining fuel covers them; otherwise (and for any block the
+   hoisted check cannot cover) the engine single-steps, which makes
+   mid-block quantum stops replay exactly. *)
+let run ?(map_gen = 0) t m (ctx : Cpu.ctx) ~fuel =
+  if map_gen <> t.map_gen then begin
+    if Hashtbl.length t.blocks > 0 then begin
+      Hashtbl.reset t.blocks;
+      t.flushes <- t.flushes + 1
+    end;
+    t.map_gen <- map_gen
+  end;
+  t.cur_vpage <- -1;
+  let remaining = ref fuel in
+  let result = ref None in
+  let running = ref true in
+  while !running && !remaining > 0 do
+    let pc = Cap.addr ctx.Cpu.pcc in
+    let b =
+      match Hashtbl.find t.blocks pc with
+      | b -> Some b
+      | exception Not_found ->
+        (match build t m pc with
+         | Some b -> Hashtbl.add t.blocks pc b; Some b
+         | None -> None)
+    in
+    match b with
+    | Some b when b.b_ilen <= !remaining && block_ok ctx b ->
+      t.block_runs <- t.block_runs + 1;
+      remaining := !remaining - b.b_ilen;
+      (match exec_block b ctx with
+       | Some s ->
+         result := Some s;
+         running := false
+       | None -> ())
+    | _ ->
+      t.step_falls <- t.step_falls + 1;
+      decr remaining;
+      (match Cpu.step m ctx with
+       | Some s ->
+         result := Some s;
+         running := false
+       | None -> ())
+  done;
+  !result

@@ -7,7 +7,16 @@
    after the kernel services the fault (demand paging).
 
    The machine record carries per-address-space callbacks (translation and
-   instruction fetch) that the kernel swaps on context switch. *)
+   instruction fetch) that the kernel swaps on context switch.
+
+   Two engines share these semantics (docs/INTERP.md):
+   - [step]/[run] below: the reference per-instruction interpreter;
+   - [Bbcache]: a decoded basic-block cache that pre-resolves straight-line
+     runs into closures over [exec_straight] and the helpers here.
+   Everything observable — register file, memory, tags, [instret],
+   [cycles], per-level cache hit/miss counts, trap causes and PCs — must
+   stay bit-identical between them; the straight-line semantics therefore
+   live in exactly one place ([exec_straight] and the do_* helpers). *)
 
 module Cap = Cheri_cap.Cap
 module Perms = Cheri_cap.Perms
@@ -18,6 +27,11 @@ type stop =
   | Stop_syscall          (* user executed SYSCALL; pc already advanced *)
   | Stop_rt of int        (* runtime-builtin upcall; pc already advanced *)
   | Stop_trap of Trap.cause  (* pc NOT advanced *)
+
+(* Execution engine selector (kernel config / --engine flag). *)
+type engine =
+  | Step                  (* reference per-instruction interpreter *)
+  | Block                 (* decoded basic-block cache, see Bbcache *)
 
 type machine = {
   mem : Tagmem.t;
@@ -105,17 +119,192 @@ let mem_write_cap m ctx vaddr c =
 
 (* --- Tracing ------------------------------------------------------------------ *)
 
-let trace_derive m ctx op result =
+(* [pc] is passed explicitly: under the block engine the PCC cursor is not
+   materialized between instructions, so [Cap.addr ctx.pcc] would be stale. *)
+let trace_derive m ~pc op result =
   match m.tracer with
   | Some sink when Cap.is_tagged result ->
-    sink (Trace.Derive { pc = Cap.addr ctx.pcc; op; result })
+    sink (Trace.Derive { pc; op; result })
   | _ -> ()
 
-(* --- Step --------------------------------------------------------------------- *)
+(* --- Shared operand semantics ------------------------------------------------- *)
 
 (* Derivation helper: wrap [Cap] errors as capability faults against [reg]. *)
 let derive ~reg ~pc f =
   try f () with Cap.Cap_error v -> cap_fault v ~reg ~vaddr:pc
+
+(* Control-flow targets must be instruction-aligned; checked at the jump,
+   before any architectural side effect (link-register writes included), so
+   a misaligned target raises a precise [Unaligned] trap instead of
+   surfacing later as a confusing fetch fault. *)
+let check_branch_target t =
+  if t land 3 <> 0 then Trap.raise_trap (Trap.Unaligned { vaddr = t; width = 4 })
+
+(* Signed division operands: divide-by-zero traps, and so does the
+   INT_MIN / -1 overflow that OCaml's [/] and [mod] silently wrap. *)
+let div_operands ctx rs rt =
+  let a = rd_gpr ctx rs and b = rd_gpr ctx rt in
+  if b = 0 then Trap.raise_trap Trap.Div_by_zero;
+  if a = min_int && b = -1 then Trap.raise_trap Trap.Overflow;
+  (a, b)
+
+let do_load m ctx ~w ~signed ~rd ~base ~off =
+  let vaddr = rd_gpr ctx base + off in
+  check_cap ctx.ddc ~reg:(-2) ~perm:Perms.load ~vaddr ~len:w;
+  wr_gpr ctx rd (mem_read m ctx vaddr w ~signed)
+
+let do_store m ctx ~w ~rs ~base ~off =
+  let vaddr = rd_gpr ctx base + off in
+  check_cap ctx.ddc ~reg:(-2) ~perm:Perms.store ~vaddr ~len:w;
+  mem_write m ctx vaddr w (rd_gpr ctx rs)
+
+let do_cload m ctx ~w ~signed ~rd ~cb ~off =
+  let cap = rd_creg ctx cb in
+  let vaddr = Cap.addr cap + off in
+  check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:w;
+  wr_gpr ctx rd (mem_read m ctx vaddr w ~signed)
+
+let do_cstore m ctx ~w ~rs ~cb ~off =
+  let cap = rd_creg ctx cb in
+  let vaddr = Cap.addr cap + off in
+  check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:w;
+  mem_write m ctx vaddr w (rd_gpr ctx rs)
+
+let do_clc m ctx ~cd ~cb ~off =
+  let cap = rd_creg ctx cb in
+  let vaddr = Cap.addr cap + off in
+  check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:Cap.sizeof;
+  let loaded = mem_read_cap m ctx vaddr in
+  (* Without LOAD_CAP the tag is stripped on load. *)
+  let loaded =
+    if Perms.has (Cap.perms cap) Perms.load_cap then loaded
+    else Cap.clear_tag loaded
+  in
+  wr_creg ctx cd loaded
+
+let do_csc m ctx ~cs ~cb ~off =
+  let cap = rd_creg ctx cb in
+  let vaddr = Cap.addr cap + off in
+  check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:Cap.sizeof;
+  let v = rd_creg ctx cs in
+  if Cap.is_tagged v then begin
+    if not (Perms.has (Cap.perms cap) Perms.store_cap) then
+      cap_fault (Cap.Permit_violation Perms.store_cap) ~reg:cb ~vaddr;
+    if (not (Perms.has (Cap.perms v) Perms.global))
+       && not (Perms.has (Cap.perms cap) Perms.store_local_cap)
+    then cap_fault (Cap.Permit_violation Perms.store_local_cap) ~reg:cb ~vaddr
+  end;
+  mem_write_cap m ctx vaddr v
+
+(* Execute one non-terminator instruction at [pc] (used for fault vaddrs
+   and trace pcs; the PC commit itself is the engine's job). Both engines
+   call this, so straight-line semantics exist in exactly one place. *)
+let exec_straight m ctx ~pc (insn : Insn.t) =
+  match insn with
+  | Insn.Li (rd, v) -> wr_gpr ctx rd v
+  | Move (rd, rs) -> wr_gpr ctx rd (rd_gpr ctx rs)
+  | Addu (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs + rd_gpr ctx rt)
+  | Addiu (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs + i)
+  | Subu (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs - rd_gpr ctx rt)
+  | Mul (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs * rd_gpr ctx rt)
+  | Div (rd, rs, rt) ->
+    let a, b = div_operands ctx rs rt in
+    wr_gpr ctx rd (a / b)
+  | Rem (rd, rs, rt) ->
+    let a, b = div_operands ctx rs rt in
+    wr_gpr ctx rd (a mod b)
+  | And_ (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs land rd_gpr ctx rt)
+  | Andi (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs land i)
+  | Or_ (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lor rd_gpr ctx rt)
+  | Ori (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs lor i)
+  | Xor_ (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lxor rd_gpr ctx rt)
+  | Xori (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs lxor i)
+  | Nor_ (rd, rs, rt) -> wr_gpr ctx rd (lnot (rd_gpr ctx rs lor rd_gpr ctx rt))
+  | Sll (rd, rs, sh) -> wr_gpr ctx rd (rd_gpr ctx rs lsl sh)
+  | Srl (rd, rs, sh) -> wr_gpr ctx rd (rd_gpr ctx rs lsr sh)
+  | Sra (rd, rs, sh) -> wr_gpr ctx rd (rd_gpr ctx rs asr sh)
+  | Sllv (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lsl (rd_gpr ctx rt land 63))
+  | Srlv (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lsr (rd_gpr ctx rt land 63))
+  | Srav (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs asr (rd_gpr ctx rt land 63))
+  | Slt (rd, rs, rt) -> wr_gpr ctx rd (if rd_gpr ctx rs < rd_gpr ctx rt then 1 else 0)
+  | Sltu (rd, rs, rt) ->
+    (* Unsigned compare on 63-bit OCaml ints: compare shifted. *)
+    let a = rd_gpr ctx rs and b = rd_gpr ctx rt in
+    let ua = a lxor min_int and ub = b lxor min_int in
+    wr_gpr ctx rd (if ua < ub then 1 else 0)
+  | Slti (rd, rs, i) -> wr_gpr ctx rd (if rd_gpr ctx rs < i then 1 else 0)
+  | Sltiu (rd, rs, i) ->
+    let ua = rd_gpr ctx rs lxor min_int and ub = i lxor min_int in
+    wr_gpr ctx rd (if ua < ub then 1 else 0)
+  | Load { w; signed; rd; base; off } -> do_load m ctx ~w ~signed ~rd ~base ~off
+  | Store { w; rs; base; off } -> do_store m ctx ~w ~rs ~base ~off
+  | CLoad { w; signed; rd; cb; off } -> do_cload m ctx ~w ~signed ~rd ~cb ~off
+  | CStore { w; rs; cb; off } -> do_cstore m ctx ~w ~rs ~cb ~off
+  | CLC { cd; cb; off } -> do_clc m ctx ~cd ~cb ~off
+  | CSC { cs; cb; off } -> do_csc m ctx ~cs ~cb ~off
+  | CMove (cd, cb) -> wr_creg ctx cd (rd_creg ctx cb)
+  | CGetBase (rd, cb) -> wr_gpr ctx rd (Cap.base (rd_creg ctx cb))
+  | CGetLen (rd, cb) -> wr_gpr ctx rd (Cap.length (rd_creg ctx cb))
+  | CGetAddr (rd, cb) -> wr_gpr ctx rd (Cap.addr (rd_creg ctx cb))
+  | CGetOffset (rd, cb) -> wr_gpr ctx rd (Cap.offset (rd_creg ctx cb))
+  | CGetPerm (rd, cb) -> wr_gpr ctx rd (Cap.perms (rd_creg ctx cb))
+  | CGetTag (rd, cb) -> wr_gpr ctx rd (if Cap.is_tagged (rd_creg ctx cb) then 1 else 0)
+  | CGetType (rd, cb) -> wr_gpr ctx rd (Cap.otype (rd_creg ctx cb))
+  | CSetBounds (cd, cb, rt) ->
+    let r = derive ~reg:cb ~pc (fun () -> Cap.set_bounds (rd_creg ctx cb) ~len:(rd_gpr ctx rt)) in
+    trace_derive m ~pc "csetbounds" r;
+    wr_creg ctx cd r
+  | CSetBoundsImm (cd, cb, len) ->
+    let r = derive ~reg:cb ~pc (fun () -> Cap.set_bounds (rd_creg ctx cb) ~len) in
+    trace_derive m ~pc "csetbounds" r;
+    wr_creg ctx cd r
+  | CSetBoundsExact (cd, cb, rt) ->
+    let r =
+      derive ~reg:cb ~pc (fun () -> Cap.set_bounds ~exact:true (rd_creg ctx cb) ~len:(rd_gpr ctx rt))
+    in
+    trace_derive m ~pc "csetboundsexact" r;
+    wr_creg ctx cd r
+  | CAndPerm (cd, cb, rt) ->
+    let r = derive ~reg:cb ~pc (fun () -> Cap.and_perms (rd_creg ctx cb) (rd_gpr ctx rt)) in
+    trace_derive m ~pc "candperm" r;
+    wr_creg ctx cd r
+  | CAndPermImm (cd, cb, mask) ->
+    let r = derive ~reg:cb ~pc (fun () -> Cap.and_perms (rd_creg ctx cb) mask) in
+    trace_derive m ~pc "candperm" r;
+    wr_creg ctx cd r
+  | CIncOffset (cd, cb, rt) -> wr_creg ctx cd (Cap.inc_addr (rd_creg ctx cb) (rd_gpr ctx rt))
+  | CIncOffsetImm (cd, cb, i) -> wr_creg ctx cd (Cap.inc_addr (rd_creg ctx cb) i)
+  | CSetAddr (cd, cb, rt) -> wr_creg ctx cd (Cap.set_addr (rd_creg ctx cb) (rd_gpr ctx rt))
+  | CClearTag (cd, cb) -> wr_creg ctx cd (Cap.clear_tag (rd_creg ctx cb))
+  | CFromPtr (cd, cb, rt) ->
+    let src = if cb = 0 then ctx.ddc else rd_creg ctx cb in
+    let r = derive ~reg:cb ~pc (fun () -> Cap.from_ptr src (rd_gpr ctx rt)) in
+    trace_derive m ~pc "cfromptr" r;
+    wr_creg ctx cd r
+  | CSeal (cd, cb, ct) ->
+    let r = derive ~reg:cb ~pc (fun () -> Cap.seal (rd_creg ctx cb) ~with_:(rd_creg ctx ct)) in
+    wr_creg ctx cd r
+  | CUnseal (cd, cb, ct) ->
+    let r = derive ~reg:cb ~pc (fun () -> Cap.unseal (rd_creg ctx cb) ~with_:(rd_creg ctx ct)) in
+    wr_creg ctx cd r
+  | CRRL (rd, rs) -> wr_gpr ctx rd (Cheri_cap.Compress.crrl (rd_gpr ctx rs))
+  | CRAM (rd, rs) -> wr_gpr ctx rd (Cheri_cap.Compress.cram (rd_gpr ctx rs))
+  | CReadDDC cd ->
+    if not (Perms.has (Cap.perms ctx.pcc) Perms.system_regs) then
+      cap_fault (Cap.Permit_violation Perms.system_regs) ~reg:cd ~vaddr:pc;
+    wr_creg ctx cd ctx.ddc
+  | CWriteDDC cb ->
+    if not (Perms.has (Cap.perms ctx.pcc) Perms.system_regs) then
+      cap_fault (Cap.Permit_violation Perms.system_regs) ~reg:cb ~vaddr:pc;
+    ctx.ddc <- rd_creg ctx cb
+  | Annot _ | Nop -> ()
+  | Beq _ | Bne _ | Blez _ | Bgtz _ | Bltz _ | Bgez _
+  | J _ | Jal _ | Jr _ | Jalr _ | CJR _ | CJAL _ | CJALR _
+  | Syscall | Break _ | Rt _ ->
+    (* Terminators run through the engines' control paths. *)
+    assert false
+
+(* --- Step --------------------------------------------------------------------- *)
 
 let step m ctx : stop option =
   let pc = Cap.addr ctx.pcc in
@@ -132,166 +321,56 @@ let step m ctx : stop option =
     let next_pcc = ref None in    (* capability jump replaces PCC wholesale *)
     let stop = ref None in
     (match insn with
-     | Insn.Li (rd, v) -> wr_gpr ctx rd v
-     | Move (rd, rs) -> wr_gpr ctx rd (rd_gpr ctx rs)
-     | Addu (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs + rd_gpr ctx rt)
-     | Addiu (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs + i)
-     | Subu (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs - rd_gpr ctx rt)
-     | Mul (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs * rd_gpr ctx rt)
-     | Div (rd, rs, rt) ->
-       if rd_gpr ctx rt = 0 then Trap.raise_trap Trap.Div_by_zero;
-       wr_gpr ctx rd (rd_gpr ctx rs / rd_gpr ctx rt)
-     | Rem (rd, rs, rt) ->
-       if rd_gpr ctx rt = 0 then Trap.raise_trap Trap.Div_by_zero;
-       wr_gpr ctx rd (rd_gpr ctx rs mod rd_gpr ctx rt)
-     | And_ (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs land rd_gpr ctx rt)
-     | Andi (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs land i)
-     | Or_ (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lor rd_gpr ctx rt)
-     | Ori (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs lor i)
-     | Xor_ (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lxor rd_gpr ctx rt)
-     | Xori (rd, rs, i) -> wr_gpr ctx rd (rd_gpr ctx rs lxor i)
-     | Nor_ (rd, rs, rt) -> wr_gpr ctx rd (lnot (rd_gpr ctx rs lor rd_gpr ctx rt))
-     | Sll (rd, rs, sh) -> wr_gpr ctx rd (rd_gpr ctx rs lsl sh)
-     | Srl (rd, rs, sh) -> wr_gpr ctx rd (rd_gpr ctx rs lsr sh)
-     | Sra (rd, rs, sh) -> wr_gpr ctx rd (rd_gpr ctx rs asr sh)
-     | Sllv (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lsl (rd_gpr ctx rt land 63))
-     | Srlv (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs lsr (rd_gpr ctx rt land 63))
-     | Srav (rd, rs, rt) -> wr_gpr ctx rd (rd_gpr ctx rs asr (rd_gpr ctx rt land 63))
-     | Slt (rd, rs, rt) -> wr_gpr ctx rd (if rd_gpr ctx rs < rd_gpr ctx rt then 1 else 0)
-     | Sltu (rd, rs, rt) ->
-       (* Unsigned compare on 63-bit OCaml ints: compare shifted. *)
-       let a = rd_gpr ctx rs and b = rd_gpr ctx rt in
-       let ua = a lxor min_int and ub = b lxor min_int in
-       wr_gpr ctx rd (if ua < ub then 1 else 0)
-     | Slti (rd, rs, i) -> wr_gpr ctx rd (if rd_gpr ctx rs < i then 1 else 0)
-     | Sltiu (rd, rs, i) ->
-       let ua = rd_gpr ctx rs lxor min_int and ub = i lxor min_int in
-       wr_gpr ctx rd (if ua < ub then 1 else 0)
-     | Beq (rs, rt, t) -> if rd_gpr ctx rs = rd_gpr ctx rt then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | Bne (rs, rt, t) -> if rd_gpr ctx rs <> rd_gpr ctx rt then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | Blez (rs, t) -> if rd_gpr ctx rs <= 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | Bgtz (rs, t) -> if rd_gpr ctx rs > 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | Bltz (rs, t) -> if rd_gpr ctx rs < 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | Bgez (rs, t) -> if rd_gpr ctx rs >= 0 then (next := t; ctx.cycles <- ctx.cycles + 1)
-     | J t -> next := t
-     | Jal t -> wr_gpr ctx Reg.ra (pc + 4); next := t
-     | Jr rs -> next := rd_gpr ctx rs
-     | Jalr (rd, rs) -> wr_gpr ctx rd (pc + 4); next := rd_gpr ctx rs
-     | Load { w; signed; rd; base; off } ->
-       let vaddr = rd_gpr ctx base + off in
-       check_cap ctx.ddc ~reg:(-2) ~perm:Perms.load ~vaddr ~len:w;
-       wr_gpr ctx rd (mem_read m ctx vaddr w ~signed)
-     | Store { w; rs; base; off } ->
-       let vaddr = rd_gpr ctx base + off in
-       check_cap ctx.ddc ~reg:(-2) ~perm:Perms.store ~vaddr ~len:w;
-       mem_write m ctx vaddr w (rd_gpr ctx rs)
-     | CLoad { w; signed; rd; cb; off } ->
-       let cap = rd_creg ctx cb in
-       let vaddr = Cap.addr cap + off in
-       check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:w;
-       wr_gpr ctx rd (mem_read m ctx vaddr w ~signed)
-     | CStore { w; rs; cb; off } ->
-       let cap = rd_creg ctx cb in
-       let vaddr = Cap.addr cap + off in
-       check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:w;
-       mem_write m ctx vaddr w (rd_gpr ctx rs)
-     | CLC { cd; cb; off } ->
-       let cap = rd_creg ctx cb in
-       let vaddr = Cap.addr cap + off in
-       check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:Cap.sizeof;
-       let loaded = mem_read_cap m ctx vaddr in
-       (* Without LOAD_CAP the tag is stripped on load. *)
-       let loaded =
-         if Perms.has (Cap.perms cap) Perms.load_cap then loaded
-         else Cap.clear_tag loaded
-       in
-       wr_creg ctx cd loaded
-     | CSC { cs; cb; off } ->
-       let cap = rd_creg ctx cb in
-       let vaddr = Cap.addr cap + off in
-       check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:Cap.sizeof;
-       let v = rd_creg ctx cs in
-       if Cap.is_tagged v then begin
-         if not (Perms.has (Cap.perms cap) Perms.store_cap) then
-           cap_fault (Cap.Permit_violation Perms.store_cap) ~reg:cb ~vaddr;
-         if (not (Perms.has (Cap.perms v) Perms.global))
-            && not (Perms.has (Cap.perms cap) Perms.store_local_cap)
-         then cap_fault (Cap.Permit_violation Perms.store_local_cap) ~reg:cb ~vaddr
-       end;
-       mem_write_cap m ctx vaddr v
-     | CMove (cd, cb) -> wr_creg ctx cd (rd_creg ctx cb)
-     | CGetBase (rd, cb) -> wr_gpr ctx rd (Cap.base (rd_creg ctx cb))
-     | CGetLen (rd, cb) -> wr_gpr ctx rd (Cap.length (rd_creg ctx cb))
-     | CGetAddr (rd, cb) -> wr_gpr ctx rd (Cap.addr (rd_creg ctx cb))
-     | CGetOffset (rd, cb) -> wr_gpr ctx rd (Cap.offset (rd_creg ctx cb))
-     | CGetPerm (rd, cb) -> wr_gpr ctx rd (Cap.perms (rd_creg ctx cb))
-     | CGetTag (rd, cb) -> wr_gpr ctx rd (if Cap.is_tagged (rd_creg ctx cb) then 1 else 0)
-     | CGetType (rd, cb) -> wr_gpr ctx rd (Cap.otype (rd_creg ctx cb))
-     | CSetBounds (cd, cb, rt) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.set_bounds (rd_creg ctx cb) ~len:(rd_gpr ctx rt)) in
-       trace_derive m ctx "csetbounds" r;
-       wr_creg ctx cd r
-     | CSetBoundsImm (cd, cb, len) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.set_bounds (rd_creg ctx cb) ~len) in
-       trace_derive m ctx "csetbounds" r;
-       wr_creg ctx cd r
-     | CSetBoundsExact (cd, cb, rt) ->
-       let r =
-         derive ~reg:cb ~pc (fun () -> Cap.set_bounds ~exact:true (rd_creg ctx cb) ~len:(rd_gpr ctx rt))
-       in
-       trace_derive m ctx "csetboundsexact" r;
-       wr_creg ctx cd r
-     | CAndPerm (cd, cb, rt) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.and_perms (rd_creg ctx cb) (rd_gpr ctx rt)) in
-       trace_derive m ctx "candperm" r;
-       wr_creg ctx cd r
-     | CAndPermImm (cd, cb, mask) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.and_perms (rd_creg ctx cb) mask) in
-       trace_derive m ctx "candperm" r;
-       wr_creg ctx cd r
-     | CIncOffset (cd, cb, rt) -> wr_creg ctx cd (Cap.inc_addr (rd_creg ctx cb) (rd_gpr ctx rt))
-     | CIncOffsetImm (cd, cb, i) -> wr_creg ctx cd (Cap.inc_addr (rd_creg ctx cb) i)
-     | CSetAddr (cd, cb, rt) -> wr_creg ctx cd (Cap.set_addr (rd_creg ctx cb) (rd_gpr ctx rt))
-     | CClearTag (cd, cb) -> wr_creg ctx cd (Cap.clear_tag (rd_creg ctx cb))
-     | CFromPtr (cd, cb, rt) ->
-       let src = if cb = 0 then ctx.ddc else rd_creg ctx cb in
-       let r = derive ~reg:cb ~pc (fun () -> Cap.from_ptr src (rd_gpr ctx rt)) in
-       trace_derive m ctx "cfromptr" r;
-       wr_creg ctx cd r
-     | CSeal (cd, cb, ct) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.seal (rd_creg ctx cb) ~with_:(rd_creg ctx ct)) in
-       wr_creg ctx cd r
-     | CUnseal (cd, cb, ct) ->
-       let r = derive ~reg:cb ~pc (fun () -> Cap.unseal (rd_creg ctx cb) ~with_:(rd_creg ctx ct)) in
-       wr_creg ctx cd r
-     | CRRL (rd, rs) -> wr_gpr ctx rd (Cheri_cap.Compress.crrl (rd_gpr ctx rs))
-     | CRAM (rd, rs) -> wr_gpr ctx rd (Cheri_cap.Compress.cram (rd_gpr ctx rs))
+     | Insn.Beq (rs, rt, t) ->
+       if rd_gpr ctx rs = rd_gpr ctx rt then
+         (check_branch_target t; next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bne (rs, rt, t) ->
+       if rd_gpr ctx rs <> rd_gpr ctx rt then
+         (check_branch_target t; next := t; ctx.cycles <- ctx.cycles + 1)
+     | Blez (rs, t) ->
+       if rd_gpr ctx rs <= 0 then
+         (check_branch_target t; next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bgtz (rs, t) ->
+       if rd_gpr ctx rs > 0 then
+         (check_branch_target t; next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bltz (rs, t) ->
+       if rd_gpr ctx rs < 0 then
+         (check_branch_target t; next := t; ctx.cycles <- ctx.cycles + 1)
+     | Bgez (rs, t) ->
+       if rd_gpr ctx rs >= 0 then
+         (check_branch_target t; next := t; ctx.cycles <- ctx.cycles + 1)
+     | J t -> check_branch_target t; next := t
+     | Jal t -> check_branch_target t; wr_gpr ctx Reg.ra (pc + 4); next := t
+     | Jr rs ->
+       let t = rd_gpr ctx rs in
+       check_branch_target t;
+       next := t
+     | Jalr (rd, rs) ->
+       let t = rd_gpr ctx rs in
+       check_branch_target t;
+       wr_gpr ctx rd (pc + 4);
+       next := t
      | CJR cb ->
        let target = rd_creg ctx cb in
        if not (Cap.is_tagged target) then
          cap_fault Cap.Tag_violation ~reg:cb ~vaddr:pc;
+       check_branch_target (Cap.addr target);
        next_pcc := Some target
      | CJAL (cd, t) ->
+       check_branch_target t;
        wr_creg ctx cd (Cap.set_addr ctx.pcc (pc + 4));
        next := t
      | CJALR (cd, cb) ->
        let target = rd_creg ctx cb in
        if not (Cap.is_tagged target) then
          cap_fault Cap.Tag_violation ~reg:cb ~vaddr:pc;
+       check_branch_target (Cap.addr target);
        wr_creg ctx cd (Cap.set_addr ctx.pcc (pc + 4));
        next_pcc := Some target
-     | CReadDDC cd ->
-       if not (Perms.has (Cap.perms ctx.pcc) Perms.system_regs) then
-         cap_fault (Cap.Permit_violation Perms.system_regs) ~reg:cd ~vaddr:pc;
-       wr_creg ctx cd ctx.ddc
-     | CWriteDDC cb ->
-       if not (Perms.has (Cap.perms ctx.pcc) Perms.system_regs) then
-         cap_fault (Cap.Permit_violation Perms.system_regs) ~reg:cb ~vaddr:pc;
-       ctx.ddc <- rd_creg ctx cb
      | Syscall -> stop := Some Stop_syscall
      | Break n -> Trap.raise_trap (Trap.Break_trap n)
      | Rt n -> stop := Some (Stop_rt n)
-     | Annot _ | Nop -> ());
+     | i -> exec_straight m ctx ~pc i);
     (* Commit the PC. *)
     (match !next_pcc with
      | Some cap -> ctx.pcc <- cap

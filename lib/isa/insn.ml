@@ -110,6 +110,18 @@ let base_cycles = function
   | Annot _ -> 0
   | _ -> 1
 
+(* Instructions that end a basic block: anything that can change the PC
+   non-sequentially or hand control to the kernel. The block-cache engine
+   ([Bbcache]) translates maximal runs of non-terminators and executes the
+   terminator (if any) through its control path; [Cpu.step] keeps the same
+   classification implicitly in its match ordering. *)
+let is_terminator = function
+  | Beq _ | Bne _ | Blez _ | Bgtz _ | Bltz _ | Bgez _
+  | J _ | Jal _ | Jr _ | Jalr _
+  | CJR _ | CJAL _ | CJALR _
+  | Syscall | Break _ | Rt _ -> true
+  | _ -> false
+
 let pp_gpr = Reg.gpr_name
 let pp_creg = Reg.creg_name
 

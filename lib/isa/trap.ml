@@ -13,6 +13,7 @@ type cause =
   | Reserved_instruction
   | Break_trap of int
   | Div_by_zero
+  | Overflow                     (* integer overflow: INT_MIN / -1 *)
   | Fetch_fault of { vaddr : int }
 
 exception Trap of cause
@@ -34,6 +35,7 @@ let to_string = function
   | Reserved_instruction -> "reserved instruction"
   | Break_trap n -> Printf.sprintf "break %d" n
   | Div_by_zero -> "integer divide by zero"
+  | Overflow -> "integer overflow"
   | Fetch_fault { vaddr } -> Printf.sprintf "instruction fetch fault at 0x%x" vaddr
 
 let pp ppf c = Fmt.string ppf (to_string c)

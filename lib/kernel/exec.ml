@@ -126,6 +126,9 @@ let exec_image k (p : Proc.t) ~abi ~(image : Sobj.image) ~argv ~envv =
   p.Proc.ctx <- Cpu.create_ctx ();
   p.Proc.comm <- image.Sobj.img_name;
   Proc.clear_code p;
+  (* Exec keeps the pid, so the context-switch flush in [Loop] would not
+     fire: the old image's decoded blocks must die here. *)
+  Cheri_isa.Bbcache.invalidate k.Kstate.bb;
   let link = Rtld.link ~abi image in
   p.Proc.linked <- Some link;
   (* Map text and data for every object. *)

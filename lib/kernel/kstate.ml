@@ -38,6 +38,7 @@ type shm_seg = {
    kernel may dereference it (intentional use), which is what makes
    pointer-heavy syscalls like select faster under CheriABI (§5.2). *)
 type config = {
+  mutable engine : Cpu.engine;          (* execution engine (docs/INTERP.md) *)
   mutable quantum : int;                (* instructions per timeslice *)
   mutable trap_cost_legacy : int;
   mutable trap_cost_cheri : int;
@@ -50,7 +51,8 @@ type config = {
 }
 
 let default_config () =
-  { quantum = 20_000;
+  { engine = Cpu.Block;
+    quantum = 20_000;
     trap_cost_legacy = 130;
     trap_cost_cheri = 134;
     ptr_arg_cost_legacy = 9;
@@ -65,6 +67,11 @@ type t = {
   phys : Phys.t;
   swap : Swap.t;
   machine : Cpu.machine;
+  (* Decoded basic-block cache for the block engine. One cache serves the
+     whole machine: it is flushed on context switch (the decoded code maps
+     are per-process), on exec, and on pmap generation changes. *)
+  bb : Cheri_isa.Bbcache.t;
+  mutable bb_owner : int;               (* pid whose blocks are cached; -1 none *)
   procs : (int, Proc.t) Hashtbl.t;
   mutable runq : int list;              (* round-robin order *)
   vfs : Vfs.t;
@@ -100,6 +107,7 @@ let boot ?(mem_size = 64 * 1024 * 1024) ?l2_size () =
   in
   let kernel_root = reset_root in
   { mem; phys; swap; machine;
+    bb = Cheri_isa.Bbcache.create (); bb_owner = -1;
     procs = Hashtbl.create 16; runq = [];
     vfs = Vfs.create ();
     next_pid = 1;

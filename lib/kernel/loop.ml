@@ -7,6 +7,7 @@
 
 module Cap = Cheri_cap.Cap
 module Cpu = Cheri_isa.Cpu
+module Bbcache = Cheri_isa.Bbcache
 module Reg = Cheri_isa.Reg
 module Trap = Cheri_isa.Trap
 module Trace = Cheri_isa.Trace
@@ -16,6 +17,13 @@ module Addr_space = Cheri_vm.Addr_space
 
 let install_machine k (p : Proc.t) =
   let pmap = Addr_space.pmap p.Proc.asp in
+  (* The block cache decodes through this process's fetch callback; blocks
+     from another address space are meaningless, so flush on real context
+     switches (not on every quantum of a single process). *)
+  if k.Kstate.bb_owner <> p.Proc.pid then begin
+    Bbcache.invalidate k.Kstate.bb;
+    k.Kstate.bb_owner <- p.Proc.pid
+  end;
   k.Kstate.machine.Cpu.translate <-
     (fun v ~write ~exec -> Pmap.translate pmap v ~write ~exec);
   k.Kstate.machine.Cpu.fetch <- Proc.fetch p;
@@ -93,7 +101,7 @@ let signal_of_trap = function
   | Trap.Unaligned _ -> Signo.sigbus
   | Trap.Reserved_instruction -> Signo.sigill
   | Trap.Break_trap _ -> Signo.sigabrt
-  | Trap.Div_by_zero -> Signo.sigfpe
+  | Trap.Div_by_zero | Trap.Overflow -> Signo.sigfpe
 
 let handle_trap k (p : Proc.t) cause =
   match cause with
@@ -143,10 +151,17 @@ let run ?(max_steps = max_int) k =
            install_machine k p;
            if Signal_dispatch.deliver_pending k p && Proc.is_runnable p then begin
              let before = p.Proc.ctx.Cpu.instret in
+             let fuel =
+               min k.Kstate.config.Kstate.quantum
+                 (max 1 (max_steps - !executed))
+             in
              let stop =
-               Cpu.run k.Kstate.machine p.Proc.ctx
-                 ~fuel:(min k.Kstate.config.Kstate.quantum
-                          (max 1 (max_steps - !executed)))
+               match k.Kstate.config.Kstate.engine with
+               | Cpu.Step -> Cpu.run k.Kstate.machine p.Proc.ctx ~fuel
+               | Cpu.Block ->
+                 Bbcache.run
+                   ~map_gen:(Pmap.generation (Addr_space.pmap p.Proc.asp))
+                   k.Kstate.bb k.Kstate.machine p.Proc.ctx ~fuel
              in
              executed := !executed + (p.Proc.ctx.Cpu.instret - before);
              (match stop with

@@ -29,16 +29,21 @@ type t = {
   mutable root : Cheri_cap.Cap.t;   (* rederivation root for swap-in *)
   mutable faults : int;
   mutable cow_copies : int;
+  (* Bumped whenever mappings are removed or re-protected; the block-cache
+     engine compares it to decide when decoded blocks may be stale. *)
+  mutable generation : int;
 }
 
 let page_size = Phys.page_size
 let vpn_of v = v lsr Phys.page_shift
 
 let create ~phys ~swap ~root =
-  { table = Hashtbl.create 256; phys; swap; root; faults = 0; cow_copies = 0 }
+  { table = Hashtbl.create 256; phys; swap; root;
+    faults = 0; cow_copies = 0; generation = 0 }
 
 let entry_count t = Hashtbl.length t.table
 let fault_count t = t.faults
+let generation t = t.generation
 
 let find t vaddr = Hashtbl.find_opt t.table (vpn_of vaddr)
 
@@ -59,6 +64,7 @@ let enter_frame t ~vaddr ~frame ~prot ~cow =
     { state = Present frame; prot; cow; accessed = false }
 
 let protect_range t ~vaddr ~len ~prot =
+  t.generation <- t.generation + 1;
   let first = vpn_of vaddr and last = vpn_of (vaddr + len - 1) in
   for vpn = first to last do
     match Hashtbl.find_opt t.table vpn with
@@ -67,6 +73,7 @@ let protect_range t ~vaddr ~len ~prot =
   done
 
 let remove_range t ~vaddr ~len =
+  t.generation <- t.generation + 1;
   let first = vpn_of vaddr and last = vpn_of (vaddr + len - 1) in
   for vpn = first to last do
     match Hashtbl.find_opt t.table vpn with
@@ -234,6 +241,7 @@ let fork_into t child ~on_rederive =
 
 (* Tear down all mappings (process exit / exec). *)
 let destroy t =
+  t.generation <- t.generation + 1;
   Hashtbl.iter
     (fun _ e ->
       match e.state with

@@ -29,10 +29,19 @@ let status_string m =
   | Some (Proc.Signaled s) -> Signo.name s
   | None -> "running"
 
-(* Run [src] (linked against libc) under [abi] and measure. *)
+(* Run [src] (linked against libc) under [abi] and measure. [engine]
+   selects the interpreter (default: the kernel config's default, i.e. the
+   block engine); [quantum] overrides the scheduler timeslice, which the
+   engine-parity tests use to force mid-block preemption. *)
 let run ?opts ?(extra_libs = []) ?(argv = [ "prog" ])
-    ?(max_steps = 400_000_000) ?l2_size ~abi src =
+    ?(max_steps = 400_000_000) ?l2_size ?engine ?quantum ~abi src =
   let k = Kernel.boot ?l2_size () in
+  (match engine with
+   | Some e -> k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.engine <- e
+   | None -> ());
+  (match quantum with
+   | Some q -> k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.quantum <- q
+   | None -> ());
   Cheri_libc.Runtime.install k;
   let image =
     Stdlib_src.build_image ?opts ~abi ~name:"bench" ~extra_libs src

@@ -1,0 +1,396 @@
+(* Engine equivalence: the decoded basic-block engine (Bbcache) must be
+   observationally identical to the reference step interpreter (Cpu.step).
+
+   Two layers of evidence:
+
+   1. A differential fuzzer over seeded random programs — arithmetic,
+      branches, capability derivation, loads/stores of data and
+      capabilities, sealing, traps, syscalls — executed three ways (step;
+      block in one run; block in small fuel chunks, which forces mid-block
+      preemption and resume) on identical fresh machines. The full
+      observable state is compared: every GPR and capability register,
+      PCC, DDC, instret, cycles, the stop reason, per-level cache hit/miss
+      counters, memory bytes and tag placement.
+
+   2. Kernel-level parity: a compiled program run end-to-end through the
+      scheduler under both engines (including with a tiny prime quantum so
+      quantum expiry constantly splits blocks) must produce identical
+      output, instruction, cycle and L2-miss counts. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Tagmem = Cheri_tagmem.Tagmem
+module Cache = Cheri_tagmem.Cache
+module Insn = Cheri_isa.Insn
+module Cpu = Cheri_isa.Cpu
+module Bbcache = Cheri_isa.Bbcache
+module Trap = Cheri_isa.Trap
+module Abi = Cheri_core.Abi
+module Harness = Cheri_workloads.Harness
+
+(* --- Deterministic program generator ------------------------------------------ *)
+
+(* Same LCG family as bench/micro.ml: reproducible across runs and hosts. *)
+let lcg state =
+  state := (!state * 25214903917 + 11) land max_int;
+  !state
+
+let code_base = 0x1000
+let data_base = 0x4000
+let data_len = 0x4000
+let mem_size = 1 lsl 16
+
+(* Values likely to make something interesting happen: data addresses
+   (aligned and not), code addresses (for Jr), boundary integers. *)
+let value_pool len =
+  [| 0; 1; -1; 7; 64; min_int; max_int;
+     data_base; data_base + 8; data_base + 0x1000; data_base + 0x3ff8;
+     data_base - 8;                      (* just below the data caps *)
+     data_base + 1;                      (* unaligned *)
+     code_base; code_base + 8; code_base + (4 * (len / 2));
+     code_base + 2;                      (* misaligned jump target *)
+     mem_size; 16; 4096 |]
+
+let gen_insn rnd ~len =
+  let g () = rnd 16 in                  (* gpr operand, 0..15 *)
+  let c () = rnd 8 in                   (* creg operand, 0..7 *)
+  let target () =
+    (* Mostly valid code addresses, occasionally past the end (fetch
+       fault) or misaligned (alignment trap). *)
+    match rnd 10 with
+    | 0 -> code_base + (4 * len) + (4 * rnd 4)
+    | 1 -> code_base + (4 * rnd len) + 2
+    | _ -> code_base + (4 * rnd len)
+  in
+  let off () = 8 * (rnd 16 - 4) in
+  let w () = [| 1; 2; 4; 8 |].(rnd 4) in
+  match rnd 26 with
+  | 0 -> Insn.Li (g (), (match rnd 4 with
+      | 0 -> min_int
+      | 1 -> rnd 100 - 50
+      | _ -> data_base + (8 * rnd 64)))
+  | 1 -> (match rnd 5 with
+      | 0 -> Insn.Addu (g (), g (), g ())
+      | 1 -> Insn.Subu (g (), g (), g ())
+      | 2 -> Insn.Addiu (g (), g (), rnd 64 - 32)
+      | 3 -> Insn.Mul (g (), g (), g ())
+      | _ -> Insn.Move (g (), g ()))
+  | 2 -> if rnd 2 = 0 then Insn.Div (g (), g (), g ())
+    else Insn.Rem (g (), g (), g ())
+  | 3 -> (match rnd 5 with
+      | 0 -> Insn.And_ (g (), g (), g ())
+      | 1 -> Insn.Or_ (g (), g (), g ())
+      | 2 -> Insn.Xor_ (g (), g (), g ())
+      | 3 -> Insn.Nor_ (g (), g (), g ())
+      | _ -> Insn.Andi (g (), g (), rnd 256))
+  | 4 -> (match rnd 4 with
+      | 0 -> Insn.Sll (g (), g (), rnd 32)
+      | 1 -> Insn.Srl (g (), g (), rnd 32)
+      | 2 -> Insn.Sra (g (), g (), rnd 32)
+      | _ -> Insn.Srlv (g (), g (), g ()))
+  | 5 -> (match rnd 4 with
+      | 0 -> Insn.Slt (g (), g (), g ())
+      | 1 -> Insn.Sltu (g (), g (), g ())
+      | 2 -> Insn.Slti (g (), g (), rnd 64 - 32)
+      | _ -> Insn.Sltiu (g (), g (), rnd 64))
+  | 6 | 7 -> (match rnd 3 with
+      | 0 -> Insn.Beq (g (), g (), target ())
+      | 1 -> Insn.Bne (g (), g (), target ())
+      | _ ->
+        let f = [| (fun r t -> Insn.Blez (r, t));
+                   (fun r t -> Insn.Bgtz (r, t));
+                   (fun r t -> Insn.Bltz (r, t));
+                   (fun r t -> Insn.Bgez (r, t)) |].(rnd 4) in
+        f (g ()) (target ()))
+  | 8 -> (match rnd 4 with
+      | 0 -> Insn.J (target ())
+      | 1 -> Insn.Jal (target ())
+      | 2 -> Insn.Jr (g ())
+      | _ -> Insn.Jalr (g (), g ()))
+  | 9 | 10 -> Insn.Load { w = w (); signed = rnd 2 = 0; rd = g ();
+                          base = g (); off = off () }
+  | 11 | 12 -> Insn.Store { w = w (); rs = g (); base = g (); off = off () }
+  | 13 -> Insn.CLoad { w = w (); signed = rnd 2 = 0; rd = g ();
+                       cb = c (); off = off () }
+  | 14 -> Insn.CStore { w = w (); rs = g (); cb = c (); off = off () }
+  | 15 -> if rnd 2 = 0 then Insn.CLC { cd = c (); cb = c (); off = off () }
+    else Insn.CSC { cs = c (); cb = c (); off = off () }
+  | 16 -> (match rnd 4 with
+      | 0 -> Insn.CMove (c (), c ())
+      | 1 -> Insn.CGetBase (g (), c ())
+      | 2 -> Insn.CGetAddr (g (), c ())
+      | _ -> Insn.CGetTag (g (), c ()))
+  | 17 -> (match rnd 3 with
+      | 0 -> Insn.CSetBounds (c (), c (), g ())
+      | 1 -> Insn.CSetBoundsImm (c (), c (), 8 * rnd 32)
+      | _ -> Insn.CSetBoundsExact (c (), c (), g ()))
+  | 18 -> (match rnd 3 with
+      | 0 -> Insn.CIncOffset (c (), c (), g ())
+      | 1 -> Insn.CIncOffsetImm (c (), c (), 8 * (rnd 16 - 8))
+      | _ -> Insn.CSetAddr (c (), c (), g ()))
+  | 19 -> (match rnd 3 with
+      | 0 -> Insn.CAndPerm (c (), c (), g ())
+      | 1 -> Insn.CAndPermImm (c (), c (), rnd Perms.all)
+      | _ -> Insn.CClearTag (c (), c ()))
+  | 20 -> Insn.CFromPtr (c (), (if rnd 2 = 0 then 0 else c ()), g ())
+  | 21 -> if rnd 2 = 0 then Insn.CSeal (c (), c (), c ())
+    else Insn.CUnseal (c (), c (), c ())
+  | 22 -> (match rnd 4 with
+      | 0 -> Insn.CJR (c ())
+      | 1 -> Insn.CJAL (c (), target ())
+      | 2 -> Insn.CJALR (c (), c ())
+      | _ -> Insn.CGetLen (g (), c ()))
+  | 23 -> (match rnd 4 with
+      | 0 -> Insn.Syscall
+      | 1 -> Insn.Rt (rnd 8)
+      | 2 -> Insn.Break (1 + rnd 7)
+      | _ -> Insn.CGetPerm (g (), c ()))
+  (* CRRL/CRAM are covered by the directed ISA tests; with fully random
+     operands they hit Compress's Invalid_argument (a pre-existing
+     property of both engines, not an engine difference). *)
+  | 24 -> (match rnd 2 with
+      | 0 -> Insn.CGetOffset (g (), c ())
+      | _ -> Insn.CGetType (g (), c ()))
+  | _ -> if rnd 4 = 0 then Insn.Annot "fuzz" else Insn.Nop
+
+let gen_program seed =
+  let st = ref seed in
+  let rnd n = lcg st mod n in
+  let len = 24 + rnd 48 in
+  let insns = Array.init len (fun _ -> gen_insn rnd ~len) in
+  (* A clean terminator so straight-through runs stop deterministically
+     inside the code array. *)
+  let insns = Array.append insns [| Insn.Break 0 |] in
+  (insns, rnd)
+
+(* --- Machine setup -------------------------------------------------------------- *)
+
+(* Fresh machine + context; identical for every engine given the same
+   seed-derived register/memory contents. *)
+let setup insns seed =
+  let st = ref (seed lxor 0x5eed) in
+  let rnd n = lcg st mod n in
+  let mem = Tagmem.create ~size:mem_size in
+  let hier = Cache.create_hierarchy () in
+  let m = Cpu.create_machine ~mem ~hier in
+  m.Cpu.fetch <-
+    (fun v ->
+      let idx = (v - code_base) / 4 in
+      if v < code_base || v land 3 <> 0 || idx >= Array.length insns then
+        Trap.raise_trap (Trap.Fetch_fault { vaddr = v })
+      else insns.(idx));
+  let ctx = Cpu.create_ctx () in
+  let root = Cap.make_root ~base:0 ~top:mem_size () in
+  ctx.Cpu.pcc <- Cap.set_addr root code_base;
+  ctx.Cpu.ddc <- root;
+  let data = Cap.set_bounds (Cap.set_addr root data_base) ~len:data_len in
+  ctx.Cpu.creg.(1) <- data;
+  ctx.Cpu.creg.(2) <-
+    Cap.set_bounds (Cap.set_addr root (data_base + 0x1000)) ~len:0x40;
+  (* No LOAD_CAP/STORE_CAP: CLC strips tags, CSC of tagged values faults. *)
+  ctx.Cpu.creg.(3) <-
+    Cap.and_perms data Perms.(union load (union store global));
+  (* Local (non-GLOBAL) capability: exercises the store-local rule. *)
+  ctx.Cpu.creg.(4) <- Cap.and_perms data (Perms.diff Perms.all Perms.global);
+  (* Sealing capability: its address is the otype. *)
+  ctx.Cpu.creg.(5) <- Cap.set_addr root (5 + rnd 3);
+  ctx.Cpu.creg.(6) <- Cap.clear_tag (Cap.inc_addr data (8 * rnd 16));
+  ctx.Cpu.creg.(7) <- Cap.set_bounds (Cap.set_addr root data_base) ~len:16;
+  let pool = value_pool (Array.length insns) in
+  for r = 1 to 15 do
+    ctx.Cpu.gpr.(r) <- pool.(rnd (Array.length pool))
+  done;
+  (* Deterministic initial data-region contents, some of it capabilities
+     so capability loads find real tags to propagate or strip. *)
+  for i = 0 to 63 do
+    Tagmem.write_int mem (data_base + (8 * i)) ~len:8 (lcg st)
+  done;
+  Tagmem.write_cap mem (data_base + 0x1000) data;
+  Tagmem.write_cap mem (data_base + 0x1010) ctx.Cpu.creg.(4);
+  (m, ctx, mem)
+
+(* --- Observable-state snapshot --------------------------------------------------- *)
+
+let cap_str c =
+  Printf.sprintf "%c p%x [%x,%x) @%x o%d"
+    (if Cap.is_tagged c then 'T' else '-')
+    (Cap.perms c) (Cap.base c) (Cap.top c) (Cap.addr c) (Cap.otype c)
+
+let stop_str = function
+  | None -> "fuel-exhausted"
+  | Some Cpu.Stop_syscall -> "syscall"
+  | Some (Cpu.Stop_rt n) -> Printf.sprintf "rt %d" n
+  | Some (Cpu.Stop_trap c) -> "trap: " ^ Trap.to_string c
+
+(* Everything the two engines must agree on, rendered printable so a
+   mismatch shows up as a readable diff. *)
+let snapshot stop (m : Cpu.machine) (ctx : Cpu.ctx) mem =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (stop_str stop);
+  Buffer.add_char b '\n';
+  Printf.bprintf b "instret=%d cycles=%d\n" ctx.Cpu.instret ctx.Cpu.cycles;
+  Printf.bprintf b "pcc=%s\nddc=%s\n" (cap_str ctx.Cpu.pcc)
+    (cap_str ctx.Cpu.ddc);
+  for r = 1 to 31 do
+    if ctx.Cpu.gpr.(r) <> 0 then
+      Printf.bprintf b "r%d=%x " r ctx.Cpu.gpr.(r)
+  done;
+  Buffer.add_char b '\n';
+  for r = 1 to 31 do
+    if not (Cap.equal ctx.Cpu.creg.(r) Cap.null) then
+      Printf.bprintf b "c%d=%s\n" r (cap_str ctx.Cpu.creg.(r))
+  done;
+  let h = m.Cpu.hier in
+  Printf.bprintf b "il1=%d/%d dl1=%d/%d l2=%d/%d\n"
+    (Cache.hits h.Cache.il1) (Cache.misses h.Cache.il1)
+    (Cache.hits h.Cache.dl1) (Cache.misses h.Cache.dl1)
+    (Cache.hits h.Cache.l2) (Cache.misses h.Cache.l2);
+  Printf.bprintf b "data=%s\n"
+    (Digest.to_hex (Digest.bytes (Tagmem.read_bytes mem data_base data_len)));
+  Printf.bprintf b "tags=%s\n"
+    (String.concat ","
+       (List.map string_of_int (Tagmem.scan_tags mem 0 mem_size)));
+  Buffer.contents b
+
+let fuel = 2_500
+
+let run_step insns seed =
+  let m, ctx, mem = setup insns seed in
+  let stop = Cpu.run m ctx ~fuel in
+  snapshot stop m ctx mem
+
+let run_block insns seed =
+  let m, ctx, mem = setup insns seed in
+  let bb = Bbcache.create () in
+  let stop = Bbcache.run bb m ctx ~fuel in
+  snapshot stop m ctx mem
+
+(* Chunked: total fuel identical, but split so quantum expiry lands
+   mid-block and the engine must fall back to exact single-stepping. *)
+let run_block_chunked insns seed ~chunk =
+  let m, ctx, mem = setup insns seed in
+  let bb = Bbcache.create () in
+  let remaining = ref fuel in
+  let stop = ref None in
+  while !stop = None && !remaining > 0 do
+    let f = min chunk !remaining in
+    stop := Bbcache.run bb m ctx ~fuel:f;
+    remaining := !remaining - f
+  done;
+  snapshot !stop m ctx mem
+
+let test_fuzz_engines () =
+  let programs = 120 in
+  let mismatches = ref 0 in
+  for seed = 1 to programs do
+    let insns, rnd = gen_program (seed * 7919) in
+    let s_step = run_step insns seed in
+    let s_block = run_block insns seed in
+    let chunk = 3 + rnd 7 in
+    let s_chunk = run_block_chunked insns seed ~chunk in
+    if s_step <> s_block || s_step <> s_chunk then begin
+      incr mismatches;
+      let dump =
+        String.concat "\n"
+          (Array.to_list (Array.mapi
+             (fun i insn ->
+               Printf.sprintf "%x: %s" (code_base + (4 * i))
+                 (Insn.to_string insn))
+             insns))
+      in
+      Printf.printf
+        "seed %d diverged (chunk=%d)\n--- step ---\n%s\n--- block ---\n%s\n\
+         --- chunked ---\n%s\n--- program ---\n%s\n"
+        seed chunk s_step s_block s_chunk dump
+    end
+  done;
+  Alcotest.(check int) "engines agree on all seeded programs" 0 !mismatches
+
+(* A targeted case the fuzzer hits only occasionally: PCC bounds that end
+   in the middle of a decoded block. The hoisted whole-block check must
+   fall back, execute the legal prefix and trap exactly where step does. *)
+let test_pcc_midblock_bounds () =
+  let insns =
+    Array.init 8 (fun i -> if i < 7 then Insn.Addiu (8, 8, i) else Insn.Nop)
+  in
+  let results =
+    List.map
+      (fun which ->
+        let m, ctx, mem = setup insns 42 in
+        (* Bounds cover only the first three instructions. *)
+        let root = Cap.make_root ~base:0 ~top:mem_size () in
+        ctx.Cpu.pcc <-
+          Cap.set_addr
+            (Cap.set_bounds (Cap.set_addr root code_base) ~len:12)
+            code_base;
+        let stop =
+          if which = `Step then Cpu.run m ctx ~fuel
+          else Bbcache.run (Bbcache.create ()) m ctx ~fuel
+        in
+        snapshot stop m ctx mem)
+      [ `Step; `Block ]
+  in
+  match results with
+  | [ a; b ] -> Alcotest.(check string) "prefix executes, then faults" a b
+  | _ -> assert false
+
+(* --- Kernel-level parity --------------------------------------------------------- *)
+
+let parity_src = {|
+char s[32];
+int work(int n) {
+  int *buf = malloc(n * 8);
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) buf[i] = i * 3 + 1;
+  for (i = 0; i < n; i = i + 1) acc = acc + buf[i] % 7;
+  free(buf);
+  return acc;
+}
+
+int main(int argc, char **argv) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 20; i = i + 1) acc = acc + work(50 + i);
+  for (i = 0; i < 31; i = i + 1) s[i] = 'a' + i % 26;
+  s[31] = 0;
+  print_str(s);
+  print_int(acc);
+  return 0;
+}
+|}
+
+let measure ~engine ?quantum abi =
+  let m = Harness.run ~engine ?quantum ~abi parity_src in
+  if not (Harness.ok m) then
+    Alcotest.failf "parity run failed: %s (%s)" (Harness.status_string m)
+      (String.concat "; " m.Harness.m_faults);
+  ( m.Harness.m_output, m.Harness.m_instructions, m.Harness.m_cycles,
+    m.Harness.m_l2_misses )
+
+let check_parity ?quantum abi =
+  let label =
+    Printf.sprintf "%s%s" (Abi.to_string abi)
+      (match quantum with None -> "" | Some q -> Printf.sprintf " q=%d" q)
+  in
+  let o1, i1, c1, l1 = measure ~engine:Cpu.Step ?quantum abi in
+  let o2, i2, c2, l2 = measure ~engine:Cpu.Block ?quantum abi in
+  Alcotest.(check string) (label ^ ": output") o1 o2;
+  Alcotest.(check int) (label ^ ": instructions") i1 i2;
+  Alcotest.(check int) (label ^ ": cycles") c1 c2;
+  Alcotest.(check int) (label ^ ": L2 misses") l1 l2
+
+let test_kernel_parity () =
+  check_parity Abi.Mips64;
+  check_parity Abi.Cheriabi
+
+let test_kernel_parity_tiny_quantum () =
+  (* A prime quantum far below block size: almost every timeslice ends
+     mid-block, so the fuel fallback path carries real weight. *)
+  check_parity ~quantum:37 Abi.Cheriabi
+
+let suite =
+  [ "differential fuzz: step vs block", `Quick, test_fuzz_engines;
+    "PCC bounds mid-block", `Quick, test_pcc_midblock_bounds;
+    "kernel parity", `Quick, test_kernel_parity;
+    "kernel parity, tiny quantum", `Quick, test_kernel_parity_tiny_quantum ]

@@ -277,6 +277,112 @@ let test_annot_free () =
   (* Annot costs no cycles beyond the break instruction. *)
   Alcotest.(check bool) "ran" true (ctx.Cpu.instret >= 1)
 
+(* --- Satellite regressions: both engines must agree on these -------------------- *)
+
+(* Run the same program under the step engine and the block engine. *)
+let run_both items =
+  let items = items @ [ Asm.I (Insn.Break 0) ] in
+  let m1, ctx1, _ = bare items in
+  let s1 = Cpu.run m1 ctx1 ~fuel:100_000 in
+  let m2, ctx2, _ = bare items in
+  let bb = Cheri_isa.Bbcache.create () in
+  let s2 = Cheri_isa.Bbcache.run bb m2 ctx2 ~fuel:100_000 in
+  (s1, ctx1), (s2, ctx2)
+
+let expect_unaligned name (stop, ctx) ~jump_pc =
+  (match stop with
+   | Some (Cpu.Stop_trap (Trap.Unaligned { vaddr; width })) ->
+     Alcotest.(check int) (name ^ ": fault names the target") 0x2002 vaddr;
+     Alcotest.(check int) (name ^ ": width") 4 width
+   | Some s ->
+     Alcotest.failf "%s: expected unaligned trap, got %s" name
+       (match s with
+        | Cpu.Stop_trap c -> Trap.to_string c
+        | Cpu.Stop_syscall -> "syscall"
+        | Cpu.Stop_rt n -> Printf.sprintf "rt %d" n)
+   | None -> Alcotest.failf "%s: expected unaligned trap, ran out of fuel" name);
+  (* Traps never advance the PC: the PCC still points at the jump. *)
+  Alcotest.(check int) (name ^ ": pcc at the jump") jump_pc
+    (Cap.addr ctx.Cpu.pcc)
+
+(* Jr/Jalr to a non-instruction-aligned target must raise a precise
+   Unaligned trap at the jump — not commit the bogus PC and surface a
+   fetch fault later. *)
+let test_jump_alignment_traps () =
+  let prog =
+    [ Asm.I (Insn.Li (Reg.t0, 0x2002));      (* misaligned target *)
+      Asm.I (Insn.Jr Reg.t0) ]
+  in
+  let r1, r2 = run_both prog in
+  expect_unaligned "step/jr" r1 ~jump_pc:0x1004;
+  expect_unaligned "block/jr" r2 ~jump_pc:0x1004;
+  (* Jalr: the alignment check precedes the link-register write. *)
+  let prog =
+    [ Asm.I (Insn.Li (Reg.t0, 0x2002));
+      Asm.I (Insn.Li (Reg.t0 + 1, 1234));    (* sentinel in the link reg *)
+      Asm.I (Insn.Jalr (Reg.t0 + 1, Reg.t0)) ]
+  in
+  let (s1, c1), (s2, c2) = run_both prog in
+  expect_unaligned "step/jalr" (s1, c1) ~jump_pc:0x1008;
+  expect_unaligned "block/jalr" (s2, c2) ~jump_pc:0x1008;
+  Alcotest.(check int) "step: link reg untouched" 1234 (gpr c1 (Reg.t0 + 1));
+  Alcotest.(check int) "block: link reg untouched" 1234 (gpr c2 (Reg.t0 + 1))
+
+(* A taken Beq-family branch checks its target too. *)
+let test_branch_alignment_traps () =
+  let prog =
+    [ Asm.I (Insn.Li (Reg.t0, 1));
+      Asm.I (Insn.Bgtz (Reg.t0, 0x2002)) ]
+  in
+  let r1, r2 = run_both prog in
+  expect_unaligned "step/bgtz" r1 ~jump_pc:0x1004;
+  expect_unaligned "block/bgtz" r2 ~jump_pc:0x1004;
+  (* Not taken: the bogus target is never inspected. *)
+  let prog =
+    [ Asm.I (Insn.Li (Reg.t0, -3));
+      Asm.I (Insn.Bgtz (Reg.t0, 0x2002)) ]
+  in
+  let (s1, _), (s2, _) = run_both prog in
+  check_done s1;
+  check_done s2
+
+(* Div/Rem of min_int by -1 overflows the 63-bit machine integers; OCaml's
+   / and mod silently wrap, so the interpreter must trap instead. *)
+let test_div_overflow_traps () =
+  let expect_overflow name stop =
+    match stop with
+    | Some (Cpu.Stop_trap Trap.Overflow) -> ()
+    | _ -> Alcotest.failf "%s: expected overflow trap" name
+  in
+  let div_prog op =
+    [ Asm.I (Insn.Li (Reg.t0, min_int));
+      Asm.I (Insn.Li (Reg.t0 + 1, -1));
+      Asm.I (op (Reg.t0 + 2) Reg.t0 (Reg.t0 + 1)) ]
+  in
+  let (s1, _), (s2, _) =
+    run_both (div_prog (fun rd rs rt -> Insn.Div (rd, rs, rt)))
+  in
+  expect_overflow "step/div" s1;
+  expect_overflow "block/div" s2;
+  let (s1, _), (s2, _) =
+    run_both (div_prog (fun rd rs rt -> Insn.Rem (rd, rs, rt)))
+  in
+  expect_overflow "step/rem" s1;
+  expect_overflow "block/rem" s2;
+  (* min_int / 1 and ordinary negative division still work. *)
+  let stop, ctx, _ =
+    run
+      [ Asm.I (Insn.Li (Reg.t0, min_int));
+        Asm.I (Insn.Li (Reg.t0 + 1, 1));
+        Asm.I (Insn.Div (Reg.t0 + 2, Reg.t0, Reg.t0 + 1));
+        Asm.I (Insn.Li (Reg.t0 + 3, -7));
+        Asm.I (Insn.Li (Reg.t0 + 4, -2));
+        Asm.I (Insn.Rem (Reg.t0 + 5, Reg.t0 + 3, Reg.t0 + 4)) ]
+  in
+  check_done stop;
+  Alcotest.(check int) "min_int/1" min_int (gpr ctx (Reg.t0 + 2));
+  Alcotest.(check int) "-7 rem -2" (-1) (gpr ctx (Reg.t0 + 5))
+
 (* --- Assembler ------------------------------------------------------------------------ *)
 
 let test_asm_labels () =
@@ -323,6 +429,9 @@ let suite =
     "PCC bounds confine fetch", `Quick, test_pcc_bounds_confine_fetch;
     "CRRL/CRAM instructions", `Quick, test_crrl_cram_insns;
     "annot is free", `Quick, test_annot_free;
+    "jump target alignment", `Quick, test_jump_alignment_traps;
+    "branch target alignment", `Quick, test_branch_alignment_traps;
+    "div/rem overflow traps", `Quick, test_div_overflow_traps;
     "asm labels", `Quick, test_asm_labels;
     "asm undefined label", `Quick, test_asm_undefined_label;
     "asm duplicate label", `Quick, test_asm_duplicate_label;

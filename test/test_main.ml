@@ -3,6 +3,7 @@ let () =
     [ "cap", Test_cap.suite;
       "tagmem", Test_tagmem.suite;
       "isa", Test_isa.suite;
+      "engines", Test_engines.suite;
       "vm", Test_vm.suite;
       "rtld", Test_rtld.suite;
       "kernel", Test_kernel.suite;

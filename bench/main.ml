@@ -387,11 +387,19 @@ let engine_bench () =
              ~extra_libs:[ "libssl", Openssl_sim.libssl_src ]
              Openssl_sim.server_src ) ])
   in
-  let run_engine engine =
+  let run_engine ~elide engine =
     List.fold_left
       (fun (insns, secs) (label, abi, argv, image) ->
         let k = Cheri_kernel.Kernel.boot () in
         k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.engine <- engine;
+        if elide then
+          k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.fact_provider <-
+            Some
+              (fun ~ddc code ->
+                Cheri_analysis.Absint.facts_of_code ~ddc
+                  ~pcc_may:
+                    Cheri_cap.Perms.(diff all system_regs)
+                  code);
         Cheri_libc.Runtime.install k;
         Cheri_kernel.Vfs.add_exe k.Cheri_kernel.Kstate.vfs "/bin/bench" ~abi
           image;
@@ -408,36 +416,51 @@ let engine_bench () =
   in
   let legs =
     List.map
-      (fun (name, e) ->
-        let insns, secs = run_engine e in
+      (fun (name, e, elide) ->
+        let insns, secs = run_engine ~elide e in
         name, insns, secs)
-      [ "step", Cheri_isa.Cpu.Step; "block", Cheri_isa.Cpu.Block ]
+      [ "step", Cheri_isa.Cpu.Step, false;
+        "block", Cheri_isa.Cpu.Block, false;
+        "block+elide", Cheri_isa.Cpu.Block, true ]
   in
   let mips insns secs = float_of_int insns /. secs /. 1e6 in
-  Printf.printf "%-8s %14s %10s %10s\n" "engine" "sim insns" "host s"
+  Printf.printf "%-12s %14s %10s %10s\n" "engine" "sim insns" "host s"
     "sim-MIPS/s";
   List.iter
     (fun (name, insns, secs) ->
-      Printf.printf "%-8s %14d %10.3f %10.2f\n" name insns secs
+      Printf.printf "%-12s %14d %10.3f %10.2f\n" name insns secs
         (mips insns secs))
     legs;
   (match legs with
-   | [ (_, i1, s1); (_, i2, s2) ] ->
-     if i1 <> i2 then
-       failwith
-         (Printf.sprintf
-            "engine parity violated: step retired %d insns, block %d" i1 i2);
-     let speedup = mips i2 s2 /. mips i1 s1 in
-     Printf.printf "\nblock/step speedup: %.2fx (identical %d retired insns)\n"
-       speedup i1;
+   | (_, i1, s1) :: rest ->
+     List.iter
+       (fun (name, i, _) ->
+         if i <> i1 then
+           failwith
+             (Printf.sprintf
+                "engine parity violated: step retired %d insns, %s %d" i1 name
+                i))
+       rest;
+     let mips1 = mips i1 s1 in
+     List.iter
+       (fun (name, i, s) ->
+         Printf.printf "%s/step speedup: %.2fx (identical %d retired insns)\n"
+           name (mips i s /. mips1) i1)
+       rest;
      if !opt_json then begin
+       let speedup_of name =
+         match List.find_opt (fun (n, _, _) -> n = name) legs with
+         | Some (_, i, s) -> mips i s /. mips1
+         | None -> 0.0
+       in
        let oc = open_out "BENCH_simulator.json" in
        Printf.fprintf oc
          "{\n\
          \  \"benchmark\": \"mibench+spec x {mips64,cheriabi} + openssl \
           s_server\",\n\
          \  \"engines\": [\n%s\n  ],\n\
-         \  \"speedup_block_over_step\": %.3f\n\
+         \  \"speedup_block_over_step\": %.3f,\n\
+         \  \"speedup_elide_over_step\": %.3f\n\
           }\n"
          (String.concat ",\n"
             (List.map
@@ -447,11 +470,11 @@ let engine_bench () =
                     \"host_seconds\": %.3f, \"sim_mips\": %.3f }"
                    name insns secs (mips insns secs))
                legs))
-         speedup;
+         (speedup_of "block") (speedup_of "block+elide");
        close_out oc;
        Printf.printf "wrote BENCH_simulator.json\n"
      end
-   | _ -> assert false)
+   | [] -> assert false)
 
 (* --- Driver ------------------------------------------------------------------------------------------ *)
 

@@ -51,12 +51,80 @@ let externs_lines =
     (fun n c -> if c = '\n' then n + 1 else n)
     0 Cheri_workloads.Stdlib_src.libc_externs
 
-let run file abi engine args dump_asm stats trace no_libc clc_small lint =
+let run file abi engine args dump_asm stats trace no_libc clc_small lint
+    verify elide =
   let src = read_file file in
   let opts =
     { (Cheri_cc.Compile.default_options abi) with clc_large_imm = not clc_small }
   in
-  if lint then begin
+  if verify then begin
+    (* Static whole-image verification: compile and link exactly as execve
+       would, then run the capability abstract interpreter. *)
+    match
+      let image =
+        if no_libc then
+          Cheri_cc.Compile.build_image ~opts ~abi ~name:"prog" src
+        else Cheri_workloads.Stdlib_src.build_image ~opts ~abi ~name:"prog" src
+      in
+      Cheri_rtld.Rtld.link ~abi image
+    with
+    | exception Cheri_cc.Ast.Compile_error msg ->
+      let bias = if no_libc then 0 else externs_lines in
+      Printf.eprintf "%s: %s\n" file (Cheri_analysis.Lint.shift_line ~bias msg);
+      2
+    | exception Cheri_rtld.Rtld.Link_error msg ->
+      Printf.eprintf "%s: link error: %s\n" file msg;
+      2
+    | link ->
+      let module Cap = Cheri_cap.Cap in
+      let module Perms = Cheri_cap.Perms in
+      let module Rtld = Cheri_rtld.Rtld in
+      let module Absint = Cheri_analysis.Absint in
+      let ddc =
+        match abi with
+        | Abi.Cheriabi -> Cheri_cap.Cap.null
+        | Abi.Mips64 | Abi.Asan ->
+          (* The narrowed user root the kernel installs as legacy DDC. *)
+          let module A = Cheri_vm.Addr_space in
+          Cap.and_perms
+            (Cap.set_bounds
+               (Cap.set_addr
+                  (Cap.make_root ~base:0 ~top:(1 lsl 48) ())
+                  A.user_base_default)
+               ~len:(A.user_top_default - A.user_base_default))
+            (Perms.diff Perms.all Perms.system_regs)
+      in
+      let entries =
+        link.Rtld.lk_entry
+        :: Hashtbl.fold
+             (fun _ def acc ->
+               match def with
+               | Rtld.Dfunc (_, addr) -> addr :: acc
+               | Rtld.Ddata _ | Rtld.Dtls _ -> acc)
+             link.Rtld.lk_symtab []
+        |> List.sort_uniq compare
+      in
+      let r =
+        Absint.verify ~ddc ~pcc_may:(Perms.diff Perms.all Perms.system_regs)
+          ~entries link.Rtld.lk_code
+      in
+      if r.Absint.r_diags = [] then begin
+        Printf.printf "%s: no verifier diagnostics (%d checks, %d elidable)\n"
+          file r.Absint.r_sites r.Absint.r_elided;
+        0
+      end
+      else begin
+        List.iter
+          (fun d -> Printf.printf "%s: %s\n" file (Absint.pp_diag d))
+          r.Absint.r_diags;
+        Printf.printf "%s: %d diagnostic%s (%d checks, %d elidable)\n" file
+          (List.length r.Absint.r_diags)
+          (if List.length r.Absint.r_diags = 1 then "" else "s")
+          r.Absint.r_sites r.Absint.r_elided;
+        1
+      end
+  end
+  else if lint then begin
     let externs =
       if no_libc then "" else Cheri_workloads.Stdlib_src.libc_externs
     in
@@ -92,6 +160,13 @@ let run file abi engine args dump_asm stats trace no_libc clc_small lint =
   else begin
     let k = Kernel.boot () in
     k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.engine <- engine;
+    if elide then
+      k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.fact_provider <-
+        Some
+          (fun ~ddc code ->
+            Cheri_analysis.Absint.facts_of_code ~ddc
+              ~pcc_may:Cheri_cap.Perms.(diff all system_regs)
+              code);
     Cheri_libc.Runtime.install k;
     let collector = Trace.collector () in
     if trace then begin
@@ -193,9 +268,25 @@ let cmd =
              ~doc:"Run the capability provenance lint instead of executing. \
                    Exits 0 if clean, 1 with diagnostics, 2 on compile errors.")
   in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Run the machine-level capability abstract interpreter over \
+                   the linked image instead of executing: report statically \
+                   provable capability violations and check-elision counts. \
+                   Exits 0 if clean, 1 with diagnostics, 2 on compile or \
+                   link errors.")
+  in
+  let elide =
+    Arg.(value & flag
+         & info [ "elide-checks" ]
+             ~doc:"Let the block engine skip capability checks the abstract \
+                   interpreter proves cannot fail. Observable behaviour and \
+                   all statistics remain bit-identical.")
+  in
   Cmd.v
     (Cmd.info "cheri_run" ~doc:"Run a CSmall program on the CheriABI simulator")
     Term.(const run $ file $ abi $ engine $ args $ dump $ stats $ trace
-          $ no_libc $ clc_small $ lint)
+          $ no_libc $ clc_small $ lint $ verify $ elide)
 
 let () = exit (Cmd.eval' cmd)

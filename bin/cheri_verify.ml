@@ -1,0 +1,149 @@
+(* cheri_verify: run the machine-level capability abstract interpreter
+   (lib/analysis/absint.ml) over compiled CSmall images and print a
+   deterministic report.
+
+     dune exec bin/cheri_verify.exe -- prog.c other.c
+     dune exec bin/cheri_verify.exe -- --corpus
+     dune exec bin/cheri_verify.exe -- --abi mips64 prog.c
+
+   Each source is compiled and linked exactly as execve would place it,
+   then verified: the report lists every statically provable capability
+   violation (located by pc, instruction, block and function) plus the
+   check-elision statistics (how many dynamic capability checks the
+   analysis discharged). With --corpus the embedded workload sources are
+   verified as well. The output is stable across runs and is diffed
+   against a checked-in baseline by the @verify alias. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Abi = Cheri_core.Abi
+module Rtld = Cheri_rtld.Rtld
+module Addr_space = Cheri_vm.Addr_space
+module Absint = Cheri_analysis.Absint
+module Compat = Cheri_workloads.Compat
+module Stdlib_src = Cheri_workloads.Stdlib_src
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The initial DDC the kernel installs for each ABI (Exec.exec_image):
+   NULL under CheriABI — the heart of the ABI — and the narrowed user
+   root on legacy MIPS (Kstate.boot). *)
+let initial_ddc = function
+  | Abi.Cheriabi -> Cap.null
+  | Abi.Mips64 | Abi.Asan ->
+    let reset_root = Cap.make_root ~base:0 ~top:(1 lsl 48) () in
+    Cap.and_perms
+      (Cap.set_bounds
+         (Cap.set_addr reset_root Addr_space.user_base_default)
+         ~len:(Addr_space.user_top_default - Addr_space.user_base_default))
+      (Perms.diff Perms.all Perms.system_regs)
+
+(* User PCC never carries System_regs (Kstate.boot narrows it away before
+   any user capability is derived). *)
+let pcc_may = Perms.diff Perms.all Perms.system_regs
+
+type totals = {
+  mutable t_must : int;
+  mutable t_warn : int;
+  mutable t_sites : int;
+  mutable t_elided : int;
+}
+
+let totals = { t_must = 0; t_warn = 0; t_sites = 0; t_elided = 0 }
+
+(* Verify one named source under [abi]: print diagnostics and elision
+   statistics, accumulate totals. *)
+let verify_named ~abi name src =
+  Printf.printf "== %s [%s] ==\n" name (Abi.to_string abi);
+  match
+    let image = Stdlib_src.build_image ~abi ~name src in
+    Rtld.link ~abi image
+  with
+  | exception Cheri_cc.Ast.Compile_error msg ->
+    Printf.printf "  (not compilable: %s)\n" msg
+  | exception Rtld.Link_error msg ->
+    Printf.printf "  (not linkable: %s)\n" msg
+  | link ->
+    let entries =
+      link.Rtld.lk_entry
+      :: Hashtbl.fold
+           (fun _ def acc ->
+             match def with
+             | Rtld.Dfunc (_, addr) -> addr :: acc
+             | Rtld.Ddata _ | Rtld.Dtls _ -> acc)
+           link.Rtld.lk_symtab []
+      |> List.sort_uniq compare
+    in
+    let r =
+      Absint.verify ~ddc:(initial_ddc abi) ~pcc_may ~entries
+        link.Rtld.lk_code
+    in
+    if r.Absint.r_diags = [] then Printf.printf "  (clean)\n"
+    else
+      List.iter
+        (fun d -> Printf.printf "  %s\n" (Absint.pp_diag d))
+        r.Absint.r_diags;
+    let must, warn =
+      List.fold_left
+        (fun (m, w) (d : Absint.diag) ->
+          match d.Absint.g_sev with
+          | Absint.Must -> (m + 1, w)
+          | Absint.Warn -> (m, w + 1))
+        (0, 0) r.Absint.r_diags
+    in
+    let pct =
+      if r.Absint.r_sites = 0 then 0.
+      else 100. *. float r.Absint.r_elided /. float r.Absint.r_sites
+    in
+    Printf.printf
+      "  funcs %d, blocks %d; checks %d, elidable %d (%.1f%%), \
+       superblocks with facts %d\n"
+      r.Absint.r_funcs r.Absint.r_blocks r.Absint.r_sites r.Absint.r_elided
+      pct r.Absint.r_sb;
+    totals.t_must <- totals.t_must + must;
+    totals.t_warn <- totals.t_warn + warn;
+    totals.t_sites <- totals.t_sites + r.Absint.r_sites;
+    totals.t_elided <- totals.t_elided + r.Absint.r_elided
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let corpus = List.mem "--corpus" args in
+  let abi =
+    let rec pick = function
+      | "--abi" :: "mips64" :: _ -> Abi.Mips64
+      | "--abi" :: "cheriabi" :: _ -> Abi.Cheriabi
+      | "--abi" :: "asan" :: _ -> Abi.Asan
+      | _ :: rest -> pick rest
+      | [] -> Abi.Cheriabi
+    in
+    pick args
+  in
+  let files =
+    let rec strip = function
+      | "--abi" :: _ :: rest -> strip rest
+      | "--corpus" :: rest -> strip rest
+      | f :: rest -> f :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
+  List.iter (fun f -> verify_named ~abi f (read_file f)) files;
+  if corpus then
+    List.iter
+      (fun (group, sources) ->
+        List.iter
+          (fun (name, src) -> verify_named ~abi (group ^ " / " ^ name) src)
+          sources)
+      (Compat.own_sources ());
+  let pct =
+    if totals.t_sites = 0 then 0.
+    else 100. *. float totals.t_elided /. float totals.t_sites
+  in
+  Printf.printf
+    "\n== totals ==\nmust-trap %d, may-trap %d; checks %d, elidable %d (%.1f%%)\n"
+    totals.t_must totals.t_warn totals.t_sites totals.t_elided pct

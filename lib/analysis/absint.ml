@@ -1,0 +1,1053 @@
+(* Machine-level abstract interpretation of capability code.
+
+   Two consumers, one transfer function:
+
+   - [verify]: recover a CFG (cfg.ml) from a loaded image and run a
+     forward fixpoint per function over an abstract capability domain,
+     emitting located diagnostics for statically provable capability
+     violations (untagged use, provable out-of-bounds, missing
+     permission, sealed dereference, monotonicity-violating derivation,
+     unaligned jump targets, division by zero). Surfaced through
+     [cheri_run --verify] and the bin/cheri_verify corpus driver.
+
+   - [scan_code] / [facts_of_code]: a per-superblock pass producing the
+     check-elision fact table the block engine consumes (Facts,
+     bbcache.ml). A fact (entry, i) means: *if* execution proceeds
+     straight-line from [entry] through instruction [i], the capability
+     check guarding [i]'s memory access cannot fail. Each superblock is
+     analyzed from a Top entry state (only a concrete DDC and PCC
+     permission bound are assumed), so the claim holds no matter how
+     control reached [entry] — wild indirect jumps included. The same
+     pass computes the dual "must-trap" table the soundness oracle in
+     test/test_absint.ml replays dynamically.
+
+   The domain tracks, per capability register (and per csp-relative spill
+   slot in [verify]'s trusted mode): tag and seal as three-valued facts,
+   lower/upper permission sets, a proven cursor-relative in-bounds window,
+   exact cursor/bounds offsets when derivations pin them, an upper bound
+   on top-addr, a provenance tag reusing PR 2's lattice (Lint.prov), and
+   the fully concrete value when a derivation chain from a constant root
+   (DDC, NULL) determines it. See docs/ABSINT.md. *)
+
+module Cap = Cheri_cap.Cap
+module Perms = Cheri_cap.Perms
+module Compress = Cheri_cap.Compress
+module Insn = Cheri_isa.Insn
+module Reg = Cheri_isa.Reg
+module Facts = Cheri_isa.Facts
+module IMap = Map.Make (Int)
+
+(* --- Domain ---------------------------------------------------------------- *)
+
+type tri = Yes | No | Maybe
+
+let tri_join a b = if a = b then a else Maybe
+
+type aint = Cst of int | Any
+
+let aint_join a b = if a = b then a else Any
+
+type acap = {
+  a_tag : tri;
+  a_seal : tri;
+  a_must : Perms.t;            (* permissions definitely present *)
+  a_may : Perms.t;             (* permissions possibly present *)
+  a_win : (int * int) option;  (* proven: [addr+lo, addr+hi) within bounds *)
+  a_eb : (int * int) option;   (* exact: (addr - base, top - addr) *)
+  a_topoff : int option;       (* upper bound on top - addr *)
+  a_prov : Lint.prov;          (* provenance, PR 2's lattice *)
+  a_conc : Cap.t option;       (* exactly-known concrete value *)
+}
+
+let top_acap =
+  { a_tag = Maybe; a_seal = Maybe; a_must = Perms.none; a_may = Perms.all;
+    a_win = None; a_eb = None; a_topoff = None; a_prov = Lint.Unknown;
+    a_conc = None }
+
+let of_cap ?(prov = Lint.Unknown) c =
+  let addr = Cap.addr c and base = Cap.base c and top = Cap.top c in
+  { a_tag = (if Cap.is_tagged c then Yes else No);
+    a_seal = (if Cap.is_sealed c then Yes else No);
+    a_must = Cap.perms c; a_may = Cap.perms c;
+    a_win =
+      (if base <= addr && addr <= top && base < top
+       then Some (base - addr, top - addr) else None);
+    a_eb = Some (addr - base, top - addr);
+    a_topoff = Some (top - addr);
+    a_prov = prov;
+    a_conc = Some c }
+
+let null_acap = of_cap ~prov:Lint.Null Cap.null
+
+let join_acap ~widen a b =
+  if a == b then a
+  else
+    let keep_if_stable x y = match x, y with
+      | Some u, Some v when u = v -> Some u
+      | _ -> None
+    in
+    { a_tag = tri_join a.a_tag b.a_tag;
+      a_seal = tri_join a.a_seal b.a_seal;
+      a_must = Perms.inter a.a_must b.a_must;
+      a_may = Perms.union a.a_may b.a_may;
+      a_win =
+        (if widen then keep_if_stable a.a_win b.a_win
+         else
+           match a.a_win, b.a_win with
+           | Some (l1, h1), Some (l2, h2) ->
+             let l = max l1 l2 and h = min h1 h2 in
+             if l <= h then Some (l, h) else None
+           | _ -> None);
+      a_eb = keep_if_stable a.a_eb b.a_eb;
+      a_topoff =
+        (if widen then keep_if_stable a.a_topoff b.a_topoff
+         else
+           match a.a_topoff, b.a_topoff with
+           | Some x, Some y -> Some (max x y)
+           | _ -> None);
+      a_prov = Lint.join a.a_prov b.a_prov;
+      a_conc =
+        (match a.a_conc, b.a_conc with
+         | Some x, Some y when Cap.equal x y -> Some x
+         | _ -> None) }
+
+(* --- Analysis state -------------------------------------------------------- *)
+
+type st = {
+  g : aint array;              (* 32 GPRs; r0 pinned to Cst 0 by getg *)
+  c : acap array;              (* 32 capability registers *)
+  mutable ddc : acap;
+  mutable slots : acap IMap.t; (* csp-relative spill slots *)
+}
+
+type env = {
+  e_ddc : acap;                (* DDC at image entry *)
+  e_pcc_may : Perms.t;         (* upper bound on any reachable PCC's perms *)
+}
+
+let fresh_st env =
+  { g = Array.make 32 Any; c = Array.make 32 top_acap; ddc = env.e_ddc;
+    slots = IMap.empty }
+
+let copy_st st =
+  { g = Array.copy st.g; c = Array.copy st.c; ddc = st.ddc; slots = st.slots }
+
+let getg st r = if r = 0 then Cst 0 else st.g.(r)
+let setg st r v = if r <> 0 then st.g.(r) <- v
+
+let getc st r = if r = 0 then null_acap else st.c.(r)
+
+(* Writing csp moves the frame cursor: every slot key goes stale. The
+   CIncOffsetImm arm re-keys instead of calling this. *)
+let setc st r v =
+  if r <> 0 then begin
+    if r = Reg.csp then st.slots <- IMap.empty;
+    st.c.(r) <- v
+  end
+
+(* Refinement writes: the register still holds the same runtime value, we
+   merely learned more about it — slots stay valid. *)
+let refinec st r v = if r <> 0 then st.c.(r) <- v
+
+(* A data write may have cleared an aliased in-memory capability's tag but
+   cannot have created one; bounds/permission claims survive for must-trap
+   purposes (if the bytes changed, the tag is gone and the tag check fires
+   first), but proved-safe claims must be dropped. *)
+let downgrade_slot v = { v with a_tag = tri_join v.a_tag No; a_conc = None }
+
+let join_st ~widen dst src =
+  let changed = ref false in
+  let g = Array.init 32 (fun i ->
+    let j = aint_join dst.g.(i) src.g.(i) in
+    if j <> dst.g.(i) then changed := true;
+    j)
+  in
+  let c = Array.init 32 (fun i ->
+    let j = join_acap ~widen dst.c.(i) src.c.(i) in
+    if j <> dst.c.(i) then changed := true;
+    j)
+  in
+  let ddc = join_acap ~widen dst.ddc src.ddc in
+  if ddc <> dst.ddc then changed := true;
+  let slots =
+    IMap.merge
+      (fun _ a b ->
+        match a, b with
+        | Some x, Some y -> Some (join_acap ~widen x y)
+        | _ -> None)
+      dst.slots src.slots
+  in
+  if not (IMap.equal ( = ) slots dst.slots) then changed := true;
+  ({ g; c; ddc; slots }, !changed)
+
+(* After a call, syscall or rt upcall: the callee (or kernel) may have
+   written any register and any memory the caller's capabilities reach, so
+   only the stack cursor and the DDC (which user code cannot change: see
+   the system_regs argument in verify) survive. *)
+let clobber_after_call st =
+  let out = copy_st st in
+  for i = 1 to 31 do
+    out.g.(i) <- Any;
+    if i <> Reg.csp then out.c.(i) <- top_acap
+  done;
+  out.slots <- IMap.empty;
+  out
+
+(* --- Verdicts -------------------------------------------------------------- *)
+
+type kind =
+  | K_cap of Cap.violation
+  | K_jump_align
+  | K_div
+
+let kind_name = function
+  | K_cap Cap.Tag_violation -> "tag"
+  | K_cap Cap.Seal_violation -> "seal"
+  | K_cap (Cap.Permit_violation p) ->
+    Printf.sprintf "perm(%s)" (Perms.to_string p)
+  | K_cap Cap.Bounds_violation -> "bounds"
+  | K_cap Cap.Length_violation -> "length"
+  | K_cap Cap.Monotonicity_violation -> "monotonicity"
+  | K_cap Cap.Representability_violation -> "representability"
+  | K_cap Cap.Alignment_violation -> "alignment"
+  | K_jump_align -> "jump-align"
+  | K_div -> "div-zero"
+
+type averdict = {
+  av_site : bool;                       (* carries an elidable cap check *)
+  av_elide : bool;                      (* ... and it is discharged *)
+  av_must : (kind * Lint.prov) option;  (* provably traps when reached *)
+}
+
+let quiet = { av_site = false; av_elide = false; av_must = None }
+
+(* --- Access judgement ------------------------------------------------------ *)
+
+(* Decide the fate of [check_cap cap ~perm] over [addr+off, addr+off+len).
+   Returns (elide, must): one proven-failing check suffices for must-trap
+   (either it or an earlier check in the architectural order traps);
+   eliding needs every check proven to pass. *)
+let judge_cap a ~perm ~off ~len =
+  match a.a_conc with
+  | Some cc ->
+    let addr = Cap.addr cc + off in
+    (match
+       (try Cap.check_access_at cc ~perm ~addr ~len; None
+        with Cap.Cap_error v -> Some v)
+     with
+     | Some v -> (false, Some (K_cap v))
+     | None ->
+       if addr land (len - 1) <> 0 then
+         (* check_cap passes (elidable) but the access itself will raise
+            an alignment trap: both claims hold at once. *)
+         (true, Some (K_cap Cap.Alignment_violation))
+       else (true, None))
+  | None ->
+    if a.a_tag = No then (false, Some (K_cap Cap.Tag_violation))
+    else if a.a_seal = Yes then (false, Some (K_cap Cap.Seal_violation))
+    else if not (Perms.has a.a_may perm) then
+      (false, Some (K_cap (Cap.Permit_violation perm)))
+    else
+      let oob =
+        (match a.a_eb with
+         | Some (lo, hi) -> off < -lo || off + len > hi
+         | None -> false)
+        || (match a.a_topoff with Some h -> off + len > h | None -> false)
+      in
+      if oob then (false, Some (K_cap Cap.Bounds_violation))
+      else
+        let covered =
+          (match a.a_eb with
+           | Some (lo, hi) -> off >= -lo && off + len <= hi
+           | None -> false)
+          || (match a.a_win with
+              | Some (l, h) -> l <= off && off + len <= h
+              | None -> false)
+        in
+        ( a.a_tag = Yes && a.a_seal = No && Perms.has a.a_must perm && covered,
+          None )
+
+(* Legacy (DDC-relative) accesses: the effective address is absolute, so
+   bounds facts only bite when both the DDC and the address are known. *)
+let judge_legacy d ~perm ~addr ~len =
+  match d.a_conc, addr with
+  | Some cc, Cst va ->
+    (match
+       (try Cap.check_access_at cc ~perm ~addr:va ~len; None
+        with Cap.Cap_error v -> Some v)
+     with
+     | Some v -> (false, Some (K_cap v))
+     | None ->
+       if va land (len - 1) <> 0 then (true, Some (K_cap Cap.Alignment_violation))
+       else (true, None))
+  | _ ->
+    if d.a_tag = No then (false, Some (K_cap Cap.Tag_violation))
+    else if d.a_seal = Yes then (false, Some (K_cap Cap.Seal_violation))
+    else if not (Perms.has d.a_may perm) then
+      (false, Some (K_cap (Cap.Permit_violation perm)))
+    else (false, None)
+
+(* A successful checked access proves tag, unsealedness, the permission,
+   and in-bounds-ness of the touched window (hulled into a_win). *)
+let refine_access a ~perm ~off ~len =
+  let win =
+    match a.a_win with
+    | Some (l, h) -> Some (min l off, max h (off + len))
+    | None -> Some (off, off + len)
+  in
+  { a with a_tag = Yes; a_seal = No;
+    a_must = Perms.union a.a_must perm;
+    a_may = Perms.union a.a_may perm;
+    a_win = win }
+
+let refine_legacy d ~perm =
+  { d with a_tag = Yes; a_seal = No;
+    a_must = Perms.union d.a_must perm;
+    a_may = Perms.union d.a_may perm }
+
+(* Derivations requiring a tagged, unsealed source. *)
+let derive_must a =
+  if a.a_tag = No then Some (K_cap Cap.Tag_violation, a.a_prov)
+  else if a.a_seal = Yes then Some (K_cap Cap.Seal_violation, a.a_prov)
+  else None
+
+(* --- Abstract derivation helpers ------------------------------------------- *)
+
+(* Cursor move by a known delta. Bounds fields shift; the tag survives only
+   if the new cursor provably stays inside [base, top) (the representable
+   window always contains the bounds). *)
+let inc_acap a d =
+  match a.a_conc with
+  | Some cc ->
+    (match (try Some (Cap.inc_addr cc d) with Cap.Cap_error _ -> None) with
+     | Some cc' -> of_cap ~prov:a.a_prov cc'
+     | None -> { a with a_conc = None })  (* traps; post-state unreachable *)
+  | None ->
+    let tag' =
+      match a.a_tag with
+      | No -> No
+      | t ->
+        let inb =
+          (match a.a_eb with
+           | Some (lo, hi) -> lo + d >= 0 && hi - d > 0
+           | None -> false)
+          || (match a.a_win with Some (l, h) -> l <= d && d < h | None -> false)
+        in
+        if inb then t else Maybe
+    in
+    { a with a_tag = tag';
+      a_win = Option.map (fun (l, h) -> (l - d, h - d)) a.a_win;
+      a_eb = Option.map (fun (l, h) -> (l + d, h - d)) a.a_eb;
+      a_topoff = Option.map (fun h -> h - d) a.a_topoff;
+      a_conc = None }
+
+(* Cursor moved to an unknown absolute address. *)
+let unknown_addr_acap a =
+  { a with a_tag = (if a.a_tag = No then No else Maybe);
+    a_win = None; a_eb = None; a_topoff = None; a_conc = None }
+
+let setbounds_must a len ~exact =
+  match derive_must a with
+  | Some _ as m -> m
+  | None ->
+    (match len with
+     | Cst l when l < 0 -> Some (K_cap Cap.Length_violation, a.a_prov)
+     | Cst l ->
+       let mono =
+         (match a.a_eb with
+          | Some (lo, hi) -> lo < 0 || l > hi
+          | None -> false)
+         || (match a.a_topoff with Some h -> l > h | None -> false)
+       in
+       if mono then Some (K_cap Cap.Monotonicity_violation, a.a_prov)
+       else if exact && Compress.crrl l <> l then
+         Some (K_cap Cap.Representability_violation, a.a_prov)
+       else None
+     | Any -> None)
+
+(* Post-state of a *successful* set-bounds: source was tagged and unsealed,
+   result keeps the perms; small (exponent-0) and exact requests pin the
+   bounds precisely, padded ones still guarantee the requested window. *)
+let setbounds_result a len ~exact =
+  match a.a_conc, len with
+  | Some cc, Cst l ->
+    (match (try Some (Cap.set_bounds ~exact cc ~len:l) with Cap.Cap_error _ -> None) with
+     | Some cc' -> of_cap ~prov:a.a_prov cc'
+     | None -> { a with a_conc = None })
+  | _ ->
+    (match len with
+     | Cst l when l >= 0 && (exact || Compress.exponent_of_length l = 0) ->
+       { a with a_tag = Yes; a_seal = No; a_win = Some (0, l);
+         a_eb = Some (0, l); a_topoff = Some l; a_conc = None }
+     | Cst l when l >= 0 ->
+       { a with a_tag = Yes; a_seal = No; a_win = Some (0, l); a_eb = None;
+         a_conc = None }
+     | _ ->
+       { a with a_tag = Yes; a_seal = No; a_win = None; a_eb = None;
+         a_conc = None })
+
+(* --- ALU folding ----------------------------------------------------------- *)
+
+let fold1 f a = match a with Cst x -> Cst (f x) | Any -> Any
+let fold2 f a b = match a, b with Cst x, Cst y -> Cst (f x y) | _ -> Any
+let ultu a b = if a lxor min_int < b lxor min_int then 1 else 0
+
+(* --- Transfer function ----------------------------------------------------- *)
+
+(* One non-terminator instruction. Mutates [st]; the returned verdict
+   reports whether the instruction carries an elidable capability check,
+   whether it was discharged, and whether it provably traps when reached.
+   Post-states assume the instruction did NOT trap (a trapping execution
+   never reaches the next instruction), which is what lets derivations
+   refine tag/seal facts. *)
+let step_st env st (insn : Insn.t) : averdict =
+  match insn with
+  | Insn.Li (rd, v) -> setg st rd (Cst v); quiet
+  | Move (rd, rs) -> setg st rd (getg st rs); quiet
+  | Addu (rd, rs, rt) -> setg st rd (fold2 ( + ) (getg st rs) (getg st rt)); quiet
+  | Addiu (rd, rs, i) -> setg st rd (fold1 (fun x -> x + i) (getg st rs)); quiet
+  | Subu (rd, rs, rt) -> setg st rd (fold2 ( - ) (getg st rs) (getg st rt)); quiet
+  | Mul (rd, rs, rt) -> setg st rd (fold2 ( * ) (getg st rs) (getg st rt)); quiet
+  | Div (rd, rs, rt) | Rem (rd, rs, rt) ->
+    let a = getg st rs and b = getg st rt in
+    let must =
+      match a, b with
+      | _, Cst 0 -> Some (K_div, Lint.Pure_int)
+      | Cst x, Cst y when x = min_int && y = -1 -> Some (K_div, Lint.Pure_int)
+      | _ -> None
+    in
+    let v =
+      match a, b, must with
+      | Cst x, Cst y, None ->
+        Cst (match insn with Insn.Div _ -> x / y | _ -> x mod y)
+      | _ -> Any
+    in
+    setg st rd v;
+    { quiet with av_must = must }
+  | And_ (rd, rs, rt) -> setg st rd (fold2 ( land ) (getg st rs) (getg st rt)); quiet
+  | Andi (rd, rs, i) -> setg st rd (fold1 (fun x -> x land i) (getg st rs)); quiet
+  | Or_ (rd, rs, rt) -> setg st rd (fold2 ( lor ) (getg st rs) (getg st rt)); quiet
+  | Ori (rd, rs, i) -> setg st rd (fold1 (fun x -> x lor i) (getg st rs)); quiet
+  | Xor_ (rd, rs, rt) -> setg st rd (fold2 ( lxor ) (getg st rs) (getg st rt)); quiet
+  | Xori (rd, rs, i) -> setg st rd (fold1 (fun x -> x lxor i) (getg st rs)); quiet
+  | Nor_ (rd, rs, rt) ->
+    setg st rd (fold2 (fun x y -> lnot (x lor y)) (getg st rs) (getg st rt));
+    quiet
+  | Sll (rd, rs, sh) -> setg st rd (fold1 (fun x -> x lsl sh) (getg st rs)); quiet
+  | Srl (rd, rs, sh) -> setg st rd (fold1 (fun x -> x lsr sh) (getg st rs)); quiet
+  | Sra (rd, rs, sh) -> setg st rd (fold1 (fun x -> x asr sh) (getg st rs)); quiet
+  | Sllv (rd, rs, rt) ->
+    setg st rd (fold2 (fun x y -> x lsl (y land 63)) (getg st rs) (getg st rt));
+    quiet
+  | Srlv (rd, rs, rt) ->
+    setg st rd (fold2 (fun x y -> x lsr (y land 63)) (getg st rs) (getg st rt));
+    quiet
+  | Srav (rd, rs, rt) ->
+    setg st rd (fold2 (fun x y -> x asr (y land 63)) (getg st rs) (getg st rt));
+    quiet
+  | Slt (rd, rs, rt) ->
+    setg st rd (fold2 (fun x y -> if x < y then 1 else 0) (getg st rs) (getg st rt));
+    quiet
+  | Sltu (rd, rs, rt) -> setg st rd (fold2 ultu (getg st rs) (getg st rt)); quiet
+  | Slti (rd, rs, i) ->
+    setg st rd (fold1 (fun x -> if x < i then 1 else 0) (getg st rs));
+    quiet
+  | Sltiu (rd, rs, i) -> setg st rd (fold1 (fun x -> ultu x i) (getg st rs)); quiet
+  (* Memory. *)
+  | Load { w; rd; base; off; _ } ->
+    let addr = fold1 (fun x -> x + off) (getg st base) in
+    let elide, must = judge_legacy st.ddc ~perm:Perms.load ~addr ~len:w in
+    st.ddc <- refine_legacy st.ddc ~perm:Perms.load;
+    setg st rd Any;
+    { av_site = true; av_elide = elide;
+      av_must = Option.map (fun k -> (k, st.ddc.a_prov)) must }
+  | Store { w; base; off; _ } ->
+    let addr = fold1 (fun x -> x + off) (getg st base) in
+    let elide, must = judge_legacy st.ddc ~perm:Perms.store ~addr ~len:w in
+    st.ddc <- refine_legacy st.ddc ~perm:Perms.store;
+    st.slots <- IMap.map downgrade_slot st.slots;
+    { av_site = true; av_elide = elide;
+      av_must = Option.map (fun k -> (k, st.ddc.a_prov)) must }
+  | CLoad { w; rd; cb; off; _ } ->
+    let a = getc st cb in
+    let elide, must = judge_cap a ~perm:Perms.load ~off ~len:w in
+    refinec st cb (refine_access a ~perm:Perms.load ~off ~len:w);
+    setg st rd Any;
+    { av_site = true; av_elide = elide;
+      av_must = Option.map (fun k -> (k, a.a_prov)) must }
+  | CStore { w; cb; off; _ } ->
+    let a = getc st cb in
+    let elide, must = judge_cap a ~perm:Perms.store ~off ~len:w in
+    refinec st cb (refine_access a ~perm:Perms.store ~off ~len:w);
+    st.slots <-
+      (if cb = Reg.csp then
+         IMap.mapi
+           (fun k v ->
+             if k < off + w && k + Cap.sizeof > off then downgrade_slot v else v)
+           st.slots
+       else IMap.map downgrade_slot st.slots);
+    { av_site = true; av_elide = elide;
+      av_must = Option.map (fun k -> (k, a.a_prov)) must }
+  | CLC { cd; cb; off } ->
+    let a = getc st cb in
+    let elide, must = judge_cap a ~perm:Perms.load ~off ~len:Cap.sizeof in
+    let a' = refine_access a ~perm:Perms.load ~off ~len:Cap.sizeof in
+    refinec st cb a';
+    let loaded =
+      if cb = Reg.csp then
+        match IMap.find_opt off st.slots with Some v -> v | None -> top_acap
+      else top_acap
+    in
+    let loaded =
+      if not (Perms.has a'.a_may Perms.load_cap) then
+        { loaded with a_tag = No; a_conc = None }
+      else if Perms.has a'.a_must Perms.load_cap then loaded
+      else { loaded with a_tag = tri_join loaded.a_tag No; a_conc = None }
+    in
+    setc st cd loaded;
+    { av_site = true; av_elide = elide;
+      av_must = Option.map (fun k -> (k, a.a_prov)) must }
+  | CSC { cs; cb; off } ->
+    let a = getc st cb in
+    let v = getc st cs in
+    let elide, must = judge_cap a ~perm:Perms.store ~off ~len:Cap.sizeof in
+    let must =
+      match must with
+      | Some k -> Some (k, a.a_prov)
+      | None ->
+        (* Value-dependent check: storing a tagged capability needs
+           STORE_CAP on the authorizing capability. *)
+        if v.a_tag = Yes && not (Perms.has a.a_may Perms.store_cap) then
+          Some (K_cap (Cap.Permit_violation Perms.store_cap), v.a_prov)
+        else None
+    in
+    refinec st cb (refine_access a ~perm:Perms.store ~off ~len:Cap.sizeof);
+    st.slots <-
+      (if cb = Reg.csp then
+         IMap.add off v
+           (IMap.filter
+              (fun k _ -> k = off || k + Cap.sizeof <= off || k >= off + Cap.sizeof)
+              st.slots)
+       else IMap.empty);
+    { av_site = true; av_elide = elide; av_must = must }
+  (* Capability inspection. *)
+  | CMove (cd, cb) -> setc st cd (getc st cb); quiet
+  | CGetBase (rd, cb) ->
+    setg st rd
+      (match (getc st cb).a_conc with Some c -> Cst (Cap.base c) | None -> Any);
+    quiet
+  | CGetLen (rd, cb) ->
+    setg st rd
+      (match (getc st cb).a_conc with Some c -> Cst (Cap.length c) | None -> Any);
+    quiet
+  | CGetAddr (rd, cb) ->
+    setg st rd
+      (match (getc st cb).a_conc with Some c -> Cst (Cap.addr c) | None -> Any);
+    quiet
+  | CGetOffset (rd, cb) ->
+    setg st rd
+      (match (getc st cb).a_conc with Some c -> Cst (Cap.offset c) | None -> Any);
+    quiet
+  | CGetPerm (rd, cb) ->
+    setg st rd
+      (match (getc st cb).a_conc with Some c -> Cst (Cap.perms c) | None -> Any);
+    quiet
+  | CGetTag (rd, cb) ->
+    setg st rd
+      (match (getc st cb).a_tag with Yes -> Cst 1 | No -> Cst 0 | Maybe -> Any);
+    quiet
+  | CGetType (rd, cb) ->
+    setg st rd
+      (match (getc st cb).a_conc with Some c -> Cst (Cap.otype c) | None -> Any);
+    quiet
+  (* Capability derivation. *)
+  | CSetBounds (cd, cb, rt) ->
+    let a = getc st cb in
+    let len = getg st rt in
+    let must = setbounds_must a len ~exact:false in
+    setc st cd (setbounds_result a len ~exact:false);
+    { quiet with av_must = must }
+  | CSetBoundsImm (cd, cb, l) ->
+    let a = getc st cb in
+    let must = setbounds_must a (Cst l) ~exact:false in
+    setc st cd (setbounds_result a (Cst l) ~exact:false);
+    { quiet with av_must = must }
+  | CSetBoundsExact (cd, cb, rt) ->
+    let a = getc st cb in
+    let len = getg st rt in
+    let must = setbounds_must a len ~exact:true in
+    setc st cd (setbounds_result a len ~exact:true);
+    { quiet with av_must = must }
+  | CAndPerm (cd, cb, rt) ->
+    let a = getc st cb in
+    let must = derive_must a in
+    let res =
+      match a.a_conc, getg st rt with
+      | Some cc, Cst m ->
+        (match (try Some (Cap.and_perms cc m) with Cap.Cap_error _ -> None) with
+         | Some cc' -> of_cap ~prov:a.a_prov cc'
+         | None -> { a with a_conc = None })
+      | _, Cst m ->
+        { a with a_tag = Yes; a_seal = No;
+          a_must = Perms.inter a.a_must m; a_may = Perms.inter a.a_may m;
+          a_conc = None }
+      | _ ->
+        { a with a_tag = Yes; a_seal = No; a_must = Perms.none; a_conc = None }
+    in
+    setc st cd res;
+    { quiet with av_must = must }
+  | CAndPermImm (cd, cb, m) ->
+    let a = getc st cb in
+    let must = derive_must a in
+    let res =
+      match a.a_conc with
+      | Some cc ->
+        (match (try Some (Cap.and_perms cc m) with Cap.Cap_error _ -> None) with
+         | Some cc' -> of_cap ~prov:a.a_prov cc'
+         | None -> { a with a_conc = None })
+      | None ->
+        { a with a_tag = Yes; a_seal = No;
+          a_must = Perms.inter a.a_must m; a_may = Perms.inter a.a_may m;
+          a_conc = None }
+    in
+    setc st cd res;
+    { quiet with av_must = must }
+  | CIncOffset (cd, cb, rt) ->
+    let a = getc st cb in
+    let must =
+      if a.a_seal = Yes && a.a_tag = Yes then
+        Some (K_cap Cap.Seal_violation, a.a_prov)
+      else None
+    in
+    let res =
+      match getg st rt with
+      | Cst d -> inc_acap a d
+      | Any -> unknown_addr_acap a
+    in
+    if cd = Reg.csp && cb = Reg.csp then begin
+      (match getg st rt with
+       | Cst d ->
+         st.slots <-
+           IMap.fold (fun k v acc -> IMap.add (k - d) v acc) st.slots IMap.empty
+       | Any -> st.slots <- IMap.empty);
+      st.c.(cd) <- res
+    end
+    else setc st cd res;
+    { quiet with av_must = must }
+  | CIncOffsetImm (cd, cb, d) ->
+    let a = getc st cb in
+    let must =
+      if a.a_seal = Yes && a.a_tag = Yes then
+        Some (K_cap Cap.Seal_violation, a.a_prov)
+      else None
+    in
+    let res = inc_acap a d in
+    if cd = Reg.csp && cb = Reg.csp then begin
+      st.slots <-
+        IMap.fold (fun k v acc -> IMap.add (k - d) v acc) st.slots IMap.empty;
+      st.c.(cd) <- res
+    end
+    else setc st cd res;
+    { quiet with av_must = must }
+  | CSetAddr (cd, cb, rt) ->
+    let a = getc st cb in
+    let must =
+      if a.a_seal = Yes && a.a_tag = Yes then
+        Some (K_cap Cap.Seal_violation, a.a_prov)
+      else None
+    in
+    let res =
+      match a.a_conc, getg st rt with
+      | Some cc, Cst v ->
+        (match (try Some (Cap.set_addr cc v) with Cap.Cap_error _ -> None) with
+         | Some cc' -> of_cap ~prov:a.a_prov cc'
+         | None -> { a with a_conc = None })
+      | _ -> unknown_addr_acap a
+    in
+    setc st cd res;
+    { quiet with av_must = must }
+  | CClearTag (cd, cb) ->
+    let a = getc st cb in
+    setc st cd
+      { a with a_tag = No;
+        a_conc = Option.map Cap.clear_tag a.a_conc };
+    quiet
+  | CFromPtr (cd, cb, rt) ->
+    let src = if cb = 0 then st.ddc else getc st cb in
+    let must =
+      if src.a_tag = Yes && src.a_seal = Yes then
+        Some (K_cap Cap.Seal_violation, src.a_prov)
+      else None
+    in
+    let res =
+      match src.a_conc, getg st rt with
+      | Some cc, Cst v ->
+        (match (try Some (Cap.from_ptr cc v) with Cap.Cap_error _ -> None) with
+         | Some cc' -> of_cap ~prov:Lint.Int_derived cc'
+         | None -> { top_acap with a_prov = Lint.Int_derived })
+      | _ ->
+        if src.a_tag = No then
+          (* from_ptr on an untagged source returns an untagged NULL-based
+             value without trapping. *)
+          { a_tag = No; a_seal = No; a_must = Perms.none; a_may = Perms.none;
+            a_win = None; a_eb = None; a_topoff = None;
+            a_prov = Lint.Int_derived; a_conc = None }
+        else if src.a_tag = Yes then
+          { (unknown_addr_acap src) with a_seal = No;
+            a_prov = Lint.Int_derived }
+        else { top_acap with a_prov = Lint.Int_derived }
+    in
+    setc st cd res;
+    { quiet with av_must = must }
+  | CSeal (cd, cb, ct) ->
+    let a = getc st cb in
+    let s = getc st ct in
+    let must =
+      match derive_must a with
+      | Some _ as m -> m
+      | None ->
+        if s.a_tag = No then Some (K_cap Cap.Tag_violation, s.a_prov)
+        else if s.a_seal = Yes then Some (K_cap Cap.Seal_violation, s.a_prov)
+        else if not (Perms.has s.a_may Perms.seal) then
+          Some (K_cap (Cap.Permit_violation Perms.seal), s.a_prov)
+        else None
+    in
+    let res =
+      match a.a_conc, s.a_conc with
+      | Some ca, Some cs ->
+        (match (try Some (Cap.seal ca ~with_:cs) with Cap.Cap_error _ -> None) with
+         | Some cc -> of_cap ~prov:a.a_prov cc
+         | None -> { a with a_seal = Yes; a_tag = Yes; a_conc = None })
+      | _ -> { a with a_seal = Yes; a_tag = Yes; a_conc = None }
+    in
+    setc st cd res;
+    { quiet with av_must = must }
+  | CUnseal (cd, cb, ct) ->
+    let a = getc st cb in
+    let s = getc st ct in
+    let must =
+      if a.a_tag = No then Some (K_cap Cap.Tag_violation, a.a_prov)
+      else if a.a_seal = No then Some (K_cap Cap.Seal_violation, a.a_prov)
+      else if s.a_tag = No then Some (K_cap Cap.Tag_violation, s.a_prov)
+      else if s.a_seal = Yes then Some (K_cap Cap.Seal_violation, s.a_prov)
+      else if not (Perms.has s.a_may Perms.unseal) then
+        Some (K_cap (Cap.Permit_violation Perms.unseal), s.a_prov)
+      else None
+    in
+    let res =
+      match a.a_conc, s.a_conc with
+      | Some ca, Some cs ->
+        (match (try Some (Cap.unseal ca ~with_:cs) with Cap.Cap_error _ -> None) with
+         | Some cc -> of_cap ~prov:a.a_prov cc
+         | None -> { a with a_seal = No; a_tag = Yes; a_conc = None })
+      | _ -> { a with a_seal = No; a_tag = Yes; a_conc = None }
+    in
+    setc st cd res;
+    { quiet with av_must = must }
+  | CRRL (rd, rs) ->
+    setg st rd
+      (match getg st rs with
+       | Cst v when v >= 0 -> Cst (Compress.crrl v)
+       | _ -> Any);
+    quiet
+  | CRAM (rd, rs) ->
+    setg st rd
+      (match getg st rs with
+       | Cst v when v >= 0 -> Cst (Compress.cram v)
+       | _ -> Any);
+    quiet
+  | CReadDDC cd ->
+    let must =
+      if not (Perms.has env.e_pcc_may Perms.system_regs) then
+        Some (K_cap (Cap.Permit_violation Perms.system_regs), Lint.Unknown)
+      else None
+    in
+    setc st cd st.ddc;
+    { quiet with av_must = must }
+  | CWriteDDC cb ->
+    let must =
+      if not (Perms.has env.e_pcc_may Perms.system_regs) then
+        Some (K_cap (Cap.Permit_violation Perms.system_regs), Lint.Unknown)
+      else None
+    in
+    st.ddc <- getc st cb;
+    { quiet with av_must = must }
+  | Annot _ | Nop -> quiet
+  | Beq _ | Bne _ | Blez _ | Bgtz _ | Bltz _ | Bgez _
+  | J _ | Jal _ | Jr _ | Jalr _ | CJR _ | CJAL _ | CJALR _
+  | Syscall | Break _ | Rt _ ->
+    (* Terminators go through term_verdict. *)
+    quiet
+
+(* Terminator judgement. [`Must] claims hold whenever the instruction is
+   reached (straight-line from the block entry); [`Warn] marks conditional
+   branches to misaligned targets, which only trap when taken — excluded
+   from the must-trap oracle since the not-taken path retires fine. *)
+let term_verdict st (insn : Insn.t) =
+  let misaligned t = t land 3 <> 0 in
+  match insn with
+  | Insn.Beq (_, _, t) | Bne (_, _, t) | Blez (_, t) | Bgtz (_, t)
+  | Bltz (_, t) | Bgez (_, t) ->
+    if misaligned t then `Warn (K_jump_align, Lint.Unknown) else `None
+  | J t -> if misaligned t then `Must (K_jump_align, Lint.Unknown) else `None
+  | Jal t | CJAL (_, t) ->
+    if misaligned t then `Must (K_jump_align, Lint.Func) else `None
+  | Jr rs | Jalr (_, rs) ->
+    (match getg st rs with
+     | Cst t when misaligned t -> `Must (K_jump_align, Lint.Unknown)
+     | _ -> `None)
+  | CJR cb | CJALR (_, cb) ->
+    let a = getc st cb in
+    if a.a_tag = No then `Must (K_cap Cap.Tag_violation, a.a_prov)
+    else
+      (match a.a_conc with
+       | Some c when not (Cap.is_tagged c) ->
+         `Must (K_cap Cap.Tag_violation, a.a_prov)
+       | Some c when misaligned (Cap.addr c) -> `Must (K_jump_align, a.a_prov)
+       | _ -> `None)
+  | Syscall | Rt _ | Break _ -> `None
+  | _ -> `None
+
+(* --- Superblock scan (elision facts + must-trap table) --------------------- *)
+
+type scan = {
+  sc_facts : Facts.t;
+  sc_must : (int, int) Hashtbl.t;  (* entry pc -> must-trap bitmask *)
+  sc_sites : int;                  (* elidable check sites visited *)
+  sc_elided : int;                 (* ... of which discharged *)
+}
+
+let make_env ?ddc ?(pcc_may = Perms.all) () =
+  let e_ddc =
+    match ddc with
+    | Some c ->
+      of_cap ~prov:(if Cap.is_null c then Lint.Null else Lint.Unknown) c
+    | None -> top_acap
+  in
+  { e_ddc; e_pcc_may = pcc_may }
+
+(* Analyze every pc of every region as a potential superblock entry, from a
+   Top state: exactly the straight-line runs the block engine decodes (it
+   keys blocks by whatever pc control arrives at), bounded by the same
+   [Bbcache.max_block]. *)
+let scan_code ?ddc ?pcc_may regions =
+  let env = make_env ?ddc ?pcc_may () in
+  let facts = Facts.create () in
+  let must_tbl = Hashtbl.create 256 in
+  let sites = ref 0 and elided = ref 0 in
+  let add_must entry index =
+    if index >= 0 && index <= Facts.max_index then begin
+      let cur =
+        match Hashtbl.find_opt must_tbl entry with Some m -> m | None -> 0
+      in
+      Hashtbl.replace must_tbl entry (cur lor (1 lsl index))
+    end
+  in
+  List.iter
+    (fun (base, insns) ->
+      let n = Array.length insns in
+      for e = 0 to n - 1 do
+        let entry = base + (4 * e) in
+        let st = fresh_st env in
+        let i = ref 0 in
+        let stop = ref false in
+        while (not !stop) && !i < Cheri_isa.Bbcache.max_block && e + !i < n do
+          let insn = insns.(e + !i) in
+          if Insn.is_terminator insn then begin
+            (match term_verdict st insn with
+             | `Must _ -> add_must entry !i
+             | `Warn _ | `None -> ());
+            stop := true
+          end
+          else begin
+            let v = step_st env st insn in
+            if v.av_site then incr sites;
+            if v.av_elide then begin
+              incr elided;
+              Facts.add facts ~entry ~index:!i
+            end;
+            if v.av_must <> None then add_must entry !i;
+            incr i
+          end
+        done
+      done)
+    regions;
+  { sc_facts = facts; sc_must = must_tbl; sc_sites = !sites;
+    sc_elided = !elided }
+
+let facts_of_code ?ddc ?pcc_may regions =
+  (scan_code ?ddc ?pcc_may regions).sc_facts
+
+let must_traps sc ~entry ~index =
+  index >= 0 && index <= Facts.max_index
+  && (match Hashtbl.find_opt sc.sc_must entry with
+      | Some m -> (m lsr index) land 1 = 1
+      | None -> false)
+
+(* --- Whole-image verification ---------------------------------------------- *)
+
+type severity = Must | Warn
+
+type diag = {
+  g_pc : int;
+  g_block : int;   (* containing basic-block entry *)
+  g_fn : int;      (* containing function entry *)
+  g_insn : string; (* Insn.to_string of the flagged instruction *)
+  g_kind : string;
+  g_sev : severity;
+  g_msg : string;
+}
+
+let pp_diag d =
+  Printf.sprintf "0x%06x: %s: %s: %s  [%s | fn 0x%x block 0x%x]" d.g_pc
+    (match d.g_sev with Must -> "must-trap" | Warn -> "may-trap")
+    d.g_kind d.g_msg d.g_insn d.g_fn d.g_block
+
+type report = {
+  r_diags : diag list;
+  r_funcs : int;
+  r_blocks : int;
+  r_sites : int;     (* elidable check sites (superblock scan) *)
+  r_elided : int;    (* checks discharged *)
+  r_sb : int;        (* superblock entries with at least one fact *)
+}
+
+let kind_msg kind prov =
+  let p =
+    match prov with
+    | Lint.Unknown | Lint.Bot -> ""
+    | p -> Printf.sprintf " (%s capability)" (Lint.prov_name p)
+  in
+  (match kind with
+   | K_cap Cap.Tag_violation -> "use of untagged capability"
+   | K_cap Cap.Seal_violation -> "operation on sealed capability"
+   | K_cap (Cap.Permit_violation p) ->
+     Printf.sprintf "missing %s permission" (Perms.to_string p)
+   | K_cap Cap.Bounds_violation -> "access provably out of bounds"
+   | K_cap Cap.Length_violation -> "negative bounds length"
+   | K_cap Cap.Monotonicity_violation -> "bounds derivation would widen rights"
+   | K_cap Cap.Representability_violation -> "exact bounds not representable"
+   | K_cap Cap.Alignment_violation -> "provably misaligned access"
+   | K_jump_align -> "jump to misaligned target"
+   | K_div -> "division traps (zero divisor or INT_MIN/-1)")
+  ^ p
+
+(* Fixpoint + post-convergence diagnostics for one function. Diagnostics
+   are only collected after the block input states have stabilized:
+   states rise monotonically during iteration, so a must-trap provable
+   from an early state can be invalidated by a later join. *)
+let analyze_fn env cfg root members ~emit =
+  let in_states : (int, st) Hashtbl.t = Hashtbl.create 16 in
+  let join_counts : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let member = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace member b ()) members;
+  let entry_st =
+    let st = fresh_st env in
+    st.c.(Reg.csp) <- { top_acap with a_prov = Lint.Stack };
+    st.c.(Reg.cgp) <- { top_acap with a_prov = Lint.Global };
+    st.c.(Reg.cra) <- { top_acap with a_prov = Lint.Func };
+    st
+  in
+  Hashtbl.replace in_states root entry_st;
+  let work = Queue.create () in
+  Queue.add root work;
+  let flow_block st (b : Cfg.bb) =
+    Array.iter
+      (fun insn ->
+        if not (Insn.is_terminator insn) then ignore (step_st env st insn))
+      b.Cfg.bb_insns
+  in
+  let steps = ref 0 in
+  while (not (Queue.is_empty work)) && !steps < 20_000 do
+    incr steps;
+    let e = Queue.pop work in
+    match Cfg.block_of cfg e, Hashtbl.find_opt in_states e with
+    | Some b, Some ist ->
+      let st = copy_st ist in
+      flow_block st b;
+      List.iter
+        (fun s ->
+          let t, out =
+            match s with
+            | Cfg.Seq t -> (t, st)
+            | Cfg.Ret_of t -> (t, clobber_after_call st)
+          in
+          if Hashtbl.mem member t then
+            match Hashtbl.find_opt in_states t with
+            | None ->
+              Hashtbl.replace in_states t (copy_st out);
+              Queue.add t work
+            | Some cur ->
+              let jc =
+                match Hashtbl.find_opt join_counts t with
+                | Some n -> n
+                | None -> 0
+              in
+              let joined, changed = join_st ~widen:(jc > 8) cur out in
+              if changed then begin
+                Hashtbl.replace in_states t joined;
+                Hashtbl.replace join_counts t (jc + 1);
+                Queue.add t work
+              end)
+        b.Cfg.bb_succs
+    | _ -> ()
+  done;
+  List.iter
+    (fun e ->
+      match Cfg.block_of cfg e, Hashtbl.find_opt in_states e with
+      | Some b, Some ist ->
+        let st = copy_st ist in
+        Array.iteri
+          (fun i insn ->
+            let pc = b.Cfg.bb_entry + (4 * i) in
+            if Insn.is_terminator insn then begin
+              match term_verdict st insn with
+              | `Must (k, p) ->
+                emit ~fn:root ~block:e ~pc ~sev:Must ~kind:k ~prov:p insn
+              | `Warn (k, p) ->
+                emit ~fn:root ~block:e ~pc ~sev:Warn ~kind:k ~prov:p insn
+              | `None -> ()
+            end
+            else begin
+              let v = step_st env st insn in
+              match v.av_must with
+              | Some (k, p) ->
+                emit ~fn:root ~block:e ~pc ~sev:Must ~kind:k ~prov:p insn
+              | None -> ()
+            end)
+          b.Cfg.bb_insns
+      | _ -> ())
+    members
+
+let verify ?ddc ?pcc_may ~entries regions =
+  let env = make_env ?ddc ?pcc_may () in
+  let cfg = Cfg.build ~entries regions in
+  let seen = Hashtbl.create 64 in
+  let diags = ref [] in
+  let emit ~fn ~block ~pc ~sev ~kind ~prov insn =
+    let kname = kind_name kind in
+    let key = (pc, kname, sev) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      diags :=
+        { g_pc = pc; g_block = block; g_fn = fn;
+          g_insn = Insn.to_string insn; g_kind = kname; g_sev = sev;
+          g_msg = kind_msg kind prov }
+        :: !diags
+    end
+  in
+  List.iter (fun (root, members) -> analyze_fn env cfg root members ~emit)
+    cfg.Cfg.funcs;
+  let sc = scan_code ?ddc ?pcc_may regions in
+  let diags =
+    List.sort
+      (fun a b ->
+        match compare a.g_pc b.g_pc with 0 -> compare a.g_kind b.g_kind | c -> c)
+      !diags
+  in
+  { r_diags = diags;
+    r_funcs = List.length cfg.Cfg.funcs;
+    r_blocks = List.length cfg.Cfg.order;
+    r_sites = sc.sc_sites;
+    r_elided = sc.sc_elided;
+    r_sb = Facts.blocks sc.sc_facts }

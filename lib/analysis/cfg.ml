@@ -1,0 +1,173 @@
+(* Control-flow graph recovery over loaded images.
+
+   Input is the same shape the kernel keeps per process: a list of
+   [(base, insns)] text regions of decoded instructions (Rtld.lk_code /
+   Proc.code). Leaders are region starts, declared entry points, constant
+   branch/jump targets, direct call targets, and every instruction after a
+   terminator ([Insn.is_terminator] — the block engine's notion of a block
+   boundary). Indirect jumps ([Jr]/[CJR]) get no successors: the compiled
+   code we analyze uses them only as returns, and the abstract interpreter
+   treats every function entry pessimistically, so missing return edges
+   cannot create unsoundness — a call site's fall-through edge carries a
+   clobbered state instead (see absint.ml).
+
+   The graph is partitioned into functions: every declared entry and every
+   direct call target roots a function, whose blocks are those reachable
+   through non-call edges. *)
+
+module Insn = Cheri_isa.Insn
+
+type succ =
+  | Seq of int      (* ordinary edge: state flows through *)
+  | Ret_of of int   (* edge following a call/syscall: callee ran in between *)
+
+type bb = {
+  bb_entry : int;
+  bb_insns : Insn.t array;       (* includes the terminator, if any *)
+  bb_succs : succ list;
+  bb_calls : int list;           (* constant call targets out of this block *)
+}
+
+type t = {
+  blocks : (int, bb) Hashtbl.t;
+  order : int list;              (* block entries, ascending *)
+  funcs : (int * int list) list; (* function entry -> member block entries *)
+}
+
+let block_of t pc = Hashtbl.find_opt t.blocks pc
+
+(* Entry pc of the block containing [pc], if any. *)
+let containing_block t pc =
+  List.fold_left
+    (fun acc e ->
+      match Hashtbl.find_opt t.blocks e with
+      | Some b when e <= pc && pc < e + (4 * Array.length b.bb_insns) -> Some e
+      | _ -> acc)
+    None t.order
+
+let build ~entries regions =
+  let regions = List.sort (fun (a, _) (b, _) -> compare a b) regions in
+  let find_insn pc =
+    let rec go = function
+      | [] -> None
+      | (base, insns) :: rest ->
+        if pc >= base && pc < base + (4 * Array.length insns) && (pc - base) land 3 = 0
+        then Some insns.((pc - base) / 4)
+        else go rest
+    in
+    go regions
+  in
+  let valid pc = pc land 3 = 0 && find_insn pc <> None in
+  let leaders = Hashtbl.create 256 in
+  let add_leader pc = if valid pc then Hashtbl.replace leaders pc () in
+  let call_targets = Hashtbl.create 64 in
+  let add_call pc =
+    if valid pc then begin
+      Hashtbl.replace call_targets pc ();
+      Hashtbl.replace leaders pc ()
+    end
+  in
+  List.iter add_leader entries;
+  List.iter (fun (base, _) -> add_leader base) regions;
+  List.iter
+    (fun (base, insns) ->
+      Array.iteri
+        (fun i insn ->
+          let pc = base + (4 * i) in
+          if Insn.is_terminator insn then add_leader (pc + 4);
+          match insn with
+          | Insn.Beq (_, _, t) | Insn.Bne (_, _, t)
+          | Insn.Blez (_, t) | Insn.Bgtz (_, t)
+          | Insn.Bltz (_, t) | Insn.Bgez (_, t)
+          | Insn.J t -> add_leader t
+          | Insn.Jal t | Insn.CJAL (_, t) -> add_call t
+          | _ -> ())
+        insns)
+    regions;
+  (* Decode blocks between leaders. *)
+  let blocks = Hashtbl.create 256 in
+  let all_leaders =
+    Hashtbl.fold (fun pc () acc -> pc :: acc) leaders [] |> List.sort compare
+  in
+  List.iter
+    (fun entry ->
+      match find_insn entry with
+      | None -> ()
+      | Some _ ->
+        let insns = ref [] in
+        let pc = ref entry in
+        let stop = ref false in
+        while not !stop do
+          match find_insn !pc with
+          | None -> stop := true
+          | Some insn ->
+            insns := insn :: !insns;
+            if Insn.is_terminator insn then stop := true
+            else begin
+              pc := !pc + 4;
+              if Hashtbl.mem leaders !pc then stop := true
+            end
+        done;
+        let insns = Array.of_list (List.rev !insns) in
+        let n = Array.length insns in
+        if n > 0 then begin
+          let last_pc = entry + (4 * (n - 1)) in
+          let last = insns.(n - 1) in
+          let fall = last_pc + 4 in
+          let succs, calls =
+            if not (Insn.is_terminator last) then
+              ((if valid fall then [ Seq fall ] else []), [])
+            else
+              match last with
+              | Insn.Beq (_, _, t) | Insn.Bne (_, _, t)
+              | Insn.Blez (_, t) | Insn.Bgtz (_, t)
+              | Insn.Bltz (_, t) | Insn.Bgez (_, t) ->
+                let s = if valid fall then [ Seq fall ] else [] in
+                let s = if valid t && t <> fall then Seq t :: s else s in
+                (s, [])
+              | Insn.J t -> ((if valid t then [ Seq t ] else []), [])
+              | Insn.Jal t | Insn.CJAL (_, t) ->
+                ( (if valid fall then [ Ret_of fall ] else []),
+                  if valid t then [ t ] else [] )
+              | Insn.Jalr _ | Insn.CJALR _ ->
+                ((if valid fall then [ Ret_of fall ] else []), [])
+              | Insn.Syscall | Insn.Rt _ ->
+                ((if valid fall then [ Ret_of fall ] else []), [])
+              | Insn.Jr _ | Insn.CJR _ | Insn.Break _ -> ([], [])
+              | _ -> ([], [])
+          in
+          Hashtbl.replace blocks entry
+            { bb_entry = entry; bb_insns = insns; bb_succs = succs;
+              bb_calls = calls }
+        end)
+    all_leaders;
+  (* Partition into functions: roots are declared entries plus direct call
+     targets; members are blocks reachable without crossing into another
+     root via a call edge (ordinary successor edges only). *)
+  let roots =
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun e -> if valid e then Hashtbl.replace tbl e ()) entries;
+    Hashtbl.iter (fun pc () -> Hashtbl.replace tbl pc ()) call_targets;
+    Hashtbl.fold (fun pc () acc -> pc :: acc) tbl [] |> List.sort compare
+  in
+  let funcs =
+    List.map
+      (fun root ->
+        let seen = Hashtbl.create 64 in
+        let rec visit pc =
+          if (not (Hashtbl.mem seen pc)) && Hashtbl.mem blocks pc then begin
+            Hashtbl.replace seen pc ();
+            let b = Hashtbl.find blocks pc in
+            List.iter
+              (fun s -> match s with Seq t | Ret_of t -> visit t)
+              b.bb_succs
+          end
+        in
+        visit root;
+        (root, Hashtbl.fold (fun pc () acc -> pc :: acc) seen [] |> List.sort compare))
+      roots
+  in
+  let order =
+    Hashtbl.fold (fun pc _ acc -> pc :: acc) blocks [] |> List.sort compare
+  in
+  { blocks; order; funcs }

@@ -57,6 +57,12 @@ type block = {
 type t = {
   blocks : (int, block) Hashtbl.t;     (* entry pc -> decoded block *)
   mutable map_gen : int;               (* pmap generation at last flush *)
+  (* Check-elision facts (lib/analysis/absint.ml). When present, [build]
+     compiles memory accesses whose capability check the analysis
+     discharged into [~check:false] closures. Facts are keyed exactly like
+     blocks (superblock entry pc -> bitmask), so any entry point gets the
+     facts proved for *its* straight-line run. *)
+  mutable facts : Facts.t option;
   (* Per-run ifetch translate memo (reset on every [run] entry). *)
   mutable cur_vpage : int;
   mutable cur_pbase : int;
@@ -65,6 +71,7 @@ type t = {
   mutable flushes : int;
   mutable block_runs : int;
   mutable step_falls : int;
+  mutable elided_sites : int;          (* check-free closures compiled *)
 }
 
 let max_block = 64
@@ -72,15 +79,39 @@ let max_block = 64
 let create () =
   { blocks = Hashtbl.create 1024;
     map_gen = min_int;
+    facts = None;
     cur_vpage = -1; cur_pbase = 0;
-    built = 0; flushes = 0; block_runs = 0; step_falls = 0 }
+    built = 0; flushes = 0; block_runs = 0; step_falls = 0;
+    elided_sites = 0 }
 
-(* Drop every decoded block (context switch, exec image replacement). *)
+(* Drop every decoded block (context switch, exec image replacement).
+   Facts are left attached: they are keyed by entry pc against the owning
+   process's image, and the kernel re-asserts them via [set_facts] on every
+   dispatch (dropping them when the owner or its address space changed). *)
 let invalidate t =
   Hashtbl.reset t.blocks;
   t.map_gen <- min_int;
   t.cur_vpage <- -1;
   t.flushes <- t.flushes + 1
+
+(* Install (or clear) the elision fact table. Compiled closures bake the
+   elision decision in, so any change of table identity flushes the block
+   cache. Compared by physical identity: the kernel calls this once per
+   dispatch with the same table, which must not thrash the cache. *)
+let set_facts t facts =
+  let same =
+    match t.facts, facts with
+    | None, None -> true
+    | Some a, Some b -> a == b
+    | _ -> false
+  in
+  if not same then begin
+    t.facts <- facts;
+    if Hashtbl.length t.blocks > 0 then begin
+      Hashtbl.reset t.blocks;
+      t.flushes <- t.flushes + 1
+    end
+  end
 
 (* Per-instruction accounting prologue, shared by every closure: charge
    the ifetch (through the memoized exec translate) plus base cycles, and
@@ -105,9 +136,17 @@ let account t m pc base ctx =
 (* Straight-line instruction at [pc] -> closure. The hottest ALU forms get
    specialized closures (no re-dispatch per execution); everything else
    funnels through the one shared semantics function, [Cpu.exec_straight].
-   The fuzzer exercises both paths against the step engine. *)
-let compile_straight t m ~pc insn =
+   The fuzzer exercises both paths against the step engine.
+
+   [elide] means the absint facts discharged this instruction's capability
+   check: the memory arms then compile a [~check:false] closure. Only the
+   [Cpu.check_cap] probe disappears — a pure test with no statistics side
+   effects — so retired instructions, cycles and cache counters are
+   untouched, which is what keeps elided runs bit-identical. *)
+let compile_straight t m ~pc ~elide insn =
   let base = Insn.base_cycles insn in
+  let check = not elide in
+  if elide then t.elided_sites <- t.elided_sites + 1;
   match insn with
   | Insn.Li (rd, v) ->
     fun ctx -> account t m pc base ctx; Cpu.wr_gpr ctx rd v
@@ -138,17 +177,19 @@ let compile_straight t m ~pc insn =
       account t m pc base ctx;
       Cpu.wr_gpr ctx rd (if Cpu.rd_gpr ctx rs < i then 1 else 0)
   | Insn.Load { w; signed; rd; base = b; off } ->
-    fun ctx -> account t m pc base ctx; Cpu.do_load m ctx ~w ~signed ~rd ~base:b ~off
+    fun ctx ->
+      account t m pc base ctx; Cpu.do_load ~check m ctx ~w ~signed ~rd ~base:b ~off
   | Insn.Store { w; rs; base = b; off } ->
-    fun ctx -> account t m pc base ctx; Cpu.do_store m ctx ~w ~rs ~base:b ~off
+    fun ctx -> account t m pc base ctx; Cpu.do_store ~check m ctx ~w ~rs ~base:b ~off
   | Insn.CLoad { w; signed; rd; cb; off } ->
-    fun ctx -> account t m pc base ctx; Cpu.do_cload m ctx ~w ~signed ~rd ~cb ~off
+    fun ctx ->
+      account t m pc base ctx; Cpu.do_cload ~check m ctx ~w ~signed ~rd ~cb ~off
   | Insn.CStore { w; rs; cb; off } ->
-    fun ctx -> account t m pc base ctx; Cpu.do_cstore m ctx ~w ~rs ~cb ~off
+    fun ctx -> account t m pc base ctx; Cpu.do_cstore ~check m ctx ~w ~rs ~cb ~off
   | Insn.CLC { cd; cb; off } ->
-    fun ctx -> account t m pc base ctx; Cpu.do_clc m ctx ~cd ~cb ~off
+    fun ctx -> account t m pc base ctx; Cpu.do_clc ~check m ctx ~cd ~cb ~off
   | Insn.CSC { cs; cb; off } ->
-    fun ctx -> account t m pc base ctx; Cpu.do_csc m ctx ~cs ~cb ~off
+    fun ctx -> account t m pc base ctx; Cpu.do_csc ~check m ctx ~cs ~cb ~off
   | Insn.CIncOffsetImm (cd, cb, i) ->
     fun ctx ->
       account t m pc base ctx;
@@ -256,12 +297,16 @@ let build t m entry =
   let body = ref [] in
   let term = ref None in
   let n = ref 0 in
+  let fmask = match t.facts with Some f -> Facts.mask f entry | None -> 0 in
   (try
      while !term = None && !n < max_block do
        let pc = entry + (4 * !n) in
        let insn = m.Cpu.fetch pc in
        if Insn.is_terminator insn then term := Some (compile_term t m ~pc insn)
-       else body := compile_straight t m ~pc insn :: !body;
+       else begin
+         let elide = (fmask lsr !n) land 1 = 1 in
+         body := compile_straight t m ~pc ~elide insn :: !body
+       end;
        incr n
      done
    with Trap.Trap _ -> ());

@@ -1,0 +1,39 @@
+(* Per-superblock check-elision fact table.
+
+   A fact [(entry, index)] records that the capability check guarding the
+   memory access at instruction [index] of the straight-line run starting at
+   [entry] is statically discharged: *if* execution proceeds straight-line
+   from [entry] through [index], the tag/seal/permission/bounds probe of
+   that access cannot fail. The claim is conditional only on the prefix, so
+   it holds no matter how control reached [entry] — which is exactly the
+   keying the block engine uses for its decoded superblocks.
+
+   Facts are represented as a bitmask per entry PC. OCaml ints give us 63
+   usable bits; index 62 is the last elidable slot (a 64-instruction block's
+   index 63 is its terminator, which never carries an elidable check). *)
+
+type t = { tbl : (int, int) Hashtbl.t (* superblock entry pc -> bitmask *) }
+
+let max_index = 62
+
+let create () = { tbl = Hashtbl.create 256 }
+
+let add t ~entry ~index =
+  if index >= 0 && index <= max_index then begin
+    let cur = match Hashtbl.find_opt t.tbl entry with Some m -> m | None -> 0 in
+    Hashtbl.replace t.tbl entry (cur lor (1 lsl index))
+  end
+
+let mask t entry =
+  match Hashtbl.find_opt t.tbl entry with Some m -> m | None -> 0
+
+let elidable t ~entry ~index =
+  index >= 0 && index <= max_index && (mask t entry lsr index) land 1 = 1
+
+let blocks t = Hashtbl.length t.tbl
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let checks t = Hashtbl.fold (fun _ m acc -> acc + popcount m) t.tbl 0

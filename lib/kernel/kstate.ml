@@ -48,6 +48,14 @@ type config = {
   mutable fork_base_cost : int;
   mutable fork_page_cost : int;
   mutable fork_cap_frame_cost : int;    (* extra for capability context *)
+  (* Check-elision fact provider (--elide-checks). When set, exec_image
+     runs it over the freshly linked image (with the process's initial
+     DDC) and attaches the resulting fact table to the process; the block
+     engine then compiles proved-safe memory accesses without their
+     capability check. None (the default) disables elision entirely. *)
+  mutable fact_provider :
+    (ddc:Cheri_cap.Cap.t -> (int * Cheri_isa.Insn.t array) list ->
+     Cheri_isa.Facts.t) option;
 }
 
 let default_config () =
@@ -60,7 +68,8 @@ let default_config () =
     ctx_switch_cost = 350;
     fork_base_cost = 2600;
     fork_page_cost = 55;
-    fork_cap_frame_cost = 260 }
+    fork_cap_frame_cost = 260;
+    fact_provider = None }
 
 type t = {
   mem : Tagmem.t;

@@ -24,6 +24,17 @@ let install_machine k (p : Proc.t) =
     Bbcache.invalidate k.Kstate.bb;
     k.Kstate.bb_owner <- p.Proc.pid
   end;
+  (* Check-elision facts ride along with the block cache: they apply only
+     while the address space still matches the image they were proved
+     against, so any pmap mutation (mmap/munmap/mprotect/brk) since exec
+     drops them conservatively. *)
+  let facts =
+    match p.Proc.facts with
+    | Some _ when p.Proc.facts_gen = Pmap.generation pmap -> p.Proc.facts
+    | Some _ -> p.Proc.facts <- None; None
+    | None -> None
+  in
+  Bbcache.set_facts k.Kstate.bb facts;
   k.Kstate.machine.Cpu.translate <-
     (fun v ~write ~exec -> Pmap.translate pmap v ~write ~exec);
   k.Kstate.machine.Cpu.fetch <- Proc.fetch p;
@@ -111,10 +122,14 @@ let handle_trap k (p : Proc.t) cause =
     (match Pmap.handle_fault pmap ~vaddr ~write ~exec ~on_rederive () with
      | Pmap.Handled -> Kstate.charge k p 220   (* fault service cost *)
      | Pmap.Bad_access | Pmap.Not_mapped ->
-       Proc.log_fault p (Trap.to_string cause);
+       Proc.log_fault p
+         (Trap.to_string cause ^ " "
+          ^ Proc.describe_pc p (Cap.addr p.Proc.ctx.Cpu.pcc));
        Proc.post_signal p Signo.sigsegv)
   | _ ->
-    Proc.log_fault p (Trap.to_string cause);
+    Proc.log_fault p
+      (Trap.to_string cause ^ " "
+       ^ Proc.describe_pc p (Cap.addr p.Proc.ctx.Cpu.pcc));
     (match k.Kstate.tracer, k.Kstate.trace_pid with
      | Some sink, Some pid when pid = p.Proc.pid ->
        sink (Trace.Fault { pc = Cap.addr p.Proc.ctx.Cpu.pcc;

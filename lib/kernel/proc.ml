@@ -51,6 +51,12 @@ type t = {
   mutable syscall_count : int;
   mutable comm : string;                      (* executable name *)
   mutable ps_strings : int;                   (* args block address *)
+  (* Check-elision facts computed over this process's image at exec time
+     (Kstate.config.fact_provider), plus the pmap generation they were
+     computed under: any later address-space change (munmap/mprotect)
+     conservatively invalidates them alongside the block cache. *)
+  mutable facts : Cheri_isa.Facts.t option;
+  mutable facts_gen : int;
   (* kevent-style registrations: user data pointers the kernel holds for
      later return. Stored as full [Uarg.uptr] values so that CheriABI
      capabilities survive the round trip through kernel memory (4,
@@ -74,6 +80,8 @@ let create ~pid ~parent ~abi ~asp =
     syscall_count = 0;
     comm = "";
     ps_strings = 0;
+    facts = None;
+    facts_gen = min_int;
     kevents = [] }
 
 let is_runnable p = p.state = Runnable
@@ -98,6 +106,30 @@ let fetch p vaddr =
       else go rest
   in
   go p.code
+
+(* Entry of the straight-line run containing [pc]: walk back until just
+   after a terminator (or the edge of decoded code). This is the same
+   block notion the block engine and the static verifier use, so trap
+   reports and absint diagnostics cross-reference by PC. *)
+let block_entry_of p pc =
+  let entry = ref pc in
+  (try
+     let scanning = ref true in
+     while !scanning && pc - !entry < 4 * 63 do
+       let prev = !entry - 4 in
+       if Insn.is_terminator (fetch p prev) then scanning := false
+       else entry := prev
+     done
+   with Cheri_isa.Trap.Trap _ -> ());
+  !entry
+
+(* Render the instruction at [pc] for fault reports. *)
+let describe_pc p pc =
+  match fetch p pc with
+  | insn ->
+    Printf.sprintf "at 0x%x: %s [block 0x%x]" pc (Insn.to_string insn)
+      (block_entry_of p pc)
+  | exception Cheri_isa.Trap.Trap _ -> Printf.sprintf "at 0x%x" pc
 
 (* --- Descriptors ------------------------------------------------------------------ *)
 

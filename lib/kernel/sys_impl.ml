@@ -484,6 +484,10 @@ let sys_fork k (p : Proc.t) = function
     child.Proc.cwd <- p.Proc.cwd;
     child.Proc.comm <- p.Proc.comm;
     child.Proc.ps_strings <- p.Proc.ps_strings;
+    (* The child shares the parent's image, so the proved facts carry over —
+       under the child's own pmap generation. *)
+    child.Proc.facts <- p.Proc.facts;
+    child.Proc.facts_gen <- Pmap.generation (Addr_space.pmap casp);
     Kstate.add_proc k child;
     (* Cost: address-space duplication, plus — for CheriABI — the larger
        capability trap frame and per-page tag bookkeeping. *)

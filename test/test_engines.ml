@@ -5,9 +5,10 @@
 
    1. A differential fuzzer over seeded random programs — arithmetic,
       branches, capability derivation, loads/stores of data and
-      capabilities, sealing, traps, syscalls — executed three ways (step;
+      capabilities, sealing, traps, syscalls — executed four ways (step;
       block in one run; block in small fuel chunks, which forces mid-block
-      preemption and resume) on identical fresh machines. The full
+      preemption and resume; block with the abstract interpreter's
+      proved-safe capability checks elided) on identical fresh machines. The full
       observable state is compared: every GPR and capability register,
       PCC, DDC, instret, cycles, the stop reason, per-level cache hit/miss
       counters, memory bytes and tag placement.
@@ -265,6 +266,22 @@ let run_block insns seed =
   let stop = Bbcache.run bb m ctx ~fuel in
   snapshot stop m ctx mem
 
+(* Elided: block engine consuming the abstract interpreter's proved-safe
+   facts (computed against the same initial DDC the machine starts with),
+   so provably-passing capability checks are compiled out. Eliding a check
+   is a pure no-op when the proof is right, so the full snapshot — down to
+   cycle and cache counters — must still match the step engine exactly. *)
+let run_block_elide insns seed =
+  let m, ctx, mem = setup insns seed in
+  let facts =
+    Cheri_analysis.Absint.facts_of_code ~ddc:ctx.Cpu.ddc
+      [ (code_base, insns) ]
+  in
+  let bb = Bbcache.create () in
+  Bbcache.set_facts bb (Some facts);
+  let stop = Bbcache.run bb m ctx ~fuel in
+  snapshot stop m ctx mem
+
 (* Chunked: total fuel identical, but split so quantum expiry lands
    mid-block and the engine must fall back to exact single-stepping. *)
 let run_block_chunked insns seed ~chunk =
@@ -286,9 +303,10 @@ let test_fuzz_engines () =
     let insns, rnd = gen_program (seed * 7919) in
     let s_step = run_step insns seed in
     let s_block = run_block insns seed in
+    let s_elide = run_block_elide insns seed in
     let chunk = 3 + rnd 7 in
     let s_chunk = run_block_chunked insns seed ~chunk in
-    if s_step <> s_block || s_step <> s_chunk then begin
+    if s_step <> s_block || s_step <> s_chunk || s_step <> s_elide then begin
       incr mismatches;
       let dump =
         String.concat "\n"
@@ -300,8 +318,8 @@ let test_fuzz_engines () =
       in
       Printf.printf
         "seed %d diverged (chunk=%d)\n--- step ---\n%s\n--- block ---\n%s\n\
-         --- chunked ---\n%s\n--- program ---\n%s\n"
-        seed chunk s_step s_block s_chunk dump
+         --- chunked ---\n%s\n--- elided ---\n%s\n--- program ---\n%s\n"
+        seed chunk s_step s_block s_chunk s_elide dump
     end
   done;
   Alcotest.(check int) "engines agree on all seeded programs" 0 !mismatches

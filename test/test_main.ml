@@ -15,6 +15,7 @@ let () =
       "cc-ext", Test_cc.extension_suite;
       "cc-errors", Test_cc_errors.suite;
       "analysis", Test_analysis.suite;
+      "absint", Test_absint.suite;
       "core", Test_core.suite;
       "workloads", Test_workloads.suite;
       "cache", Test_workloads.cache_suite ]

@@ -162,11 +162,7 @@ let run file abi engine args dump_asm stats trace no_libc clc_small lint
     k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.engine <- engine;
     if elide then
       k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.fact_provider <-
-        Some
-          (fun ~ddc code ->
-            Cheri_analysis.Absint.facts_of_code ~ddc
-              ~pcc_may:Cheri_cap.Perms.(diff all system_regs)
-              code);
+        Some (Cheri_analysis.Absint.provider ());
     Cheri_libc.Runtime.install k;
     let collector = Trace.collector () in
     if trace then begin

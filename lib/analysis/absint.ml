@@ -826,6 +826,64 @@ let make_env ?ddc ?(pcc_may = Perms.all) () =
   in
   { e_ddc; e_pcc_may = pcc_may }
 
+(* --- Analysis-cost statistics ----------------------------------------------
+
+   Global, resettable counters for the fact-cache/lazy-analysis machinery:
+   how many provider calls hit the image-keyed cache, and how many
+   superblock fixpoints actually ran, split by whether they were paid up
+   front (eager [scan_code]) or on first decode (lazy tables). Surfaced by
+   bench/main.ml and BENCH_simulator.json. *)
+
+type cache_stats = {
+  mutable cs_hits : int;       (* provider calls answered from the cache *)
+  mutable cs_misses : int;     (* provider calls that ran (or deferred) analysis *)
+  mutable cs_eager_sb : int;   (* superblock fixpoints run eagerly *)
+  mutable cs_lazy_sb : int;    (* superblock fixpoints run on first decode *)
+}
+
+let stats = { cs_hits = 0; cs_misses = 0; cs_eager_sb = 0; cs_lazy_sb = 0 }
+
+let reset_stats () =
+  stats.cs_hits <- 0;
+  stats.cs_misses <- 0;
+  stats.cs_eager_sb <- 0;
+  stats.cs_lazy_sb <- 0
+
+(* One superblock fixpoint: the straight-line scan the block engine's
+   decoded blocks mirror, from a Top state at instruction index [e] of the
+   region at [base], bounded by [Bbcache.max_block]. Returns the elision
+   bitmask, the must-trap bitmask, and the (sites, elided) counts. This is
+   the unit of work both the eager whole-image scan and the lazy
+   pull-through table share. *)
+let scan_superblock env insns ~e =
+  let n = Array.length insns in
+  let st = fresh_st env in
+  let fmask = ref 0 and mmask = ref 0 in
+  let sites = ref 0 and elided = ref 0 in
+  let set m i = if i >= 0 && i <= Facts.max_index then m := !m lor (1 lsl i) in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < Cheri_isa.Bbcache.max_block && e + !i < n do
+    let insn = insns.(e + !i) in
+    if Insn.is_terminator insn then begin
+      (match term_verdict st insn with
+       | `Must _ -> set mmask !i
+       | `Warn _ | `None -> ());
+      stop := true
+    end
+    else begin
+      let v = step_st env st insn in
+      if v.av_site then incr sites;
+      if v.av_elide then begin
+        incr elided;
+        set fmask !i
+      end;
+      if v.av_must <> None then set mmask !i;
+      incr i
+    end
+  done;
+  (!fmask, !mmask, !sites, !elided)
+
 (* Analyze every pc of every region as a potential superblock entry, from a
    Top state: exactly the straight-line runs the block engine decodes (it
    keys blocks by whatever pc control arrives at), bounded by the same
@@ -835,41 +893,22 @@ let scan_code ?ddc ?pcc_may regions =
   let facts = Facts.create () in
   let must_tbl = Hashtbl.create 256 in
   let sites = ref 0 and elided = ref 0 in
-  let add_must entry index =
-    if index >= 0 && index <= Facts.max_index then begin
-      let cur =
-        match Hashtbl.find_opt must_tbl entry with Some m -> m | None -> 0
-      in
-      Hashtbl.replace must_tbl entry (cur lor (1 lsl index))
-    end
-  in
   List.iter
     (fun (base, insns) ->
       let n = Array.length insns in
       for e = 0 to n - 1 do
         let entry = base + (4 * e) in
-        let st = fresh_st env in
-        let i = ref 0 in
-        let stop = ref false in
-        while (not !stop) && !i < Cheri_isa.Bbcache.max_block && e + !i < n do
-          let insn = insns.(e + !i) in
-          if Insn.is_terminator insn then begin
-            (match term_verdict st insn with
-             | `Must _ -> add_must entry !i
-             | `Warn _ | `None -> ());
-            stop := true
-          end
-          else begin
-            let v = step_st env st insn in
-            if v.av_site then incr sites;
-            if v.av_elide then begin
-              incr elided;
-              Facts.add facts ~entry ~index:!i
-            end;
-            if v.av_must <> None then add_must entry !i;
-            incr i
-          end
-        done
+        let fmask, mmask, s, el = scan_superblock env insns ~e in
+        stats.cs_eager_sb <- stats.cs_eager_sb + 1;
+        Facts.add_mask facts ~entry fmask;
+        if mmask <> 0 then begin
+          let cur =
+            match Hashtbl.find_opt must_tbl entry with Some m -> m | None -> 0
+          in
+          Hashtbl.replace must_tbl entry (cur lor mmask)
+        end;
+        sites := !sites + s;
+        elided := !elided + el
       done)
     regions;
   { sc_facts = facts; sc_must = must_tbl; sc_sites = !sites;
@@ -877,6 +916,97 @@ let scan_code ?ddc ?pcc_may regions =
 
 let facts_of_code ?ddc ?pcc_may regions =
   (scan_code ?ddc ?pcc_may regions).sc_facts
+
+(* Lazy variant: a pull-through [Facts.t] whose per-entry fixpoint runs the
+   first time the block engine decodes that superblock ([Facts.mask] at
+   build time), so a process only pays analysis for code it executes. The
+   masks are exactly [scan_code]'s — same environment, same straight-line
+   scan — the resolver just picks out one entry. Resolved masks are
+   memoized inside the table, so re-decodes (context switch / generation
+   flushes) and cached re-execs are hash lookups. *)
+let lazy_facts_of_code ?ddc ?pcc_may regions =
+  let env = make_env ?ddc ?pcc_may () in
+  let resolve entry =
+    let rec find = function
+      | [] -> 0
+      | (base, insns) :: rest ->
+        if entry >= base
+           && entry < base + (4 * Array.length insns)
+           && (entry - base) land 3 = 0
+        then begin
+          stats.cs_lazy_sb <- stats.cs_lazy_sb + 1;
+          let fmask, _, _, _ =
+            scan_superblock env insns ~e:((entry - base) / 4)
+          in
+          fmask
+        end
+        else find rest
+    in
+    find regions
+  in
+  Facts.create_lazy ~resolve
+
+(* --- Image-keyed fact cache -------------------------------------------------
+
+   [Sobj.image] values are immutable and shared across kernels and execs
+   (the bench installs one image into many kernels; repeated execs of the
+   same path reuse the vfs's image), so analysis results are memoized per
+   image identity plus everything the facts depend on: the initial DDC and
+   the PCC permission envelope (facts are DDC- and PCC-sensitive), the
+   analysis mode, and the linked code layout (defensive: identical layout
+   is what makes entry-pc-keyed facts transferable between execs; the
+   linker is deterministic per image + ABI, so this key component only
+   guards against that assumption breaking). The cached table is shared by
+   reference — safe because fact tables are append-only (lazy memoization
+   never changes a mask already handed out) and [Bbcache.set_facts] guards
+   by physical equality, so two processes exec'ing the same image stop
+   thrashing each other's block cache. *)
+
+type fact_mode = Eager | Lazy_sb
+
+type fact_key = {
+  fk_img : int;                  (* Sobj.image_id *)
+  fk_ddc : Cap.t;
+  fk_pcc_may : Perms.t;
+  fk_lazy : bool;
+  fk_layout : (int * int) list;  (* (base, instruction count) per region *)
+}
+
+let fact_cache : (fact_key, Facts.t) Hashtbl.t = Hashtbl.create 16
+
+let clear_fact_cache () = Hashtbl.reset fact_cache
+
+let cached_facts ~image ~ddc ~pcc_may ~mode regions =
+  let key =
+    { fk_img = Cheri_rtld.Sobj.image_id image;
+      fk_ddc = ddc;
+      fk_pcc_may = pcc_may;
+      fk_lazy = (mode = Lazy_sb);
+      fk_layout = List.map (fun (b, insns) -> (b, Array.length insns)) regions }
+  in
+  match Hashtbl.find_opt fact_cache key with
+  | Some f ->
+    stats.cs_hits <- stats.cs_hits + 1;
+    f
+  | None ->
+    stats.cs_misses <- stats.cs_misses + 1;
+    let f =
+      match mode with
+      | Eager -> facts_of_code ~ddc ~pcc_may regions
+      | Lazy_sb -> lazy_facts_of_code ~ddc ~pcc_may regions
+    in
+    Hashtbl.add fact_cache key f;
+    f
+
+(* The standard kernel fact provider (Kstate.config.fact_provider):
+   image-cached, user-PCC permission envelope (user code can never hold
+   SYSTEM_REGS — the kernel's user root is derived without it — which is
+   what makes a concrete DDC sound: CWriteDDC must trap). Lazy by default;
+   [Eager] pays the whole image up front, which only wins for processes
+   that execute most of their code. *)
+let provider ?(mode = Lazy_sb) () =
+  let pcc_may = Perms.diff Perms.all Perms.system_regs in
+  fun ~image ~ddc regions -> cached_facts ~image ~ddc ~pcc_may ~mode regions
 
 let must_traps sc ~entry ~index =
   index >= 0 && index <= Facts.max_index

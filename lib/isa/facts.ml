@@ -10,13 +10,36 @@
 
    Facts are represented as a bitmask per entry PC. OCaml ints give us 63
    usable bits; index 62 is the last elidable slot (a 64-instruction block's
-   index 63 is its terminator, which never carries an elidable check). *)
+   index 63 is its terminator, which never carries an elidable check).
 
-type t = { tbl : (int, int) Hashtbl.t (* superblock entry pc -> bitmask *) }
+   A table can be *lazy*: instead of being populated up front for every
+   potential entry PC, it carries a [resolve] thunk that computes one
+   entry's mask on first demand ([mask] is the single pull-through point —
+   the block engine calls it exactly once per block build). Resolved masks
+   are memoized, zero or not, so a superblock's fixpoint runs at most once
+   for the lifetime of the table no matter how often its block is rebuilt
+   (context switches, pmap-generation flushes). Lazy resolution only ever
+   *adds* memoized entries; it never changes a mask already handed out, so
+   compiled blocks that baked a mask in stay consistent with the table. *)
+
+type t = {
+  tbl : (int, int) Hashtbl.t;     (* superblock entry pc -> bitmask *)
+  resolve : (int -> int) option;  (* lazy: entry pc -> mask, on first use *)
+  mutable resolved : int;         (* entries materialized through [resolve] *)
+}
 
 let max_index = 62
 
-let create () = { tbl = Hashtbl.create 256 }
+let create () = { tbl = Hashtbl.create 256; resolve = None; resolved = 0 }
+
+(* A pull-through table: every mask is computed by [resolve] on first
+   lookup. [resolve] must be deterministic — re-resolving an entry has to
+   produce the same mask — and total (return 0 for unknown PCs). *)
+let create_lazy ~resolve = { tbl = Hashtbl.create 256; resolve = Some resolve;
+                             resolved = 0 }
+
+let is_lazy t = t.resolve <> None
+let resolved_lazily t = t.resolved
 
 let add t ~entry ~index =
   if index >= 0 && index <= max_index then begin
@@ -24,13 +47,36 @@ let add t ~entry ~index =
     Hashtbl.replace t.tbl entry (cur lor (1 lsl index))
   end
 
+(* Or a whole precomputed mask in (used by the eager whole-image scan;
+   never stores an empty mask so [blocks] stays meaningful). *)
+let add_mask t ~entry mask =
+  let mask = mask land ((1 lsl (max_index + 1)) - 1) in
+  if mask <> 0 then begin
+    let cur = match Hashtbl.find_opt t.tbl entry with Some m -> m | None -> 0 in
+    Hashtbl.replace t.tbl entry (cur lor mask)
+  end
+
 let mask t entry =
-  match Hashtbl.find_opt t.tbl entry with Some m -> m | None -> 0
+  match Hashtbl.find_opt t.tbl entry with
+  | Some m -> m
+  | None ->
+    (match t.resolve with
+     | None -> 0
+     | Some f ->
+       let m = f entry in
+       (* Memoize even zero masks: a re-decoded block must not re-run the
+          fixpoint. *)
+       Hashtbl.replace t.tbl entry m;
+       t.resolved <- t.resolved + 1;
+       m)
 
 let elidable t ~entry ~index =
   index >= 0 && index <= max_index && (mask t entry lsr index) land 1 = 1
 
-let blocks t = Hashtbl.length t.tbl
+(* Entries carrying at least one fact. Lazy tables memoize zero masks too,
+   so count only the non-empty ones. *)
+let blocks t = Hashtbl.fold (fun _ m acc -> if m <> 0 then acc + 1 else acc)
+    t.tbl 0
 
 let popcount m =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in

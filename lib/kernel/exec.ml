@@ -240,15 +240,21 @@ let exec_image k (p : Proc.t) ~abi ~(image : Sobj.image) ~argv ~envv =
       | Abi.Asan -> ctx.Cpu.gpr.(Reg.s5) <- shadow_base
       | Abi.Mips64 | Abi.Cheriabi -> ()));
   (* Static check-elision facts over the fresh image, computed under the
-     process's actual initial DDC. Stamped with the pmap generation so any
-     later address-space mutation invalidates them (see Loop). *)
+     process's actual initial DDC (the provider may answer from its
+     image-keyed cache). Stamped with the pmap generation and the code
+     ranges they were proved against, so Loop can invalidate them exactly
+     when a later address-space mutation actually touches analyzed code. *)
   (match k.Kstate.config.Kstate.fact_provider with
    | Some f ->
      let code = List.map (fun (base, _, insns) -> (base, insns)) p.Proc.code in
-     p.Proc.facts <- Some (f ~ddc:ctx.Cpu.ddc code);
+     p.Proc.facts <- Some (f ~image ~ddc:ctx.Cpu.ddc code);
      p.Proc.facts_gen <-
-       Cheri_vm.Pmap.generation (Addr_space.pmap p.Proc.asp)
-   | None -> p.Proc.facts <- None);
+       Cheri_vm.Pmap.generation (Addr_space.pmap p.Proc.asp);
+     p.Proc.fact_regions <-
+       List.map (fun (base, top, _) -> (base, top)) p.Proc.code
+   | None ->
+     p.Proc.facts <- None;
+     p.Proc.fact_regions <- []);
   Kstate.charge k p 4000  (* image setup cost *)
 
 (* Create a process running the executable at [path]. *)

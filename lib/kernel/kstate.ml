@@ -52,10 +52,14 @@ type config = {
      runs it over the freshly linked image (with the process's initial
      DDC) and attaches the resulting fact table to the process; the block
      engine then compiles proved-safe memory accesses without their
-     capability check. None (the default) disables elision entirely. *)
+     capability check. None (the default) disables elision entirely.
+     The [image] is passed so providers can memoize analysis by image
+     identity (Absint.provider keys its fact cache on Sobj.image_id plus
+     the DDC, since facts are DDC-dependent): re-exec'ing a shared image
+     is then a hash lookup instead of a whole-image re-analysis. *)
   mutable fact_provider :
-    (ddc:Cheri_cap.Cap.t -> (int * Cheri_isa.Insn.t array) list ->
-     Cheri_isa.Facts.t) option;
+    (image:Cheri_rtld.Sobj.image -> ddc:Cheri_cap.Cap.t ->
+     (int * Cheri_isa.Insn.t array) list -> Cheri_isa.Facts.t) option;
 }
 
 let default_config () =

@@ -25,13 +25,40 @@ let install_machine k (p : Proc.t) =
     k.Kstate.bb_owner <- p.Proc.pid
   end;
   (* Check-elision facts ride along with the block cache: they apply only
-     while the address space still matches the image they were proved
-     against, so any pmap mutation (mmap/munmap/mprotect/brk) since exec
-     drops them conservatively. *)
+     while the code they were proved against is still mapped unchanged.
+     On a pmap-generation mismatch, consult the mutation log: if every
+     intervening mutation (munmap/mprotect ranges) missed the fact set's
+     code regions — the common case being heap churn — the facts stay
+     valid and only their generation stamp is refreshed (decoded blocks
+     were still flushed by Bbcache's own map_gen check, but rebuilding
+     them from retained facts is cheap; re-analysis is not). If the log
+     window no longer covers the gap, or a mutation hit analyzed code,
+     drop the facts conservatively. *)
   let facts =
     match p.Proc.facts with
     | Some _ when p.Proc.facts_gen = Pmap.generation pmap -> p.Proc.facts
-    | Some _ -> p.Proc.facts <- None; None
+    | Some _ ->
+      let keep =
+        p.Proc.fact_regions <> []
+        && (match Pmap.mutations_since pmap ~gen:p.Proc.facts_gen with
+            | None -> false
+            | Some ranges ->
+              List.for_all
+                (fun (v, l) ->
+                  not
+                    (List.exists
+                       (fun (b, top) -> v < top && v + l > b)
+                       p.Proc.fact_regions))
+                ranges)
+      in
+      if keep then begin
+        p.Proc.facts_gen <- Pmap.generation pmap;
+        p.Proc.facts
+      end
+      else begin
+        p.Proc.facts <- None;
+        None
+      end
     | None -> None
   in
   Bbcache.set_facts k.Kstate.bb facts;

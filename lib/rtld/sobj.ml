@@ -67,12 +67,26 @@ let find_export t name =
   List.find_opt (fun e -> e.exp_name = name) t.so_exports
 
 (* An executable image: the program object plus the shared objects it
-   needs, and the entry symbol (conventionally "_start" in crt0). *)
+   needs, and the entry symbol (conventionally "_start" in crt0).
+
+   [img_id] is a process-unique identity stamped at construction. Images
+   are immutable once built and shared freely (the same image is installed
+   into many kernels by the bench and test harnesses), so the id is a
+   stable cache key for per-image derived artifacts — notably the
+   check-elision fact cache (lib/analysis/absint.ml), which memoizes
+   analysis results per (image, analysis-parameters). *)
 type image = {
+  img_id : int;
   img_name : string;
   img_objects : t list;    (* program first, then libraries *)
   img_entry : string;
 }
 
+let next_image_id = ref 0
+
 let image ~name ~entry objects =
-  { img_name = name; img_objects = objects; img_entry = entry }
+  incr next_image_id;
+  { img_id = !next_image_id; img_name = name; img_objects = objects;
+    img_entry = entry }
+
+let image_id img = img.img_id

@@ -32,14 +32,47 @@ type t = {
   (* Bumped whenever mappings are removed or re-protected; the block-cache
      engine compares it to decide when decoded blocks may be stale. *)
   mutable generation : int;
+  (* Bounded log of the address ranges behind recent generation bumps,
+     newest first, each stamped with the generation it produced. Lets
+     consumers holding artifacts stamped with an older generation decide
+     whether the intervening mutations actually touched the ranges they
+     depend on (check-elision facts survive a heap-page munmap this way).
+     Bounded: when the window no longer covers a consumer's generation
+     gap, [mutations_since] answers None and the consumer must assume the
+     worst. *)
+  mutable mut_log : (int * int * int) list;   (* (generation, vaddr, len) *)
 }
+
+let mut_log_max = 32
 
 let page_size = Phys.page_size
 let vpn_of v = v lsr Phys.page_shift
 
 let create ~phys ~swap ~root =
   { table = Hashtbl.create 256; phys; swap; root;
-    faults = 0; cow_copies = 0; generation = 0 }
+    faults = 0; cow_copies = 0; generation = 0; mut_log = [] }
+
+(* Record one range mutation: bump the generation and remember the range
+   (bounded window). *)
+let log_mutation t ~vaddr ~len =
+  t.generation <- t.generation + 1;
+  let log = (t.generation, vaddr, len) :: t.mut_log in
+  t.mut_log <-
+    (if List.length log > mut_log_max then List.filteri (fun i _ -> i < mut_log_max) log
+     else log)
+
+(* The ranges mutated since generation [gen], if the log window still
+   covers every bump in between; None means "unknown, assume anything
+   changed". *)
+let mutations_since t ~gen =
+  let expected = t.generation - gen in
+  if expected <= 0 then Some []
+  else begin
+    let got = List.filter (fun (g, _, _) -> g > gen) t.mut_log in
+    if List.length got = expected then
+      Some (List.map (fun (_, v, l) -> (v, l)) got)
+    else None
+  end
 
 let entry_count t = Hashtbl.length t.table
 let fault_count t = t.faults
@@ -64,7 +97,7 @@ let enter_frame t ~vaddr ~frame ~prot ~cow =
     { state = Present frame; prot; cow; accessed = false }
 
 let protect_range t ~vaddr ~len ~prot =
-  t.generation <- t.generation + 1;
+  log_mutation t ~vaddr ~len;
   let first = vpn_of vaddr and last = vpn_of (vaddr + len - 1) in
   for vpn = first to last do
     match Hashtbl.find_opt t.table vpn with
@@ -73,7 +106,7 @@ let protect_range t ~vaddr ~len ~prot =
   done
 
 let remove_range t ~vaddr ~len =
-  t.generation <- t.generation + 1;
+  log_mutation t ~vaddr ~len;
   let first = vpn_of vaddr and last = vpn_of (vaddr + len - 1) in
   for vpn = first to last do
     match Hashtbl.find_opt t.table vpn with
@@ -239,9 +272,10 @@ let fork_into t child ~on_rederive =
       | Swapped _ -> assert false)
     t.table
 
-(* Tear down all mappings (process exit / exec). *)
+(* Tear down all mappings (process exit / exec). Logged as a whole-address-
+   space mutation: everything any consumer depends on is gone. *)
 let destroy t =
-  t.generation <- t.generation + 1;
+  log_mutation t ~vaddr:0 ~len:max_int;
   Hashtbl.iter
     (fun _ e ->
       match e.state with

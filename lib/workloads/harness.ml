@@ -39,7 +39,7 @@ let status_string m =
    no-op). *)
 let run ?opts ?(extra_libs = []) ?(argv = [ "prog" ])
     ?(max_steps = 400_000_000) ?l2_size ?engine ?quantum ?(elide = false)
-    ~abi src =
+    ?(fact_mode = Cheri_analysis.Absint.Lazy_sb) ~abi src =
   let k = Kernel.boot ?l2_size () in
   (match engine with
    | Some e -> k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.engine <- e
@@ -49,12 +49,7 @@ let run ?opts ?(extra_libs = []) ?(argv = [ "prog" ])
    | None -> ());
   if elide then
     k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.fact_provider <-
-      Some
-        (fun ~ddc code ->
-          Cheri_analysis.Absint.facts_of_code ~ddc
-            ~pcc_may:
-              Cheri_cap.Perms.(diff all system_regs)
-            code);
+      Some (Cheri_analysis.Absint.provider ~mode:fact_mode ());
   Cheri_libc.Runtime.install k;
   let image =
     Stdlib_src.build_image ?opts ~abi ~name:"bench" ~extra_libs src
@@ -71,9 +66,14 @@ let run ?opts ?(extra_libs = []) ?(argv = [ "prog" ])
     m_syscalls = p.Proc.syscall_count;
     m_faults = p.Proc.fault_log }
 
-(* Percentage overhead of [m] relative to baseline [b]. *)
+(* Percentage overhead of [value] relative to [base]. A zero baseline has
+   no meaningful overhead: returning 0.0 here used to silently report "no
+   overhead" (a real measurement-harness bug when a counter is dead);
+   [nan] poisons every downstream aggregate instead of hiding it. The
+   fig4-style comparison paths assert their baselines are live before
+   calling this. *)
 let overhead_pct ~base value =
-  if base = 0 then 0.0
+  if base = 0 then Float.nan
   else 100.0 *. (float_of_int value -. float_of_int base) /. float_of_int base
 
 type comparison = {
@@ -123,6 +123,13 @@ let compare_abis ?(argv = [ "prog" ]) ?(extra_libs = []) ~name src =
          (String.concat "; " cheri.m_faults));
   if base.m_output <> cheri.m_output then
     failwith (Printf.sprintf "%s: output mismatch between ABIs" name);
+  (* The comparison columns divide by these: a dead counter would turn the
+     whole fig4 row into nan, so fail loudly at the source instead. *)
+  if base.m_instructions = 0 || base.m_cycles = 0 || base.m_l2_misses = 0 then
+    failwith
+      (Printf.sprintf
+         "%s: dead mips64 baseline (insns=%d cycles=%d l2=%d): overhead \
+          undefined" name base.m_instructions base.m_cycles base.m_l2_misses);
   { c_name = name;
     c_base = base;
     c_cheri = cheri;

@@ -5,10 +5,11 @@
 
    1. A differential fuzzer over seeded random programs — arithmetic,
       branches, capability derivation, loads/stores of data and
-      capabilities, sealing, traps, syscalls — executed four ways (step;
+      capabilities, sealing, traps, syscalls — executed five ways (step;
       block in one run; block in small fuel chunks, which forces mid-block
       preemption and resume; block with the abstract interpreter's
-      proved-safe capability checks elided) on identical fresh machines. The full
+      proved-safe capability checks elided, with the fact table computed
+      both eagerly and lazily per superblock) on identical fresh machines. The full
       observable state is compared: every GPR and capability register,
       PCC, DDC, instret, cycles, the stop reason, per-level cache hit/miss
       counters, memory bytes and tag placement.
@@ -282,6 +283,22 @@ let run_block_elide insns seed =
   let stop = Bbcache.run bb m ctx ~fuel in
   snapshot stop m ctx mem
 
+(* Lazy facts: the same elision contract, but the fact table is a
+   pull-through — each superblock's fixpoint runs the first time the block
+   engine decodes that entry pc, instead of up front for every pc. The
+   resolved masks must be identical to the eager scan's, so the full
+   snapshot must again match the step engine bit for bit. *)
+let run_block_lazy insns seed =
+  let m, ctx, mem = setup insns seed in
+  let facts =
+    Cheri_analysis.Absint.lazy_facts_of_code ~ddc:ctx.Cpu.ddc
+      [ (code_base, insns) ]
+  in
+  let bb = Bbcache.create () in
+  Bbcache.set_facts bb (Some facts);
+  let stop = Bbcache.run bb m ctx ~fuel in
+  snapshot stop m ctx mem
+
 (* Chunked: total fuel identical, but split so quantum expiry lands
    mid-block and the engine must fall back to exact single-stepping. *)
 let run_block_chunked insns seed ~chunk =
@@ -304,9 +321,12 @@ let test_fuzz_engines () =
     let s_step = run_step insns seed in
     let s_block = run_block insns seed in
     let s_elide = run_block_elide insns seed in
+    let s_lazy = run_block_lazy insns seed in
     let chunk = 3 + rnd 7 in
     let s_chunk = run_block_chunked insns seed ~chunk in
-    if s_step <> s_block || s_step <> s_chunk || s_step <> s_elide then begin
+    if s_step <> s_block || s_step <> s_chunk || s_step <> s_elide
+       || s_step <> s_lazy
+    then begin
       incr mismatches;
       let dump =
         String.concat "\n"
@@ -318,8 +338,9 @@ let test_fuzz_engines () =
       in
       Printf.printf
         "seed %d diverged (chunk=%d)\n--- step ---\n%s\n--- block ---\n%s\n\
-         --- chunked ---\n%s\n--- elided ---\n%s\n--- program ---\n%s\n"
-        seed chunk s_step s_block s_chunk s_elide dump
+         --- chunked ---\n%s\n--- elided ---\n%s\n--- lazy ---\n%s\n\
+         --- program ---\n%s\n"
+        seed chunk s_step s_block s_chunk s_elide s_lazy dump
     end
   done;
   Alcotest.(check int) "engines agree on all seeded programs" 0 !mismatches

@@ -1,0 +1,352 @@
+(* The check-elision fact lifecycle added for the bench-regression fix:
+   image-keyed fact caching, lazy per-superblock analysis, partial
+   invalidation, and fork-time sharing (docs/ABSINT.md, "Caching and lazy
+   analysis").
+
+   1. Lazy/eager equivalence: a pull-through fact table must resolve, for
+      every entry pc, exactly the mask the eager whole-image scan
+      computes, and must run each superblock fixpoint at most once.
+   2. Repeated exec: running the same [Sobj.image] N times with elision
+      invokes the fact provider N times but analyzes once — one cache
+      miss, N-1 hits — with full metric parity against the uncached path,
+      under both ABIs and under quantum=37 mid-block preemption.
+   3. Partial invalidation: mmap+munmap of a heap page between two hot
+      loops bumps the pmap generation but must NOT drop the facts (the
+      mutated range misses every code region) — the very table the
+      provider returned is still attached afterwards.
+   4. Fork: parent and child share the fact table by reference; one
+      provider call covers the whole process tree; metrics stay
+      bit-identical with elision on and off in both processes.
+   5. [Pmap.mutations_since] window semantics and the
+      [Harness.overhead_pct] zero-baseline fix. *)
+
+module Cap = Cheri_cap.Cap
+module Tagmem = Cheri_tagmem.Tagmem
+module Phys = Cheri_tagmem.Phys
+module Cache = Cheri_tagmem.Cache
+module Cpu = Cheri_isa.Cpu
+module Facts = Cheri_isa.Facts
+module Abi = Cheri_core.Abi
+module Absint = Cheri_analysis.Absint
+module Kernel = Cheri_kernel.Kernel
+module Kstate = Cheri_kernel.Kstate
+module Proc = Cheri_kernel.Proc
+module Vfs = Cheri_kernel.Vfs
+module Pmap = Cheri_vm.Pmap
+module Prot = Cheri_vm.Prot
+module Swap = Cheri_vm.Swap
+module Addr_space = Cheri_vm.Addr_space
+module Harness = Cheri_workloads.Harness
+module Stdlib_src = Cheri_workloads.Stdlib_src
+
+(* --- 1. Lazy tables resolve the eager masks, once --------------------------- *)
+
+let test_lazy_eager_equiv () =
+  let code_base = Test_engines.code_base in
+  for seed = 1 to 40 do
+    let insns, _ = Test_engines.gen_program (seed * 7919) in
+    let _, ctx, _ = Test_engines.setup insns seed in
+    let regions = [ (code_base, insns) ] in
+    let eager = Absint.facts_of_code ~ddc:ctx.Cpu.ddc regions in
+    let lz = Absint.lazy_facts_of_code ~ddc:ctx.Cpu.ddc regions in
+    Alcotest.(check bool) "lazy table is lazy" true (Facts.is_lazy lz);
+    let n = Array.length insns in
+    for e = 0 to n - 1 do
+      let entry = code_base + (4 * e) in
+      let me = Facts.mask eager entry in
+      let ml = Facts.mask lz entry in
+      if me <> ml then
+        Alcotest.failf "seed %d entry 0x%x: eager mask %x, lazy mask %x" seed
+          entry me ml
+    done;
+    Alcotest.(check int) "every entry resolved exactly once" n
+      (Facts.resolved_lazily lz);
+    (* Second sweep: memoized, no further fixpoints. *)
+    for e = 0 to n - 1 do
+      ignore (Facts.mask lz (code_base + (4 * e)))
+    done;
+    Alcotest.(check int) "re-reads are hash lookups" n
+      (Facts.resolved_lazily lz);
+    (* Off-image and misaligned pcs resolve to empty masks, harmlessly. *)
+    Alcotest.(check int) "unknown pc" 0 (Facts.mask lz (code_base - 4));
+    Alcotest.(check int) "misaligned pc" 0 (Facts.mask lz (code_base + 2))
+  done
+
+(* --- Harness pieces for the kernel-level tests ------------------------------- *)
+
+type krun = {
+  r_out : string;          (* parent console *)
+  r_child_out : string;    (* console of pid+1, if any *)
+  r_insns : int;
+  r_cycles : int;
+  r_l2 : int;
+  r_proc : Proc.t;
+  r_kernel : Kernel.t;
+}
+
+(* Boot a fresh kernel, optionally installing [provider] as the fact
+   provider, and run [image] to completion. *)
+let krun ?provider ?quantum image =
+  let k = Kernel.boot () in
+  (match quantum with
+   | Some q -> k.Kstate.config.Kstate.quantum <- q
+   | None -> ());
+  (match provider with
+   | Some f -> k.Kstate.config.Kstate.fact_provider <- Some f
+   | None -> ());
+  Cheri_libc.Runtime.install k;
+  let abi, img = image in
+  Vfs.add_exe k.Kstate.vfs "/bin/t" ~abi img;
+  let status, out, p = Kernel.run_program k ~path:"/bin/t" ~argv:[ "t" ] in
+  (match status with
+   | Some (Proc.Exited 0) -> ()
+   | _ ->
+     Alcotest.failf "run failed: %s (%s)"
+       (match status with
+        | Some (Proc.Exited c) -> Printf.sprintf "exit %d" c
+        | Some (Proc.Signaled s) -> Cheri_kernel.Signo.name s
+        | None -> "running")
+       (String.concat "; " p.Proc.fault_log));
+  { r_out = out;
+    r_child_out = Kernel.console_of k (p.Proc.pid + 1);
+    r_insns = p.Proc.ctx.Cpu.instret;
+    r_cycles = p.Proc.ctx.Cpu.cycles;
+    r_l2 = Cache.l2_misses (Kstate.hierarchy k);
+    r_proc = p;
+    r_kernel = k }
+
+let check_parity label (a : krun) (b : krun) =
+  Alcotest.(check string) (label ^ ": output") a.r_out b.r_out;
+  Alcotest.(check string) (label ^ ": child output") a.r_child_out
+    b.r_child_out;
+  Alcotest.(check int) (label ^ ": instructions") a.r_insns b.r_insns;
+  Alcotest.(check int) (label ^ ": cycles") a.r_cycles b.r_cycles;
+  Alcotest.(check int) (label ^ ": L2 misses") a.r_l2 b.r_l2
+
+(* --- 2. Repeated exec of one image: analyze once, hit N-1 times -------------- *)
+
+let hot_src = {|
+int main(int argc, char **argv) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 400; i = i + 1) acc = acc + i % 7 + i / 3;
+  print_int(acc);
+  return 0;
+}
+|}
+
+let repeated_exec ~abi ~quantum () =
+  let n = 4 in
+  let image = (abi, Stdlib_src.build_image ~abi ~name:"rep" hot_src) in
+  let plain = krun ?quantum image in
+  Absint.reset_stats ();
+  Absint.clear_fact_cache ();
+  let calls = ref 0 in
+  let base = Absint.provider () in
+  let provider ~image ~ddc code =
+    incr calls;
+    base ~image ~ddc code
+  in
+  let runs = List.init n (fun _ -> krun ~provider ?quantum image) in
+  List.iteri
+    (fun i r -> check_parity (Printf.sprintf "exec %d vs uncached" i) plain r)
+    runs;
+  Alcotest.(check int) "provider invoked on every exec" n !calls;
+  Alcotest.(check int) "one fact-cache miss" 1
+    Absint.stats.Absint.cs_misses;
+  Alcotest.(check int) "N-1 fact-cache hits" (n - 1)
+    Absint.stats.Absint.cs_hits;
+  (* All N processes got the very same table. *)
+  let tables =
+    List.filter_map (fun r -> r.r_proc.Proc.facts) runs
+  in
+  Alcotest.(check int) "facts survive to exit" n (List.length tables);
+  (match tables with
+   | first :: rest ->
+     List.iter
+       (fun t ->
+         Alcotest.(check bool) "cached table shared by reference" true
+           (t == first))
+       rest
+   | [] -> ())
+
+let test_repeated_exec_mips64 () = repeated_exec ~abi:Abi.Mips64 ~quantum:None ()
+let test_repeated_exec_cheriabi () =
+  repeated_exec ~abi:Abi.Cheriabi ~quantum:None ()
+
+let test_repeated_exec_tiny_quantum () =
+  (* Prime quantum far below block size: constant mid-block preemption, so
+     cached (and lazily materialized) facts keep flowing through the
+     single-step replay path too. *)
+  repeated_exec ~abi:Abi.Mips64 ~quantum:(Some 37) ();
+  repeated_exec ~abi:Abi.Cheriabi ~quantum:(Some 37) ()
+
+(* --- 3. Heap mmap/munmap between hot loops keeps facts alive ----------------- *)
+
+let mmap_src = {|
+int main(int argc, char **argv) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 400; i = i + 1) acc = acc + i % 7;
+  char *p = mmap_anon(4096);
+  p[0] = 'x';
+  assert(munmap(p, 4096) == 0);
+  for (i = 0; i < 400; i = i + 1) acc = acc + i % 5;
+  print_int(acc);
+  return 0;
+}
+|}
+
+let partial_invalidation ~abi () =
+  let image = (abi, Stdlib_src.build_image ~abi ~name:"mm" mmap_src) in
+  Absint.clear_fact_cache ();
+  let provided = ref None in
+  let base = Absint.provider () in
+  let provider ~image ~ddc code =
+    let f = base ~image ~ddc code in
+    provided := Some f;
+    f
+  in
+  (* A tiny quantum forces many dispatches after the munmap's generation
+     bump, so Loop.install_machine repeatedly faces the stale stamp and
+     must take the keep-path every time. *)
+  let r = krun ~provider ~quantum:97 image in
+  let table =
+    match !provided with
+    | Some f -> f
+    | None -> Alcotest.fail "fact provider never ran"
+  in
+  (match r.r_proc.Proc.facts with
+   | Some f ->
+     Alcotest.(check bool)
+       "munmap of a heap page did not force re-analysis: the provider's \
+        table is still attached" true (f == table)
+   | None ->
+     Alcotest.fail
+       "facts dropped: heap-only mmap/munmap over-invalidated code analysis");
+  (* And the run itself stays bit-identical to the unelided one. *)
+  check_parity "mmap elide parity" (krun ~quantum:97 image) r
+
+let test_partial_invalidation_mips64 () = partial_invalidation ~abi:Abi.Mips64 ()
+let test_partial_invalidation_cheriabi () =
+  partial_invalidation ~abi:Abi.Cheriabi ()
+
+(* --- 4. Fork shares the fact table by reference ------------------------------ *)
+
+let fork_src = {|
+int main(int argc, char **argv) {
+  int i;
+  int acc = 0;
+  int pid = fork();
+  for (i = 0; i < 300; i = i + 1) acc = acc + i % 7;
+  if (pid == 0) {
+    print_str("child ");
+    print_int(acc);
+    exit(0);
+  }
+  print_str("parent ");
+  print_int(acc);
+  return 0;
+}
+|}
+
+let fork_sharing ~abi () =
+  let image = (abi, Stdlib_src.build_image ~abi ~name:"fk" fork_src) in
+  Absint.clear_fact_cache ();
+  let calls = ref 0 in
+  let base = Absint.provider () in
+  let provider ~image ~ddc code =
+    incr calls;
+    base ~image ~ddc code
+  in
+  (* Small quantum: parent and child genuinely interleave, so every
+     context switch re-asserts facts across the two processes. *)
+  let r = krun ~provider ~quantum:101 image in
+  Alcotest.(check int) "one provider call for the whole process tree" 1 !calls;
+  (* The un-reaped child (parent never waits) is still inspectable. *)
+  let child =
+    match Kstate.find_proc r.r_kernel (r.r_proc.Proc.pid + 1) with
+    | Some c -> c
+    | None -> Alcotest.fail "child process not found"
+  in
+  (match r.r_proc.Proc.facts, child.Proc.facts with
+   | Some pf, Some cf ->
+     Alcotest.(check bool) "child shares parent's table by reference" true
+       (pf == cf)
+   | _ -> Alcotest.fail "facts missing on parent or child");
+  Alcotest.(check bool) "child ran elided code to completion" true
+    (Proc.is_zombie child);
+  (* Parent and child outputs and metrics are bit-identical to the
+     unelided run. *)
+  check_parity "fork elide parity" (krun ~quantum:101 image) r
+
+let test_fork_sharing_mips64 () = fork_sharing ~abi:Abi.Mips64 ()
+let test_fork_sharing_cheriabi () = fork_sharing ~abi:Abi.Cheriabi ()
+
+(* --- 5. Pmap mutation log + overhead_pct ------------------------------------- *)
+
+let test_mutations_since () =
+  let mem = Tagmem.create ~size:(1 lsl 20) in
+  let phys = Phys.create mem in
+  let swap = Swap.create () in
+  let root = Cap.make_root ~base:0 ~top:(1 lsl 20) () in
+  let pm = Pmap.create ~phys ~swap ~root in
+  let g0 = Pmap.generation pm in
+  Alcotest.(check bool) "no bumps: empty mutation set" true
+    (Pmap.mutations_since pm ~gen:g0 = Some []);
+  (* mmap (enter_range) does not bump the generation at all. *)
+  Pmap.enter_range pm ~vaddr:0x10000 ~len:0x2000 ~prot:Prot.rw;
+  Alcotest.(check int) "enter_range is generation-neutral" g0
+    (Pmap.generation pm);
+  Pmap.remove_range pm ~vaddr:0x10000 ~len:0x1000;
+  (match Pmap.mutations_since pm ~gen:g0 with
+   | Some [ (v, l) ] ->
+     Alcotest.(check int) "logged vaddr" 0x10000 v;
+     Alcotest.(check int) "logged len" 0x1000 l
+   | _ -> Alcotest.fail "expected exactly one logged mutation");
+  let g1 = Pmap.generation pm in
+  Pmap.protect_range pm ~vaddr:0x11000 ~len:0x1000 ~prot:Prot.rw;
+  (match Pmap.mutations_since pm ~gen:g0 with
+   | Some l -> Alcotest.(check int) "two mutations since g0" 2 (List.length l)
+   | None -> Alcotest.fail "window should still cover g0");
+  (match Pmap.mutations_since pm ~gen:g1 with
+   | Some [ _ ] -> ()
+   | _ -> Alcotest.fail "one mutation since g1");
+  (* Overflow the bounded window: old gaps become unknowable. *)
+  for i = 0 to 39 do
+    Pmap.protect_range pm ~vaddr:(0x20000 + (i * 0x1000)) ~len:0x1000
+      ~prot:Prot.rw
+  done;
+  Alcotest.(check bool) "window overflow answers None" true
+    (Pmap.mutations_since pm ~gen:g0 = None);
+  let g2 = Pmap.generation pm in
+  Pmap.remove_range pm ~vaddr:0x20000 ~len:0x1000;
+  Alcotest.(check bool) "recent gap still answered" true
+    (Pmap.mutations_since pm ~gen:g2 <> None)
+
+let test_overhead_pct_zero_base () =
+  Alcotest.(check bool) "zero baseline yields nan, not 0%%" true
+    (Float.is_nan (Harness.overhead_pct ~base:0 5));
+  Alcotest.(check bool) "zero/zero is also nan" true
+    (Float.is_nan (Harness.overhead_pct ~base:0 0));
+  Alcotest.(check (float 1e-9)) "live baseline unchanged" 50.0
+    (Harness.overhead_pct ~base:100 150)
+
+let suite =
+  [ "lazy facts = eager facts, resolved once", `Quick, test_lazy_eager_equiv;
+    "repeated exec: cache hits + parity (mips64)", `Quick,
+    test_repeated_exec_mips64;
+    "repeated exec: cache hits + parity (cheriabi)", `Quick,
+    test_repeated_exec_cheriabi;
+    "repeated exec: quantum=37 mid-block preemption", `Quick,
+    test_repeated_exec_tiny_quantum;
+    "heap mmap/munmap keeps facts (mips64)", `Quick,
+    test_partial_invalidation_mips64;
+    "heap mmap/munmap keeps facts (cheriabi)", `Quick,
+    test_partial_invalidation_cheriabi;
+    "fork shares facts by reference (mips64)", `Quick,
+    test_fork_sharing_mips64;
+    "fork shares facts by reference (cheriabi)", `Quick,
+    test_fork_sharing_cheriabi;
+    "pmap mutation log window", `Quick, test_mutations_since;
+    "overhead_pct zero baseline", `Quick, test_overhead_pct_zero_base ]

@@ -16,6 +16,7 @@ let () =
       "cc-errors", Test_cc_errors.suite;
       "analysis", Test_analysis.suite;
       "absint", Test_absint.suite;
+      "factcache", Test_factcache.suite;
       "core", Test_core.suite;
       "workloads", Test_workloads.suite;
       "cache", Test_workloads.cache_suite ]

@@ -355,16 +355,20 @@ let simulator () =
 
 (* --- Execution-engine throughput (docs/INTERP.md) ----------------------------------------------------
 
-   Host wall-clock comparison of the two interpreters over the Fig. 4 /
-   Fig. 5 workload mix.  Images are compiled outside the timed region, so
-   the timer wraps pure simulation; both engines must retire exactly the
-   same instruction count (bit-identical contract), which the run asserts. *)
+   Host wall-clock comparison of the interpreters over the Fig. 4 /
+   Fig. 5 workload mix: the reference step engine, the decoded-block
+   engine, and the chaining engine (blocks entered through patched links
+   and inline caches, never returning to dispatch inside hot loops), each
+   with and without check elision where meaningful.  Images are compiled
+   outside the timed region, so the timer wraps pure simulation; every
+   engine must retire exactly the same instruction count (bit-identical
+   contract), which the run asserts. *)
 
 let opt_json = ref false
 let opt_smoke = ref false
 
 let engine_bench () =
-  header "Execution-engine throughput: step vs block (host wall-clock)";
+  header "Execution-engine throughput: step vs block vs chain (host wall-clock)";
   let workloads =
     if !opt_smoke then [ List.hd Mibench.benchmarks ] else Mibench.benchmarks
   in
@@ -391,9 +395,21 @@ let engine_bench () =
      here: within a leg, passes after the first hit the image-keyed cache, so
      best-of-N measures the amortized (steady-state) cost of elision rather
      than the one-off analysis of a cold cache. *)
+  let zero_ch =
+    { Cheri_isa.Bbcache.ch_entries = 0; ch_chained = 0;
+      ch_ic_hits = 0; ch_ic_misses = 0; ch_ic_mega = 0 }
+  in
+  let add_ch a b =
+    let open Cheri_isa.Bbcache in
+    { ch_entries = a.ch_entries + b.ch_entries;
+      ch_chained = a.ch_chained + b.ch_chained;
+      ch_ic_hits = a.ch_ic_hits + b.ch_ic_hits;
+      ch_ic_misses = a.ch_ic_misses + b.ch_ic_misses;
+      ch_ic_mega = a.ch_ic_mega + b.ch_ic_mega }
+  in
   let run_pass ~elide engine =
     List.fold_left
-      (fun (insns, secs) (label, abi, argv, image) ->
+      (fun (insns, secs, ch) (label, abi, argv, image) ->
         let k = Cheri_kernel.Kernel.boot () in
         k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.engine <- engine;
         if elide then
@@ -410,8 +426,10 @@ let engine_bench () =
         (match status with
          | Some _ -> ()
          | None -> failwith (Printf.sprintf "engine bench: %s ran away" label));
-        insns + p.Cheri_kernel.Proc.ctx.Cheri_isa.Cpu.instret, secs +. dt)
-      (0, 0.0) images
+        ( insns + p.Cheri_kernel.Proc.ctx.Cheri_isa.Cpu.instret,
+          secs +. dt,
+          add_ch ch (Cheri_isa.Bbcache.chain_stats k.Cheri_kernel.Kstate.bb) ))
+      (0, 0.0, zero_ch) images
   in
   (* Host wall-clock is noisy at the few-percent level, which is the same
      order as the elision win: take the best of [reps] passes per leg so the
@@ -423,37 +441,42 @@ let engine_bench () =
     let rec go n acc =
       if n = 0 then acc
       else begin
-        let i, s = run_pass ~elide engine in
+        let i, s, ch = run_pass ~elide engine in
         (match acc with
-         | Some (i0, _) when i0 <> i ->
+         | Some (i0, _, _) when i0 <> i ->
            failwith
              (Printf.sprintf
                 "engine bench: repeated pass retired %d insns, expected %d" i
                 i0)
          | _ -> ());
         let best =
-          match acc with Some (_, s0) -> Float.min s0 s | None -> s
+          match acc with Some (_, s0, _) -> Float.min s0 s | None -> s
         in
-        go (n - 1) (Some (i, best))
+        (* The chain stats are deterministic across passes of one leg (same
+           images, same schedule), so keeping the latest pass's totals is
+           keeping any pass's. *)
+        go (n - 1) (Some (i, best, ch))
       end
     in
     match go reps None with
-    | Some (i, s) -> i, s
+    | Some r -> r
     | None -> assert false
   in
   let legs =
     List.map
       (fun (name, e, elide, reps) ->
-        let insns, secs = run_engine ~elide ~reps e in
-        name, insns, secs)
+        let insns, secs, ch = run_engine ~elide ~reps e in
+        name, insns, secs, ch)
       [ "step", Cheri_isa.Cpu.Step, false, 1;
         "block", Cheri_isa.Cpu.Block, false, 3;
-        "block+elide", Cheri_isa.Cpu.Block, true, 3 ]
+        "block+elide", Cheri_isa.Cpu.Block, true, 3;
+        "block+chain", Cheri_isa.Cpu.Chain, false, 3;
+        "block+chain+elide", Cheri_isa.Cpu.Chain, true, 3 ]
   in
   (* Stats are reset at the start of every leg, so after the fold they
-     describe the last (block+elide) leg across all of its passes: the first
-     pass misses once per exec and runs the lazy superblock fixpoints; later
-     passes hit the image-keyed cache and analyze nothing. *)
+     describe the last (block+chain+elide) leg across all of its passes: the
+     first pass misses once per exec and runs the lazy superblock fixpoints;
+     later passes hit the image-keyed cache and analyze nothing. *)
   let fc_hits, fc_misses, sb_eager, sb_lazy =
     let s = Cheri_analysis.Absint.stats in
     ( s.Cheri_analysis.Absint.cs_hits,
@@ -468,17 +491,37 @@ let engine_bench () =
     fc_misses (if fc_misses = 1 then "" else "es")
     sb_eager sb_lazy;
   let mips insns secs = float_of_int insns /. secs /. 1e6 in
-  Printf.printf "%-12s %14s %10s %10s\n" "engine" "sim insns" "host s"
-    "sim-MIPS/s";
+  (* Chain length = blocks executed per dispatch-loop entry; IC hit rate =
+     inline-cache key matches over all keyed (non-fall-through) lookups. *)
+  let chain_len ch =
+    let open Cheri_isa.Bbcache in
+    if ch.ch_entries = 0 then 0.0
+    else
+      float_of_int (ch.ch_entries + ch.ch_chained)
+      /. float_of_int ch.ch_entries
+  in
+  let ic_rate ch =
+    let open Cheri_isa.Bbcache in
+    let total = ch.ch_ic_hits + ch.ch_ic_misses + ch.ch_ic_mega in
+    if total = 0 then 0.0
+    else float_of_int ch.ch_ic_hits /. float_of_int total
+  in
+  Printf.printf "%-18s %14s %10s %10s %10s %8s\n" "engine" "sim insns"
+    "host s" "sim-MIPS/s" "chain-len" "IC-hit";
   List.iter
-    (fun (name, insns, secs) ->
-      Printf.printf "%-12s %14d %10.3f %10.2f\n" name insns secs
-        (mips insns secs))
+    (fun (name, insns, secs, ch) ->
+      let open Cheri_isa.Bbcache in
+      if ch.ch_entries = 0 then
+        Printf.printf "%-18s %14d %10.3f %10.2f %10s %8s\n" name insns secs
+          (mips insns secs) "-" "-"
+      else
+        Printf.printf "%-18s %14d %10.3f %10.2f %10.2f %7.1f%%\n" name insns
+          secs (mips insns secs) (chain_len ch) (100.0 *. ic_rate ch))
     legs;
   (match legs with
-   | (_, i1, s1) :: rest ->
+   | (_, i1, s1, _) :: rest ->
      List.iter
-       (fun (name, i, _) ->
+       (fun (name, i, _, _) ->
          if i <> i1 then
            failwith
              (Printf.sprintf
@@ -487,7 +530,7 @@ let engine_bench () =
        rest;
      let mips1 = mips i1 s1 in
      List.iter
-       (fun (name, i, s) ->
+       (fun (name, i, s, _) ->
          Printf.printf "%s/step speedup: %.2fx (identical %d retired insns)\n"
            name (mips i s /. mips1) i1)
        rest;
@@ -515,22 +558,48 @@ let engine_bench () =
                "bench-smoke: elide leg ran %d eager superblock fixpoints \
                 (expected lazy analysis only)" sb_eager);
         let leg name =
-          match List.find_opt (fun (n, _, _) -> n = name) legs with
-          | Some (_, i, s) -> mips i s
+          match List.find_opt (fun (n, _, _, _) -> n = name) legs with
+          | Some (_, i, s, _) -> mips i s
           | None -> 0.0
+        in
+        let leg_ch name =
+          match List.find_opt (fun (n, _, _, _) -> n = name) legs with
+          | Some (_, _, _, ch) -> ch
+          | None -> zero_ch
         in
         let b = leg "block" and e = leg "block+elide" in
         if e < b *. 0.95 then
           failwith
             (Printf.sprintf
                "bench-smoke: block+elide regressed below block (%.2f < %.2f \
-                sim-MIPS)" e b)
+                sim-MIPS)" e b);
+        (* Chain gates: chaining exists to beat plain block dispatch — a
+           chain leg at or below plain block means the links or inline
+           caches stopped carrying the hot loops, as does an inline-cache
+           hit count of zero on this mix (every workload has monomorphic
+           hot back edges). *)
+        let c = leg "block+chain" in
+        if c < b then
+          failwith
+            (Printf.sprintf
+               "bench-smoke: block+chain regressed below plain block (%.2f < \
+                %.2f sim-MIPS)" c b);
+        let cch = leg_ch "block+chain" in
+        if cch.Cheri_isa.Bbcache.ch_ic_hits = 0 then
+          failwith "bench-smoke: chain leg never hit an inline cache";
+        if cch.Cheri_isa.Bbcache.ch_chained = 0 then
+          failwith "bench-smoke: chain leg never chained a block"
       end);
      if !opt_json then begin
        let speedup_of name =
-         match List.find_opt (fun (n, _, _) -> n = name) legs with
-         | Some (_, i, s) -> mips i s /. mips1
+         match List.find_opt (fun (n, _, _, _) -> n = name) legs with
+         | Some (_, i, s, _) -> mips i s /. mips1
          | None -> 0.0
+       in
+       let chain_ch =
+         match List.find_opt (fun (n, _, _, _) -> n = "block+chain") legs with
+         | Some (_, _, _, ch) -> ch
+         | None -> zero_ch
        in
        let oc = open_out "BENCH_simulator.json" in
        Printf.fprintf oc
@@ -540,18 +609,35 @@ let engine_bench () =
          \  \"engines\": [\n%s\n  ],\n\
          \  \"speedup_block_over_step\": %.3f,\n\
          \  \"speedup_elide_over_step\": %.3f,\n\
+         \  \"speedup_chain_over_step\": %.3f,\n\
+         \  \"speedup_chain_elide_over_step\": %.3f,\n\
+         \  \"chain\": { \"entries\": %d, \"chained\": %d, \
+          \"avg_chain_length\": %.3f, \"ic_hits\": %d, \"ic_misses\": %d, \
+          \"ic_megamorphic\": %d, \"ic_hit_rate\": %.3f },\n\
          \  \"fact_cache\": { \"hits\": %d, \"misses\": %d, \
           \"superblocks_eager\": %d, \"superblocks_lazy\": %d }\n\
           }\n"
          (String.concat ",\n"
             (List.map
-               (fun (name, insns, secs) ->
+               (fun (name, insns, secs, ch) ->
+                 let open Cheri_isa.Bbcache in
                  Printf.sprintf
                    "    { \"engine\": %S, \"instructions\": %d, \
-                    \"host_seconds\": %.3f, \"sim_mips\": %.3f }"
-                   name insns secs (mips insns secs))
+                    \"host_seconds\": %.3f, \"sim_mips\": %.3f, \
+                    \"chain_length\": %.3f, \"ic_hit_rate\": %.3f }"
+                   name insns secs (mips insns secs)
+                   (if ch.ch_entries = 0 then 0.0 else chain_len ch)
+                   (ic_rate ch))
                legs))
          (speedup_of "block") (speedup_of "block+elide")
+         (speedup_of "block+chain") (speedup_of "block+chain+elide")
+         chain_ch.Cheri_isa.Bbcache.ch_entries
+         chain_ch.Cheri_isa.Bbcache.ch_chained
+         (chain_len chain_ch)
+         chain_ch.Cheri_isa.Bbcache.ch_ic_hits
+         chain_ch.Cheri_isa.Bbcache.ch_ic_misses
+         chain_ch.Cheri_isa.Bbcache.ch_ic_mega
+         (ic_rate chain_ch)
          fc_hits fc_misses sb_eager sb_lazy;
        close_out oc;
        Printf.printf "wrote BENCH_simulator.json\n"

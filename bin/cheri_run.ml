@@ -37,12 +37,17 @@ let engine_conv =
   let parse = function
     | "step" -> Ok Cpu.Step
     | "block" -> Ok Cpu.Block
+    | "chain" -> Ok Cpu.Chain
     | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
   in
   Arg.conv
     ( parse,
       fun ppf e ->
-        Fmt.string ppf (match e with Cpu.Step -> "step" | Cpu.Block -> "block") )
+        Fmt.string ppf
+          (match e with
+           | Cpu.Step -> "step"
+           | Cpu.Block -> "block"
+           | Cpu.Chain -> "chain") )
 
 (* Lines the libc prototypes add in front of the user's source: compile
    errors are re-biased so they name lines of [file] itself. *)
@@ -235,11 +240,13 @@ let cmd =
          & info [ "abi" ] ~doc:"Target ABI: mips64, cheriabi or asan.")
   in
   let engine =
-    Arg.(value & opt engine_conv Cpu.Block
+    Arg.(value & opt engine_conv Cpu.Chain
          & info [ "engine" ]
              ~doc:"Execution engine: $(b,step) (reference per-instruction \
-                   interpreter) or $(b,block) (decoded basic-block cache; \
-                   the default). Both produce bit-identical statistics.")
+                   interpreter), $(b,block) (decoded basic-block cache) or \
+                   $(b,chain) (block cache with superblock chaining and \
+                   inline caches; the default). All produce bit-identical \
+                   statistics.")
   in
   let args =
     Arg.(value & opt_all string [] & info [ "arg" ] ~doc:"Program argument.")

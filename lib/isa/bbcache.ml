@@ -14,16 +14,26 @@
      one [run] (the kernel only remaps/evicts pages *between* runs, so a
      (vpage -> frame) pair cannot go stale mid-run; the memo is reset on
      every entry);
-   - skips the per-instruction fetch: decoding happened at build time.
+   - skips the per-instruction fetch: decoding happened at build time;
+   - optionally ([run ~chain:true]) chains blocks: a block exit resolves
+     its successor through a patched direct link (fall-through) or a
+     monomorphic inline cache (jumps, capability jumps), entering the next
+     translated block without returning to the dispatch loop — threaded
+     code in the Deutsch/Schiffman sense, with fuel checked per chained
+     entry and the PCC commit deferred until the chain exits.
 
-   What it must NOT batch: per-instruction [Cache.ifetch] probes and cycle
-   accounting stay inside each closure, in program order, because the IL1
-   and DL1 share the L2 — reordering or coalescing ifetches against data
-   accesses would change hit/miss counts. The contract (docs/INTERP.md) is
-   that [instret], [cycles], per-level cache statistics, trap causes and
-   PCs, and all architectural state are bit-identical to [Cpu.step]; the
-   differential fuzzer (test/test_engines.ml) and the kernel parity tests
-   enforce it.
+   Accounting: in plain block mode, per-instruction [Cache.ifetch] probes
+   and cycle accounting stay inside each closure, in program order. In
+   chain mode they are batched per 64-byte instruction line — sound only
+   because the batch is *provably* observation-equivalent: the head fetch
+   of each line runs as a real in-order probe (the only one that can reach
+   the shared L2), and the follow-on fetches are guaranteed IL1 hits whose
+   state effects commute with interleaved data accesses (IL1 shares no
+   state with DL1/L2; cycles and instret are sums). See [exec_block] and
+   [Cache.repeat_hits]. The contract (docs/INTERP.md) is that [instret],
+   [cycles], per-level cache statistics, trap causes and PCs, and all
+   architectural state are bit-identical to [Cpu.step]; the differential
+   fuzzer (test/test_engines.ml) and the kernel parity tests enforce it.
 
    Whenever a block cannot be run exactly — PCC that does not cover the
    whole block, fuel that would expire mid-block, an undecodable entry —
@@ -35,6 +45,7 @@
 module Cap = Cheri_cap.Cap
 module Perms = Cheri_cap.Perms
 module Cache = Cheri_tagmem.Cache
+module Tagmem = Cheri_tagmem.Tagmem
 
 let page_shift = Cheri_tagmem.Phys.page_shift
 let page_mask = Cheri_tagmem.Phys.page_size - 1
@@ -46,12 +57,54 @@ type exit_ =
   | Jump_pcc of Cap.t      (* capability jump: replace PCC wholesale *)
   | Stopped of Cpu.stop    (* syscall/rt upcall; PC already committed *)
 
+(* Chain-mode block body: accounting is *batched* per I-cache line instead
+   of being inlined into every closure. [sem] holds pure-semantics
+   closures; [groups] partitions the body indices into maximal runs that
+   share one 64-byte instruction line (the entry pc is fixed per block, so
+   the line phase is static); [basesum.(i)] is the sum of base cycles of
+   body insns [0, i). Per group, the head instruction does the one real
+   [Cache.ifetch] probe — the only probe that can reach the L2 — and every
+   follow-on fetch in the line is a guaranteed IL1 hit whose effects
+   (clock, LRU stamp, hit count, one cycle) are committed in a single
+   batch at group end, or partially on a mid-group trap. See
+   [Cache.repeat_hits] for why the batch is observationally identical. *)
+type sem_body = {
+  sem : (Cpu.ctx -> unit) array;
+  groups : int array;                  (* (start lsl 16) lor length, per line *)
+  basesum : int array;                 (* prefix sums of Insn.base_cycles *)
+}
+
+(* Body representation. [Acct]: the classic per-instruction closures with
+   accounting inlined (the plain block engine). [Sem]: chain-mode batched
+   accounting. A cache only ever holds one flavor at a time (see
+   [t.chain_mode]); both are bit-identical to [Cpu.step]. *)
+type body =
+  | Acct of (Cpu.ctx -> unit) array
+  | Sem of sem_body
+
 type block = {
   b_entry : int;
   b_ilen : int;                        (* instructions incl. terminator *)
-  b_body : (Cpu.ctx -> unit) array;    (* straight-line prefix *)
+  b_body : body;                       (* straight-line prefix *)
   b_term : (Cpu.ctx -> exit_) option;  (* absent: block ended at max size
                                           or at the edge of decoded code *)
+  (* Chain links (the [run ~chain:true] engine). Patched lazily the first
+     time the corresponding exit resolves; [None] / a stale key just means
+     "go through the hashtable". Links point at blocks in the same table,
+     so every invalidation path — [invalidate], [set_facts], a [map_gen]
+     bump — severs them structurally by resetting the table: a link can
+     only be reached through a block the reset just dropped. *)
+  mutable b_fall : block option;       (* successor at entry + 4*ilen *)
+  (* Monomorphic inline cache for [Jump] exits (taken branches, J/Jal and
+     the register-indirect Jr/Jalr): last target pc and its block. *)
+  mutable b_jump_key : int;
+  mutable b_jump : block option;
+  mutable b_jump_misses : int;
+  (* Same, for [Jump_pcc] exits (CJR/CJALR through the capability GOT),
+     keyed by the target capability's address. *)
+  mutable b_cjump_key : int;
+  mutable b_cjump : block option;
+  mutable b_cjump_misses : int;
 }
 
 type t = {
@@ -66,23 +119,77 @@ type t = {
   (* Per-run ifetch translate memo (reset on every [run] entry). *)
   mutable cur_vpage : int;
   mutable cur_pbase : int;
+  (* Which body flavor [build] compiles: [false] = Acct (per-instruction
+     accounting), [true] = Sem (chain-mode batched accounting). Set by
+     [run ~chain]; flipping it flushes the cache so the table never mixes
+     flavors. *)
+  mutable chain_mode : bool;
+  (* [exec_block] scratch state, hosted here so executing a block performs
+     zero allocation (no flambda: local refs escaping into the trap
+     handler would be heap cells). Execution is not reentrant — closures
+     never call back into the engine — so one set per cache suffices.
+     [x_i]: index of the instruction in flight; [x_gs]/[x_gcost]/[x_gpa]:
+     start index, head-probe cost (-1 = none in flight) and head physical
+     address of the Sem line group being executed. *)
+  mutable x_i : int;
+  mutable x_gs : int;
+  mutable x_gcost : int;
+  mutable x_gpa : int;
+  (* Chain-mode data-side translate memo: one-entry software TLBs, split
+     by access kind because read and write rights (and COW) differ. Valid
+     for one [run] only — reset on every entry, like the code-side memo:
+     the kernel mutates the pmap only between runs, and the accessed bit
+     a memoized hit skips is idempotent (the miss that created the entry
+     already set it), so observable state is identical. *)
+  mutable d_rd_vpage : int;
+  mutable d_rd_pbase : int;
+  mutable d_wr_vpage : int;
+  mutable d_wr_pbase : int;
   (* Visibility counters (bench/docs; not part of the parity contract). *)
   mutable built : int;
   mutable flushes : int;
   mutable block_runs : int;
   mutable step_falls : int;
   mutable elided_sites : int;          (* check-free closures compiled *)
+  (* Chaining counters (bench/docs; not part of the parity contract). *)
+  mutable chain_entries : int;         (* dispatch-loop entries into a chain *)
+  mutable chained : int;               (* block->block hops without dispatch *)
+  mutable ic_hits : int;               (* inline-cache key matches *)
+  mutable ic_misses : int;             (* IC repatches (key mismatch) *)
+  mutable ic_mega : int;               (* megamorphic hashtable fallbacks *)
 }
 
 let max_block = 64
+
+(* After this many inline-cache misses at one exit, stop repatching: the
+   site is megamorphic and the hashtable is the stable answer. *)
+let ic_mega_threshold = 8
 
 let create () =
   { blocks = Hashtbl.create 1024;
     map_gen = min_int;
     facts = None;
     cur_vpage = -1; cur_pbase = 0;
+    chain_mode = false;
+    x_i = 0; x_gs = 0; x_gcost = -1; x_gpa = 0;
+    d_rd_vpage = -1; d_rd_pbase = 0; d_wr_vpage = -1; d_wr_pbase = 0;
     built = 0; flushes = 0; block_runs = 0; step_falls = 0;
-    elided_sites = 0 }
+    elided_sites = 0;
+    chain_entries = 0; chained = 0; ic_hits = 0; ic_misses = 0; ic_mega = 0 }
+
+(* Chain/IC statistics snapshot, for the bench legs and tests. *)
+type chain_stats = {
+  ch_entries : int;
+  ch_chained : int;
+  ch_ic_hits : int;
+  ch_ic_misses : int;
+  ch_ic_mega : int;
+}
+
+let chain_stats t =
+  { ch_entries = t.chain_entries; ch_chained = t.chained;
+    ch_ic_hits = t.ic_hits; ch_ic_misses = t.ic_misses;
+    ch_ic_mega = t.ic_mega }
 
 (* Drop every decoded block (context switch, exec image replacement).
    Facts are left attached: they are keyed by entry pc against the owning
@@ -92,6 +199,8 @@ let invalidate t =
   Hashtbl.reset t.blocks;
   t.map_gen <- min_int;
   t.cur_vpage <- -1;
+  t.d_rd_vpage <- -1;
+  t.d_wr_vpage <- -1;
   t.flushes <- t.flushes + 1
 
 (* Install (or clear) the elision fact table. Compiled closures bake the
@@ -113,21 +222,62 @@ let set_facts t facts =
     end
   end
 
-(* Per-instruction accounting prologue, shared by every closure: charge
-   the ifetch (through the memoized exec translate) plus base cycles, and
-   retire the instruction — exactly what [Cpu.step] does before executing,
-   so a faulting instruction still counts, as there. *)
-let account t m pc base ctx =
+(* Instruction-side translate, memoized at page granularity within one
+   [run] (the kernel only remaps/evicts pages *between* runs). May raise
+   a page fault, exactly as the step engine's fetch translate would. *)
+let translate_exec t m pc =
   let vp = pc lsr page_shift in
-  let ipa =
-    if vp = t.cur_vpage then t.cur_pbase + (pc land page_mask)
-    else begin
-      let pa = m.Cpu.translate pc ~write:false ~exec:true in
-      t.cur_vpage <- vp;
-      t.cur_pbase <- pa - (pc land page_mask);
-      pa
-    end
-  in
+  if vp = t.cur_vpage then t.cur_pbase + (pc land page_mask)
+  else begin
+    let pa = m.Cpu.translate pc ~write:false ~exec:true in
+    t.cur_vpage <- vp;
+    t.cur_pbase <- pa - (pc land page_mask);
+    pa
+  end
+
+(* Chain-mode data translates. A natural-aligned access of <= 16 bytes
+   never crosses a page, so one (vpage -> frame base) pair resolves the
+   whole access. Misses go through the real [m.translate], which raises
+   page faults exactly as the step engine; hits are sound because nothing
+   can invalidate the mapping mid-run (see the field comments). *)
+let translate_rd t m vaddr =
+  let vp = vaddr lsr page_shift in
+  if vp = t.d_rd_vpage then t.d_rd_pbase + (vaddr land page_mask)
+  else begin
+    let pa = m.Cpu.translate vaddr ~write:false ~exec:false in
+    t.d_rd_vpage <- vp;
+    t.d_rd_pbase <- pa - (vaddr land page_mask);
+    pa
+  end
+
+let translate_wr t m vaddr =
+  let vp = vaddr lsr page_shift in
+  if vp = t.d_wr_vpage then t.d_wr_pbase + (vaddr land page_mask)
+  else begin
+    let pa = m.Cpu.translate vaddr ~write:true ~exec:false in
+    t.d_wr_vpage <- vp;
+    t.d_wr_pbase <- pa - (vaddr land page_mask);
+    pa
+  end
+
+(* Fast-path capability probe for the chain engine's memory closures:
+   pure field reads, no exception frame, same predicate as
+   [Cap.check_access_at]. On failure the caller re-runs [Cpu.check_cap],
+   which performs the architecturally-ordered checks and raises the exact
+   fault — so the fast path only ever skips work, never changes it. *)
+let cap_ok (c : Cap.t) perm vaddr len =
+  c.Cap.tag
+  && c.Cap.otype = Cap.otype_unsealed
+  && c.Cap.perms land perm = perm
+  && vaddr >= c.Cap.base
+  && vaddr + len <= c.Cap.top
+
+(* Per-instruction accounting prologue, shared by every [Acct] closure:
+   charge the ifetch (through the memoized exec translate) plus base
+   cycles, and retire the instruction — exactly what [Cpu.step] does
+   before executing, so a faulting instruction still counts, as there. *)
+let account t m pc base ctx =
+  let ipa = translate_exec t m pc in
   ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.ifetch m.Cpu.hier ipa + base;
   ctx.Cpu.instret <- ctx.Cpu.instret + 1
 
@@ -200,6 +350,174 @@ let compile_straight t m ~pc ~elide insn =
     fun ctx -> account t m pc base ctx
   | insn ->
     fun ctx -> account t m pc base ctx; Cpu.exec_straight m ctx ~pc insn
+
+(* The same specialization with NO inlined accounting: the chain engine's
+   [Sem] bodies batch fetch/cycle/instret accounting per I-cache line
+   (see [exec_block]), so closures carry pure semantics only. The [elide]
+   contract is identical to [compile_straight].
+
+   Memory arms inline [Cpu.mem_read]/[Cpu.mem_write] with the data-side
+   translate memo substituted — check order (capability probe, alignment,
+   translate, cache accounting, access) mirrors [Cpu.do_load] and friends
+   exactly and must stay in lockstep with them; the differential fuzzer
+   cross-checks every path. More ALU and capability-inspection forms are
+   specialized than in [compile_straight]: with accounting hoisted out,
+   closure dispatch is the dominant cost, so avoiding the second match in
+   [Cpu.exec_straight] pays here. *)
+let compile_sem t m ~pc ~elide insn =
+  let check = not elide in
+  if elide then t.elided_sites <- t.elided_sites + 1;
+  let hier = m.Cpu.hier in
+  let mem = m.Cpu.mem in
+  match insn with
+  | Insn.Li (rd, v) -> fun ctx -> Cpu.wr_gpr ctx rd v
+  | Insn.Move (rd, rs) -> fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs)
+  | Insn.Addu (rd, rs, rt) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs + Cpu.rd_gpr ctx rt)
+  | Insn.Addiu (rd, rs, i) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs + i)
+  | Insn.Subu (rd, rs, rt) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs - Cpu.rd_gpr ctx rt)
+  | Insn.Mul (rd, rs, rt) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs * Cpu.rd_gpr ctx rt)
+  | Insn.And_ (rd, rs, rt) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs land Cpu.rd_gpr ctx rt)
+  | Insn.Andi (rd, rs, i) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs land i)
+  | Insn.Or_ (rd, rs, rt) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs lor Cpu.rd_gpr ctx rt)
+  | Insn.Ori (rd, rs, i) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs lor i)
+  | Insn.Xor_ (rd, rs, rt) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs lxor Cpu.rd_gpr ctx rt)
+  | Insn.Xori (rd, rs, i) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs lxor i)
+  | Insn.Sll (rd, rs, sh) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs lsl sh)
+  | Insn.Srl (rd, rs, sh) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs lsr sh)
+  | Insn.Sra (rd, rs, sh) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs asr sh)
+  | Insn.Slt (rd, rs, rt) ->
+    fun ctx ->
+      Cpu.wr_gpr ctx rd (if Cpu.rd_gpr ctx rs < Cpu.rd_gpr ctx rt then 1 else 0)
+  | Insn.Slti (rd, rs, i) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (if Cpu.rd_gpr ctx rs < i then 1 else 0)
+  | Insn.Sltu (rd, rs, rt) ->
+    fun ctx ->
+      let ua = Cpu.rd_gpr ctx rs lxor min_int
+      and ub = Cpu.rd_gpr ctx rt lxor min_int in
+      Cpu.wr_gpr ctx rd (if ua < ub then 1 else 0)
+  | Insn.Sltiu (rd, rs, i) ->
+    fun ctx ->
+      let ua = Cpu.rd_gpr ctx rs lxor min_int and ub = i lxor min_int in
+      Cpu.wr_gpr ctx rd (if ua < ub then 1 else 0)
+  | Insn.Load { w; signed; rd; base = b; off } ->
+    fun ctx ->
+      let vaddr = Cpu.rd_gpr ctx b + off in
+      if check && not (cap_ok ctx.Cpu.ddc Perms.load vaddr w) then
+        Cpu.check_cap ctx.Cpu.ddc ~reg:(-2) ~perm:Perms.load ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let pa = translate_rd t m vaddr in
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+      Cpu.wr_gpr ctx rd
+        (if signed then Tagmem.read_int_signed mem pa ~len:w
+         else Tagmem.read_int mem pa ~len:w)
+  | Insn.Store { w; rs; base = b; off } ->
+    fun ctx ->
+      let vaddr = Cpu.rd_gpr ctx b + off in
+      if check && not (cap_ok ctx.Cpu.ddc Perms.store vaddr w) then
+        Cpu.check_cap ctx.Cpu.ddc ~reg:(-2) ~perm:Perms.store ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let pa = translate_wr t m vaddr in
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+      Tagmem.write_int mem pa ~len:w (Cpu.rd_gpr ctx rs)
+  | Insn.CLoad { w; signed; rd; cb; off } ->
+    fun ctx ->
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.load vaddr w) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let pa = translate_rd t m vaddr in
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+      Cpu.wr_gpr ctx rd
+        (if signed then Tagmem.read_int_signed mem pa ~len:w
+         else Tagmem.read_int mem pa ~len:w)
+  | Insn.CStore { w; rs; cb; off } ->
+    fun ctx ->
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.store vaddr w) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let pa = translate_wr t m vaddr in
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+      Tagmem.write_int mem pa ~len:w (Cpu.rd_gpr ctx rs)
+  | Insn.CLC { cd; cb; off } ->
+    fun ctx ->
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.load vaddr Cap.sizeof) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:Cap.sizeof;
+      Cpu.check_align vaddr Cap.sizeof;
+      let pa = translate_rd t m vaddr in
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa Cap.sizeof;
+      let loaded = Tagmem.read_cap mem pa in
+      let loaded =
+        if Perms.has (Cap.perms cap) Perms.load_cap then loaded
+        else Cap.clear_tag loaded
+      in
+      Cpu.wr_creg ctx cd loaded
+  | Insn.CSC { cs; cb; off } ->
+    fun ctx ->
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.store vaddr Cap.sizeof) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:Cap.sizeof;
+      let v = Cpu.rd_creg ctx cs in
+      if Cap.is_tagged v then begin
+        if not (Perms.has (Cap.perms cap) Perms.store_cap) then
+          Cpu.cap_fault (Cap.Permit_violation Perms.store_cap) ~reg:cb ~vaddr;
+        if (not (Perms.has (Cap.perms v) Perms.global))
+           && not (Perms.has (Cap.perms cap) Perms.store_local_cap)
+        then
+          Cpu.cap_fault (Cap.Permit_violation Perms.store_local_cap) ~reg:cb
+            ~vaddr
+      end;
+      Cpu.check_align vaddr Cap.sizeof;
+      let pa = translate_wr t m vaddr in
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa Cap.sizeof;
+      Tagmem.write_cap mem pa v
+  | Insn.CIncOffsetImm (cd, cb, i) ->
+    fun ctx -> Cpu.wr_creg ctx cd (Cap.inc_addr (Cpu.rd_creg ctx cb) i)
+  | Insn.CIncOffset (cd, cb, rt) ->
+    fun ctx ->
+      Cpu.wr_creg ctx cd (Cap.inc_addr (Cpu.rd_creg ctx cb) (Cpu.rd_gpr ctx rt))
+  | Insn.CSetAddr (cd, cb, rt) ->
+    fun ctx ->
+      Cpu.wr_creg ctx cd (Cap.set_addr (Cpu.rd_creg ctx cb) (Cpu.rd_gpr ctx rt))
+  | Insn.CClearTag (cd, cb) ->
+    fun ctx -> Cpu.wr_creg ctx cd (Cap.clear_tag (Cpu.rd_creg ctx cb))
+  | Insn.CMove (cd, cb) ->
+    fun ctx -> Cpu.wr_creg ctx cd (Cpu.rd_creg ctx cb)
+  | Insn.CGetBase (rd, cb) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cap.base (Cpu.rd_creg ctx cb))
+  | Insn.CGetLen (rd, cb) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cap.length (Cpu.rd_creg ctx cb))
+  | Insn.CGetAddr (rd, cb) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cap.addr (Cpu.rd_creg ctx cb))
+  | Insn.CGetOffset (rd, cb) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cap.offset (Cpu.rd_creg ctx cb))
+  | Insn.CGetPerm (rd, cb) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cap.perms (Cpu.rd_creg ctx cb))
+  | Insn.CGetTag (rd, cb) ->
+    fun ctx ->
+      Cpu.wr_gpr ctx rd (if Cap.is_tagged (Cpu.rd_creg ctx cb) then 1 else 0)
+  | Insn.CGetType (rd, cb) ->
+    fun ctx -> Cpu.wr_gpr ctx rd (Cap.otype (Cpu.rd_creg ctx cb))
+  | Insn.Nop -> fun _ctx -> ()
+  | insn -> fun ctx -> Cpu.exec_straight m ctx ~pc insn
 
 (* Terminator at [pc] -> exit closure. Mirrors the control arms of
    [Cpu.step] exactly, including the +1 taken-branch cycle, the alignment
@@ -289,12 +607,36 @@ let compile_term t m ~pc insn =
       Trap.raise_trap (Trap.Break_trap n)
   | _ -> assert false
 
+(* Partition body indices [0, nbody) into maximal runs whose fetch
+   addresses share one cache line. Lines are 64 bytes and aligned, so a
+   run never crosses a page either; the entry pc is fixed per block, so
+   this is static. *)
+let make_groups entry nbody =
+  if nbody = 0 then [||]
+  else begin
+    let gs = ref [] in
+    let s = ref 0 in
+    for j = 1 to nbody do
+      if
+        j = nbody
+        || (entry + (4 * j)) lsr Cache.line_shift
+           <> (entry + (4 * (j - 1))) lsr Cache.line_shift
+      then begin
+        gs := ((!s lsl 16) lor (j - !s)) :: !gs;
+        s := j
+      end
+    done;
+    Array.of_list (List.rev !gs)
+  end
+
 (* Decode a maximal block starting at [entry]. Returns [None] when even
    the first instruction is outside decoded code: the step fallback then
    reproduces the fetch fault with exact accounting. Build never touches
-   translate, caches or counters, so it is invisible to the statistics. *)
+   translate, caches or counters, so it is invisible to the statistics.
+   The body flavor follows [t.chain_mode] (see [body]). *)
 let build t m entry =
   let body = ref [] in
+  let bases = ref [] in
   let term = ref None in
   let n = ref 0 in
   let fmask = match t.facts with Some f -> Facts.mask f entry | None -> 0 in
@@ -305,7 +647,11 @@ let build t m entry =
        if Insn.is_terminator insn then term := Some (compile_term t m ~pc insn)
        else begin
          let elide = (fmask lsr !n) land 1 = 1 in
-         body := compile_straight t m ~pc ~elide insn :: !body
+         if t.chain_mode then begin
+           body := compile_sem t m ~pc ~elide insn :: !body;
+           bases := Insn.base_cycles insn :: !bases
+         end
+         else body := compile_straight t m ~pc ~elide insn :: !body
        end;
        incr n
      done
@@ -313,10 +659,35 @@ let build t m entry =
   if !n = 0 then None
   else begin
     t.built <- t.built + 1;
+    let closures = Array.of_list (List.rev !body) in
+    let b_body =
+      if t.chain_mode then begin
+        let nbody = Array.length closures in
+        let basesum = Array.make (nbody + 1) 0 in
+        List.iteri
+          (fun i b -> basesum.(nbody - i) <- b)
+          !bases;
+        for i = 1 to nbody do basesum.(i) <- basesum.(i) + basesum.(i - 1) done;
+        Sem { sem = closures; groups = make_groups entry nbody; basesum }
+      end
+      else Acct closures
+    in
     Some { b_entry = entry; b_ilen = !n;
-           b_body = Array.of_list (List.rev !body);
-           b_term = !term }
+           b_body;
+           b_term = !term;
+           b_fall = None;
+           b_jump_key = min_int; b_jump = None; b_jump_misses = 0;
+           b_cjump_key = min_int; b_cjump = None; b_cjump_misses = 0 }
   end
+
+(* Find the decoded block at [pc], building (and caching) it on demand. *)
+let lookup_or_build t m pc =
+  match Hashtbl.find t.blocks pc with
+  | b -> Some b
+  | exception Not_found ->
+    (match build t m pc with
+     | Some b -> Hashtbl.add t.blocks pc b; Some b
+     | None -> None)
 
 (* --- Block execution ------------------------------------------------------- *)
 
@@ -333,45 +704,178 @@ let block_ok (ctx : Cpu.ctx) b =
   && b.b_entry >= Cap.base p
   && b.b_entry + (4 * b.b_ilen) <= Cap.top p
 
-(* Execute [b]. On a mid-block trap the PCC is materialized at the
-   faulting instruction (entry + 4*i): [block_ok] guaranteed every such
-   address is in bounds, and the representable window contains the bounds,
-   so the iterated [set_addr] commits of the step engine produce exactly
-   this capability. *)
-let exec_block b (ctx : Cpu.ctx) =
+(* The bounds half of [block_ok] alone — valid when the tag/seal/execute
+   half is already known to hold for [ctx.pcc], i.e. across [Bx_next]
+   chain hops, which never touch the PCC object (only [Bx_pcc] replaces
+   it, and that path re-runs the full check). *)
+let bounds_ok (ctx : Cpu.ctx) b =
+  let p = ctx.Cpu.pcc in
+  b.b_entry >= Cap.base p && b.b_entry + (4 * b.b_ilen) <= Cap.top p
+
+(* How a block's execution left the machine. Splitting this out of the
+   PCC lets chained runs defer the [set_addr] commit: between two chained
+   in-bounds blocks the commit is a pure address rewrite (the target is
+   inside the bounds, the bounds are inside the representable window, so
+   tag and every other field are untouched) — skipping it and keeping the
+   next pc as an integer is bit-exact. *)
+type bexit =
+  | Bx_next of int        (* continue at pc; ctx.pcc address NOT committed *)
+  | Bx_pcc                (* capability jump: ctx.pcc replaced wholesale *)
+  | Bx_stop of Cpu.stop   (* syscall/rt/trap; ctx.pcc committed *)
+
+(* Execute [b]. The caller guarantees [block_ok] held on entry; [ctx.pcc]'s
+   *address* may be stale mid-chain (closures bake their pc; only the PCC's
+   non-address fields are consulted by the body and terminator closures).
+   On a mid-block trap the PCC is materialized at the faulting instruction
+   (b_entry + 4*i) of the block that actually faulted — never a chain
+   head's — from the entry PCC's non-address fields: [block_ok] guaranteed
+   every such address is in bounds, and the representable window contains
+   the bounds, so the iterated [set_addr] commits of the step engine
+   produce exactly this capability.
+
+   [Sem] bodies batch the accounting per line group. Exactness argument:
+   within a group only the head fetch can miss (and thus probe the L2) —
+   it runs as a real, in-order [Cache.ifetch]. Follow-on fetches are
+   guaranteed IL1 hits; their effects (clock, final LRU stamp, hit count,
+   one cycle each, one retirement each) commute with the group's data
+   accesses because IL1 shares no state with DL1/L2 and cycles/instret are
+   sums, so committing them at group end — or, on a mid-group trap,
+   committing exactly the prefix through the faulting instruction (the
+   step engine accounts an instruction *before* executing it) — leaves
+   every counter and every cache bit identical to the step engine. A
+   page fault on the head probe itself commits nothing for the group,
+   again as the step engine (translate raises before any accounting). *)
+(* Commit the accounting batch for the Sem line group in flight through
+   body index [j] inclusive: the head probe's cost, one IL1-hit cycle and
+   one retirement per follow-on, their base cycles, and the IL1 repeat
+   batch. No-op when no group is in flight ([t.x_gcost < 0]). *)
+let commit_sem t m sb (ctx : Cpu.ctx) j =
+  if t.x_gcost >= 0 then begin
+    let h = m.Cpu.hier in
+    let k = j - t.x_gs in
+    ctx.Cpu.instret <- ctx.Cpu.instret + k + 1;
+    ctx.Cpu.cycles <-
+      ctx.Cpu.cycles + t.x_gcost
+      + (k * h.Cache.l1_hit_cycles)
+      + Array.unsafe_get sb.basesum (j + 1)
+      - Array.unsafe_get sb.basesum t.x_gs;
+    if k > 0 then Cache.ifetch_repeats h t.x_gpa k;
+    t.x_gcost <- -1
+  end
+
+let exec_block t m b (ctx : Cpu.ctx) =
   let entry_pcc = ctx.Cpu.pcc in
   let entry = b.b_entry in
-  let i = ref 0 in
+  t.x_i <- 0;
+  t.x_gcost <- -1;
   try
-    let n = Array.length b.b_body in
-    while !i < n do
-      b.b_body.(!i) ctx;
-      incr i
-    done;
+    (match b.b_body with
+     | Acct body ->
+       let n = Array.length body in
+       for i = 0 to n - 1 do
+         t.x_i <- i;
+         (Array.unsafe_get body i) ctx
+       done
+     | Sem sb ->
+       let groups = sb.groups in
+       let sem = sb.sem in
+       for g = 0 to Array.length groups - 1 do
+         let packed = Array.unsafe_get groups g in
+         let s = packed lsr 16 in
+         t.x_i <- s;
+         t.x_gs <- s;
+         let pa = translate_exec t m (entry + (4 * s)) in
+         t.x_gpa <- pa;
+         t.x_gcost <- Cache.ifetch m.Cpu.hier pa;
+         let e = s + (packed land 0xffff) - 1 in
+         for j = s to e do
+           t.x_i <- j;
+           (Array.unsafe_get sem j) ctx
+         done;
+         commit_sem t m sb ctx e
+       done);
     match b.b_term with
-    | None ->
-      ctx.Cpu.pcc <- Cap.set_addr entry_pcc (entry + (4 * b.b_ilen));
-      None
+    | None -> Bx_next (entry + (4 * b.b_ilen))
     | Some term ->
+      t.x_i <- b.b_ilen - 1;
       (match term ctx with
-       | Fall ->
-         ctx.Cpu.pcc <- Cap.set_addr entry_pcc (entry + (4 * b.b_ilen));
-         None
-       | Jump tg ->
-         ctx.Cpu.pcc <- Cap.set_addr entry_pcc tg;
-         None
+       | Fall -> Bx_next (entry + (4 * b.b_ilen))
+       | Jump tg -> Bx_next tg
        | Jump_pcc cap ->
          ctx.Cpu.pcc <- cap;
-         None
-       | Stopped s -> Some s)
+         Bx_pcc
+       | Stopped s -> Bx_stop s)
   with
   | Trap.Trap cause ->
-    ctx.Cpu.pcc <- Cap.set_addr entry_pcc (entry + (4 * !i));
-    Some (Cpu.Stop_trap cause)
+    (match b.b_body with Sem sb -> commit_sem t m sb ctx t.x_i | Acct _ -> ());
+    ctx.Cpu.pcc <- Cap.set_addr entry_pcc (entry + (4 * t.x_i));
+    Bx_stop (Cpu.Stop_trap cause)
   | Cap.Cap_error v ->
-    let pc = entry + (4 * !i) in
+    (match b.b_body with Sem sb -> commit_sem t m sb ctx t.x_i | Acct _ -> ());
+    let pc = entry + (4 * t.x_i) in
     ctx.Cpu.pcc <- Cap.set_addr entry_pcc pc;
-    Some (Cpu.Stop_trap (Trap.Cap_fault { violation = v; reg = -1; vaddr = pc }))
+    Bx_stop (Cpu.Stop_trap (Trap.Cap_fault { violation = v; reg = -1; vaddr = pc }))
+
+(* --- Chaining -------------------------------------------------------------- *)
+
+(* Successor block for a [Bx_next pc'] transition out of [b], patching the
+   chain link on the way. The fall-through address gets a dedicated direct
+   link; every other target goes through the monomorphic inline cache
+   (last pc + its block), degrading to a plain hashtable lookup once the
+   exit has proved megamorphic. Returns None when the target has no
+   decodable block — the chain then exits and the dispatch loop's
+   single-step fallback reproduces the fetch fault exactly. *)
+let chain_succ t m b pc' =
+  if pc' = b.b_entry + (4 * b.b_ilen) then
+    match b.b_fall with
+    | Some _ as s -> s
+    | None ->
+      let s = lookup_or_build t m pc' in
+      b.b_fall <- s;
+      s
+  else if b.b_jump_key = pc' then begin
+    t.ic_hits <- t.ic_hits + 1;
+    b.b_jump
+  end
+  else if b.b_jump_misses >= ic_mega_threshold then begin
+    t.ic_mega <- t.ic_mega + 1;
+    lookup_or_build t m pc'
+  end
+  else begin
+    t.ic_misses <- t.ic_misses + 1;
+    b.b_jump_misses <- b.b_jump_misses + 1;
+    match lookup_or_build t m pc' with
+    | Some _ as s ->
+      b.b_jump_key <- pc';
+      b.b_jump <- s;
+      s
+    | None -> None
+  end
+
+(* Same, for [Bx_pcc] (capability-jump) exits; [pc'] is the address of the
+   already-committed target capability. The cache maps pc -> block just
+   like the hashtable does; whether the *capability* covers that block is
+   re-decided by [block_ok] at every chained entry, so two GOT targets
+   with equal addresses but different bounds cannot be confused. *)
+let cjump_succ t m b pc' =
+  if b.b_cjump_key = pc' then begin
+    t.ic_hits <- t.ic_hits + 1;
+    b.b_cjump
+  end
+  else if b.b_cjump_misses >= ic_mega_threshold then begin
+    t.ic_mega <- t.ic_mega + 1;
+    lookup_or_build t m pc'
+  end
+  else begin
+    t.ic_misses <- t.ic_misses + 1;
+    b.b_cjump_misses <- b.b_cjump_misses + 1;
+    match lookup_or_build t m pc' with
+    | Some _ as s ->
+      b.b_cjump_key <- pc';
+      b.b_cjump <- s;
+      s
+    | None -> None
+  end
 
 (* --- Dispatch loop ---------------------------------------------------------- *)
 
@@ -381,8 +885,29 @@ let exec_block b (ctx : Cpu.ctx) =
    re-protected, so decoded blocks are flushed. Whole blocks run only
    when the remaining fuel covers them; otherwise (and for any block the
    hoisted check cannot cover) the engine single-steps, which makes
-   mid-block quantum stops replay exactly. *)
-let run ?(map_gen = 0) t m (ctx : Cpu.ctx) ~fuel =
+   mid-block quantum stops replay exactly.
+
+   [chain] enables superblock chaining: after a block exits, its successor
+   is resolved through the patched links / inline caches and entered
+   directly, without returning here for a hashtable lookup or a PCC
+   commit. A chain keeps running while (a) the successor exists, (b) the
+   remaining fuel covers it whole — the per-chain fuel check; when the
+   quantum expires exactly at a chain-internal block boundary,
+   [nb.b_ilen <= 0] fails and the chain stops precisely there, and when it
+   expires mid-block the dispatch loop's single-step path replays the
+   partial block exactly — and (c) [block_ok] holds at the chained entry,
+   which also re-validates the facts keying (facts are conditional only on
+   the straight-line prefix from the entry, so they hold no matter how
+   control arrived). Between chained blocks the PCC address is left stale
+   (see [bexit]); it is materialized whenever the chain exits. *)
+let run ?(map_gen = 0) ?(chain = false) t m (ctx : Cpu.ctx) ~fuel =
+  if chain <> t.chain_mode then begin
+    if Hashtbl.length t.blocks > 0 then begin
+      Hashtbl.reset t.blocks;
+      t.flushes <- t.flushes + 1
+    end;
+    t.chain_mode <- chain
+  end;
   if map_gen <> t.map_gen then begin
     if Hashtbl.length t.blocks > 0 then begin
       Hashtbl.reset t.blocks;
@@ -391,28 +916,54 @@ let run ?(map_gen = 0) t m (ctx : Cpu.ctx) ~fuel =
     t.map_gen <- map_gen
   end;
   t.cur_vpage <- -1;
+  t.d_rd_vpage <- -1;
+  t.d_wr_vpage <- -1;
   let remaining = ref fuel in
   let result = ref None in
   let running = ref true in
   while !running && !remaining > 0 do
     let pc = Cap.addr ctx.Cpu.pcc in
-    let b =
-      match Hashtbl.find t.blocks pc with
-      | b -> Some b
-      | exception Not_found ->
-        (match build t m pc with
-         | Some b -> Hashtbl.add t.blocks pc b; Some b
-         | None -> None)
-    in
-    match b with
+    match lookup_or_build t m pc with
     | Some b when b.b_ilen <= !remaining && block_ok ctx b ->
-      t.block_runs <- t.block_runs + 1;
-      remaining := !remaining - b.b_ilen;
-      (match exec_block b ctx with
-       | Some s ->
-         result := Some s;
-         running := false
-       | None -> ())
+      if chain then begin
+        t.chain_entries <- t.chain_entries + 1;
+        let cur = ref b in
+        let chaining = ref true in
+        while !chaining do
+          let b = !cur in
+          t.block_runs <- t.block_runs + 1;
+          remaining := !remaining - b.b_ilen;
+          match exec_block t m b ctx with
+          | Bx_stop s ->
+            result := Some s;
+            running := false;
+            chaining := false
+          | Bx_next pc' ->
+            (match chain_succ t m b pc' with
+             | Some nb when nb.b_ilen <= !remaining && bounds_ok ctx nb ->
+               t.chained <- t.chained + 1;
+               cur := nb
+             | _ ->
+               ctx.Cpu.pcc <- Cap.set_addr ctx.Cpu.pcc pc';
+               chaining := false)
+          | Bx_pcc ->
+            (match cjump_succ t m b (Cap.addr ctx.Cpu.pcc) with
+             | Some nb when nb.b_ilen <= !remaining && block_ok ctx nb ->
+               t.chained <- t.chained + 1;
+               cur := nb
+             | _ -> chaining := false)
+        done
+      end
+      else begin
+        t.block_runs <- t.block_runs + 1;
+        remaining := !remaining - b.b_ilen;
+        match exec_block t m b ctx with
+        | Bx_stop s ->
+          result := Some s;
+          running := false
+        | Bx_next pc' -> ctx.Cpu.pcc <- Cap.set_addr ctx.Cpu.pcc pc'
+        | Bx_pcc -> ()
+      end
     | _ ->
       t.step_falls <- t.step_falls + 1;
       decr remaining;

@@ -32,6 +32,8 @@ type stop =
 type engine =
   | Step                  (* reference per-instruction interpreter *)
   | Block                 (* decoded basic-block cache, see Bbcache *)
+  | Chain                 (* block cache + superblock chaining / inline
+                             caches, see Bbcache.run ~chain *)
 
 type machine = {
   mem : Tagmem.t;

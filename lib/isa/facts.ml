@@ -26,20 +26,29 @@ type t = {
   tbl : (int, int) Hashtbl.t;     (* superblock entry pc -> bitmask *)
   resolve : (int -> int) option;  (* lazy: entry pc -> mask, on first use *)
   mutable resolved : int;         (* entries materialized through [resolve] *)
+  mutable lookups : int;          (* total [mask] queries — one per block
+                                     build, however control reached it *)
 }
 
 let max_index = 62
 
-let create () = { tbl = Hashtbl.create 256; resolve = None; resolved = 0 }
+let create () = { tbl = Hashtbl.create 256; resolve = None; resolved = 0;
+                  lookups = 0 }
 
 (* A pull-through table: every mask is computed by [resolve] on first
    lookup. [resolve] must be deterministic — re-resolving an entry has to
    produce the same mask — and total (return 0 for unknown PCs). *)
 let create_lazy ~resolve = { tbl = Hashtbl.create 256; resolve = Some resolve;
-                             resolved = 0 }
+                             resolved = 0; lookups = 0 }
 
 let is_lazy t = t.resolve <> None
 let resolved_lazily t = t.resolved
+
+(* How many times the block engine consulted this table. Every decode goes
+   through [mask] — including blocks first reached as a *chained*
+   successor, never seen by the dispatch loop — so tests use this to pin
+   down that chaining cannot bypass the facts keying. *)
+let lookups t = t.lookups
 
 let add t ~entry ~index =
   if index >= 0 && index <= max_index then begin
@@ -57,6 +66,7 @@ let add_mask t ~entry mask =
   end
 
 let mask t entry =
+  t.lookups <- t.lookups + 1;
   match Hashtbl.find_opt t.tbl entry with
   | Some m -> m
   | None ->

@@ -63,7 +63,10 @@ type config = {
 }
 
 let default_config () =
-  { engine = Cpu.Block;
+  { (* Chaining block engine by default: bit-identical to Step/Block (the
+       differential fuzzer and kernel parity tests enforce it), so every
+       workload run in the suite also exercises the chained paths. *)
+    engine = Cpu.Chain;
     quantum = 20_000;
     trap_cost_legacy = 130;
     trap_cost_cheri = 134;

@@ -145,6 +145,39 @@ let ifetch h addr =
   else if access h.l2 addr 4 then h.l2_hit_cycles
   else h.dram_cycles
 
+(* Account [k] repeat probes of a line that is guaranteed to hit: the
+   caller just probed the line containing [addr] and nothing has touched
+   this cache since (data accesses go to DL1/L2, which share no state with
+   IL1). Each of the [k] sequential probes would hit the same way, bump the
+   clock and the hit counter, and leave LRU pointing at the final clock —
+   only the last LRU write survives, so the batch is observationally
+   identical to [k] separate [access_line] calls. Used by the chaining
+   block engine to batch straight-line instruction fetches within one
+   I-cache line. Falls back to real probes if the line is (unexpectedly)
+   absent, which is exact by definition. *)
+let repeat_hits t line k =
+  if k > 0 then begin
+    let set = line land t.set_mask in
+    let tag = line lsr t.set_shift in
+    let base = set * t.ways in
+    let rec find i =
+      if i >= base + t.ways then -1
+      else if Array.unsafe_get t.tags i = tag then i
+      else find (i + 1)
+    in
+    match find base with
+    | -1 -> for _ = 1 to k do ignore (access_line t line) done
+    | w ->
+      t.clock <- t.clock + k;
+      Array.unsafe_set t.lru w t.clock;
+      t.hits <- t.hits + k
+  end
+
+(* [k] guaranteed-hit instruction fetches of the line holding physical
+   address [pa]; returns nothing — the per-fetch cycle cost is the
+   constant [h.l1_hit_cycles], which the caller adds itself. *)
+let ifetch_repeats h pa k = repeat_hits h.il1 (pa lsr h.il1.line_shift) k
+
 let l2_misses h = misses h.l2
 
 let reset_hierarchy_stats h =

@@ -199,7 +199,16 @@ let test_directed_must () =
             | None -> "fuel exhaustion"
             | Some Cpu.Stop_syscall -> "syscall"
             | Some (Cpu.Stop_rt n) -> Printf.sprintf "rt %d" n
-            | Some (Cpu.Stop_trap _) -> assert false)))
+            | Some (Cpu.Stop_trap _) -> assert false));
+      (* And under the chaining block engine: a trap raised mid-chain is
+         attributed to the pc of the block that actually faulted, so the
+         dynamic trap pc must still cross-reference the absint claim. *)
+      let m, ctx, _mem = Test_engines.setup insns 1 in
+      (match Bbcache.run ~chain:true (Bbcache.create ()) m ctx ~fuel:50 with
+       | Some (Cpu.Stop_trap _) ->
+         Alcotest.(check int) (name ^ ": chained trap pc") pc_expect
+           (Cap.addr ctx.Cpu.pcc)
+       | _ -> Alcotest.failf "%s: chain engine did not trap" name))
     directed_cases
 
 (* --- 3. Directed elision-positive programs ----------------------------------- *)

@@ -5,19 +5,26 @@
 
    1. A differential fuzzer over seeded random programs — arithmetic,
       branches, capability derivation, loads/stores of data and
-      capabilities, sealing, traps, syscalls — executed five ways (step;
+      capabilities, sealing, traps, syscalls — executed seven ways (step;
       block in one run; block in small fuel chunks, which forces mid-block
       preemption and resume; block with the abstract interpreter's
       proved-safe capability checks elided, with the fact table computed
-      both eagerly and lazily per superblock) on identical fresh machines. The full
-      observable state is compared: every GPR and capability register,
-      PCC, DDC, instret, cycles, the stop reason, per-level cache hit/miss
-      counters, memory bytes and tag placement.
+      both eagerly and lazily per superblock; block with superblock
+      chaining; chaining with elision) on identical fresh machines. The
+      full observable state is compared: every GPR and capability
+      register, PCC, DDC, instret, cycles, the stop reason, per-level
+      cache hit/miss counters, memory bytes and tag placement.
 
    2. Kernel-level parity: a compiled program run end-to-end through the
-      scheduler under both engines (including with a tiny prime quantum so
-      quantum expiry constantly splits blocks) must produce identical
-      output, instruction, cycle and L2-miss counts. *)
+      scheduler under every engine (including with a tiny prime quantum so
+      quantum expiry constantly splits blocks and chains) must produce
+      identical output, instruction, cycle and L2-miss counts.
+
+   Plus directed chain units: hot self-loops, ping-pong chains, inline
+   cache monomorphic/megamorphic behavior on both integer-indirect and
+   capability-indirect jumps, fuel expiry at chain-internal block
+   boundaries, chains crossing facts-elided entries, mid-chain trap
+   attribution, and mprotect-driven chain severing through the kernel. *)
 
 module Cap = Cheri_cap.Cap
 module Perms = Cheri_cap.Perms
@@ -299,6 +306,31 @@ let run_block_lazy insns seed =
   let stop = Bbcache.run bb m ctx ~fuel in
   snapshot stop m ctx mem
 
+(* Chained: the block engine with superblock chaining and inline caches —
+   block exits resolve their successor through patched links and enter it
+   directly, deferring the PCC commit until the chain breaks. Chaining is
+   pure dispatch elision, so the full snapshot must match step exactly. *)
+let run_block_chain insns seed =
+  let m, ctx, mem = setup insns seed in
+  let bb = Bbcache.create () in
+  let stop = Bbcache.run ~chain:true bb m ctx ~fuel in
+  snapshot stop m ctx mem
+
+(* Chaining and check elision composed: chained entries must consult the
+   fact table exactly as dispatch-loop entries do (facts are keyed by
+   superblock entry pc and conditional only on the straight-line prefix,
+   so they hold however control arrives). *)
+let run_block_chain_elide insns seed =
+  let m, ctx, mem = setup insns seed in
+  let facts =
+    Cheri_analysis.Absint.facts_of_code ~ddc:ctx.Cpu.ddc
+      [ (code_base, insns) ]
+  in
+  let bb = Bbcache.create () in
+  Bbcache.set_facts bb (Some facts);
+  let stop = Bbcache.run ~chain:true bb m ctx ~fuel in
+  snapshot stop m ctx mem
+
 (* Chunked: total fuel identical, but split so quantum expiry lands
    mid-block and the engine must fall back to exact single-stepping. *)
 let run_block_chunked insns seed ~chunk =
@@ -322,10 +354,12 @@ let test_fuzz_engines () =
     let s_block = run_block insns seed in
     let s_elide = run_block_elide insns seed in
     let s_lazy = run_block_lazy insns seed in
+    let s_chain = run_block_chain insns seed in
+    let s_chain_elide = run_block_chain_elide insns seed in
     let chunk = 3 + rnd 7 in
     let s_chunk = run_block_chunked insns seed ~chunk in
     if s_step <> s_block || s_step <> s_chunk || s_step <> s_elide
-       || s_step <> s_lazy
+       || s_step <> s_lazy || s_step <> s_chain || s_step <> s_chain_elide
     then begin
       incr mismatches;
       let dump =
@@ -339,8 +373,9 @@ let test_fuzz_engines () =
       Printf.printf
         "seed %d diverged (chunk=%d)\n--- step ---\n%s\n--- block ---\n%s\n\
          --- chunked ---\n%s\n--- elided ---\n%s\n--- lazy ---\n%s\n\
-         --- program ---\n%s\n"
-        seed chunk s_step s_block s_chunk s_elide s_lazy dump
+         --- chain ---\n%s\n--- chain+elide ---\n%s\n--- program ---\n%s\n"
+        seed chunk s_step s_block s_chunk s_elide s_lazy s_chain
+        s_chain_elide dump
     end
   done;
   Alcotest.(check int) "engines agree on all seeded programs" 0 !mismatches
@@ -373,6 +408,339 @@ let test_pcc_midblock_bounds () =
   | [ a; b ] -> Alcotest.(check string) "prefix executes, then faults" a b
   | _ -> assert false
 
+(* --- Directed chain units --------------------------------------------------------- *)
+
+module Facts = Cheri_isa.Facts
+module Kernel = Cheri_kernel.Kernel
+module Kstate = Cheri_kernel.Kstate
+module Proc = Cheri_kernel.Proc
+module Addr_space = Cheri_vm.Addr_space
+module Prot = Cheri_vm.Prot
+module Stdlib_src = Cheri_workloads.Stdlib_src
+
+(* Run [insns] under step and under the chaining engine on identical fresh
+   machines, assert full-snapshot equality, and hand back the chain run's
+   cache, stats and final context for counter assertions. *)
+let chain_vs_step ?(name = "chain matches step") ?(run_fuel = fuel)
+    ?(seed = 3) ?facts_of insns =
+  let m_s, ctx_s, mem_s = setup insns seed in
+  let stop_s = Cpu.run m_s ctx_s ~fuel:run_fuel in
+  let s_step = snapshot stop_s m_s ctx_s mem_s in
+  let m, ctx, mem = setup insns seed in
+  let bb = Bbcache.create () in
+  let facts = Option.map (fun f -> f ctx) facts_of in
+  (match facts with Some f -> Bbcache.set_facts bb (Some f) | None -> ());
+  let stop = Bbcache.run ~chain:true bb m ctx ~fuel:run_fuel in
+  let s_chain = snapshot stop m ctx mem in
+  Alcotest.(check string) name s_step s_chain;
+  (bb, Bbcache.chain_stats bb, ctx, facts, stop)
+
+(* A hot self-loop: one two-instruction block branching back to itself.
+   The whole 50-iteration loop must run as a single chain — one dispatch
+   entry, the back edge resolved through the block's own inline cache. *)
+let test_chain_self_loop () =
+  let insns =
+    [| Insn.Li (8, 0);
+       Insn.Li (9, 50);
+       (* loop head, 0x1008: *)
+       Insn.Addiu (8, 8, 1);
+       Insn.Bne (8, 9, code_base + 8);
+       Insn.Break 0 |]
+  in
+  let bb, st, _, _, _ = chain_vs_step ~name:"self-loop" insns in
+  Alcotest.(check int) "blocks built" 3 bb.Bbcache.built;
+  Alcotest.(check int) "one dispatch entry" 1 st.Bbcache.ch_entries;
+  (* A->loop, 48 loop->loop back edges, loop->break. *)
+  Alcotest.(check int) "chained transitions" 50 st.Bbcache.ch_chained;
+  Alcotest.(check bool) "back edge mostly IC hits" true
+    (st.Bbcache.ch_ic_hits >= 40);
+  Alcotest.(check int) "never megamorphic" 0 st.Bbcache.ch_ic_mega
+
+(* Two-block ping-pong: body A falls through to body B, B jumps back to
+   A's entry. Both the fall-through direct link and the jump inline cache
+   carry the loop without returning to dispatch. *)
+let test_chain_ping_pong () =
+  let insns =
+    [| Insn.Li (8, 0);
+       Insn.Li (9, 30);
+       Insn.Li (10, 0);
+       (* loop head, 0x100c: *)
+       Insn.Addiu (8, 8, 1);
+       Insn.Beq (8, 9, code_base + 0x20);
+       Insn.Addiu (10, 10, 2);
+       Insn.J (code_base + 0xc);
+       Insn.Nop;
+       (* 0x1020: *)
+       Insn.Break 0 |]
+  in
+  let bb, st, ctx, _, _ = chain_vs_step ~name:"ping-pong" insns in
+  Alcotest.(check int) "blocks built" 4 bb.Bbcache.built;
+  Alcotest.(check int) "one dispatch entry" 1 st.Bbcache.ch_entries;
+  Alcotest.(check bool) "whole loop chained" true (st.Bbcache.ch_chained >= 55);
+  Alcotest.(check bool) "back edge IC hits" true (st.Bbcache.ch_ic_hits >= 25);
+  Alcotest.(check int) "side effects ran" 58 ctx.Cpu.gpr.(10)
+
+(* A three-way Jr dispatcher: the jump target cycles through three stubs,
+   so the exit's monomorphic inline cache keeps missing and must degrade
+   to the megamorphic hashtable path — which still chains. *)
+let test_chain_ic_megamorphic () =
+  let t0 = code_base + 0x28 in
+  let insns =
+    [| Insn.Li (2, 0);
+       Insn.Li (3, 3);
+       Insn.Li (5, t0);
+       Insn.Li (9, 60);
+       (* loop head, 0x1010: *)
+       Insn.Rem (4, 2, 3);
+       Insn.Sll (4, 4, 4);
+       Insn.Addu (4, 5, 4);
+       Insn.Jr 4;
+       Insn.Nop;
+       Insn.Nop;
+       (* stub 0, 0x1028: *)
+       Insn.Addiu (6, 6, 1);
+       Insn.Addiu (2, 2, 1);
+       Insn.Bne (2, 9, code_base + 0x10);
+       Insn.Break 0;
+       (* stub 1, 0x1038: *)
+       Insn.Addiu (6, 6, 3);
+       Insn.Addiu (2, 2, 1);
+       Insn.Bne (2, 9, code_base + 0x10);
+       Insn.Break 0;
+       (* stub 2, 0x1048: *)
+       Insn.Addiu (6, 6, 5);
+       Insn.Addiu (2, 2, 1);
+       Insn.Bne (2, 9, code_base + 0x10);
+       Insn.Break 0 |]
+  in
+  let _, st, _, _, _ = chain_vs_step ~name:"megamorphic Jr" insns in
+  (* The frozen monomorphic key still hits one target in three; the other
+     two thirds of the dispatcher's exits take the megamorphic path. *)
+  Alcotest.(check bool) "dispatcher went megamorphic" true
+    (st.Bbcache.ch_ic_mega >= 30);
+  (* The stub back edges are monomorphic and still hit. *)
+  Alcotest.(check bool) "stub back edges hit" true (st.Bbcache.ch_ic_hits >= 40);
+  Alcotest.(check bool) "megamorphic exits still chain" true
+    (st.Bbcache.ch_chained >= 100)
+
+(* Capability-indirect jumps: CJAL materializes a return code capability,
+   CJR jumps through it. A single call site keeps the callee's capability
+   inline cache monomorphic. *)
+let test_chain_cjr_monomorphic () =
+  let f = code_base + 0x1c in
+  let insns =
+    [| Insn.Li (8, 0);
+       Insn.Li (9, 40);
+       Insn.Li (10, 0);
+       (* loop head, 0x100c: *)
+       Insn.CJAL (2, f);
+       Insn.Addiu (8, 8, 1);
+       Insn.Bne (8, 9, code_base + 0xc);
+       Insn.Break 0;
+       (* f, 0x101c: *)
+       Insn.Addiu (10, 10, 7);
+       Insn.CJR 2 |]
+  in
+  let bb, st, ctx, _, _ = chain_vs_step ~name:"monomorphic CJR" insns in
+  Alcotest.(check int) "blocks built" 5 bb.Bbcache.built;
+  Alcotest.(check bool) "call/return/back edges all IC hits" true
+    (st.Bbcache.ch_ic_hits >= 100);
+  Alcotest.(check int) "never megamorphic" 0 st.Bbcache.ch_ic_mega;
+  Alcotest.(check int) "callee ran every iteration" 280 ctx.Cpu.gpr.(10)
+
+(* Two alternating CJAL call sites: the callee's CJR return capability
+   alternates between two link addresses, so the capability inline cache
+   keeps missing and degrades to the megamorphic path. *)
+let test_chain_cjr_megamorphic () =
+  let f = code_base + 0x20 in
+  let insns =
+    [| Insn.Li (8, 0);
+       Insn.Li (9, 40);
+       Insn.Li (10, 0);
+       (* loop head, 0x100c: *)
+       Insn.CJAL (2, f);
+       Insn.CJAL (2, f);
+       Insn.Addiu (8, 8, 1);
+       Insn.Bne (8, 9, code_base + 0xc);
+       Insn.Break 0;
+       (* f, 0x1020: *)
+       Insn.Addiu (10, 10, 1);
+       Insn.CJR 2 |]
+  in
+  let _, st, ctx, _, _ = chain_vs_step ~name:"megamorphic CJR" insns in
+  (* The two return addresses alternate: the frozen key hits every other
+     return, the rest go megamorphic. *)
+  Alcotest.(check bool) "return site went megamorphic" true
+    (st.Bbcache.ch_ic_mega >= 30);
+  Alcotest.(check int) "both call sites ran" 80 ctx.Cpu.gpr.(10)
+
+(* Fuel expiry inside and at the edges of a chain: for every fuel value up
+   to a few times the loop length, the chain engine must stop on exactly
+   the same instruction as step — including when the quantum expires
+   precisely at a chain-internal block boundary (the per-block vs
+   per-chain off-by-one this pins down) and mid-block (single-step
+   replay). *)
+let test_chain_fuel_boundaries () =
+  let insns =
+    [| Insn.Li (8, 0);
+       Insn.Li (9, 1000);
+       (* loop head, 0x1008: three-instruction body + branch *)
+       Insn.Addiu (8, 8, 1);
+       Insn.Addiu (10, 10, 3);
+       Insn.Addiu (11, 11, 5);
+       Insn.Bne (8, 9, code_base + 8);
+       Insn.Break 0 |]
+  in
+  for f = 1 to 80 do
+    let m_s, ctx_s, mem_s = setup insns 9 in
+    let stop_s = Cpu.run m_s ctx_s ~fuel:f in
+    let s_step = snapshot stop_s m_s ctx_s mem_s in
+    let m, ctx, mem = setup insns 9 in
+    let stop = Bbcache.run ~chain:true (Bbcache.create ()) m ctx ~fuel:f in
+    let s_chain = snapshot stop m ctx mem in
+    Alcotest.(check string) (Printf.sprintf "fuel=%d" f) s_step s_chain
+  done;
+  (* And resumability: the same total fuel split into prime-sized chunks
+     (every resume re-enters mid-loop through the dispatch path) must land
+     on the same final state as one chained run. *)
+  let m, ctx, mem = setup insns 9 in
+  let bb = Bbcache.create () in
+  let stop = ref None in
+  let remaining = ref 500 in
+  while !stop = None && !remaining > 0 do
+    let f = min 37 !remaining in
+    stop := Bbcache.run ~chain:true bb m ctx ~fuel:f;
+    remaining := !remaining - f
+  done;
+  let s_chunked = snapshot !stop m ctx mem in
+  let m_s, ctx_s, mem_s = setup insns 9 in
+  let stop_s = Cpu.run m_s ctx_s ~fuel:500 in
+  Alcotest.(check string) "chunked chain resume"
+    (snapshot stop_s m_s ctx_s mem_s) s_chunked
+
+(* A chain crossing a facts-elided entry: the successor block is first
+   reached as a *chained* target (never through the dispatch loop), and
+   its decode must still consult the lazy fact table — resolving the
+   entry's fixpoint and compiling the proved-safe check out. *)
+let test_chain_crosses_elided_entry () =
+  let insns =
+    [| Insn.Addiu (8, 8, 0);
+       Insn.J (code_base + 0xc);
+       Insn.Nop;
+       (* 0x100c: entry reached only by chaining *)
+       Insn.CLoad { w = 8; signed = false; rd = 9; cb = 1; off = 0 };
+       Insn.CLoad { w = 8; signed = false; rd = 10; cb = 1; off = 0 };
+       Insn.Break 0 |]
+  in
+  let facts_of ctx =
+    Cheri_analysis.Absint.lazy_facts_of_code ~ddc:ctx.Cpu.ddc
+      [ (code_base, insns) ]
+  in
+  let bb, st, _, facts, _ =
+    chain_vs_step ~name:"chain over elided entry" ~facts_of insns
+  in
+  let facts = Option.get facts in
+  Alcotest.(check bool) "the cross-edge chained" true
+    (st.Bbcache.ch_chained >= 1);
+  (* Both superblock entries were decoded, and both consulted the table;
+     the chained-into entry resolved its fixpoint lazily. *)
+  Alcotest.(check bool) "facts consulted per decoded entry" true
+    (Facts.lookups facts >= 2);
+  Alcotest.(check bool) "lazy fixpoints ran" true
+    (Facts.resolved_lazily facts >= 2);
+  (* The second CLoad of the chained-into block is provably safe: its
+     check was compiled out. *)
+  Alcotest.(check bool) "a check was elided at the chained entry" true
+    (bb.Bbcache.elided_sites >= 1)
+
+(* A trap raised in the middle of a chain must be attributed to the block
+   that faulted — PCC materialized at the faulting instruction — not to
+   the chain head the dispatch loop last saw. (The kernel's fault log and
+   Proc.describe_pc both key off this PCC.) *)
+let test_chain_trap_attribution () =
+  let insns =
+    [| Insn.Addiu (8, 8, 1);
+       Insn.J (code_base + 0xc);
+       Insn.Nop;
+       (* 0x100c: second block of the chain *)
+       Insn.Addiu (9, 9, 1);
+       (* c6 is untagged: faults at 0x1010, one insn into the block. *)
+       Insn.CLoad { w = 8; signed = false; rd = 10; cb = 6; off = 0 };
+       Insn.Break 0 |]
+  in
+  let _, st, ctx, _, stop = chain_vs_step ~name:"mid-chain trap" insns in
+  Alcotest.(check bool) "the fault block was chained into" true
+    (st.Bbcache.ch_chained >= 1);
+  (match stop with
+   | Some (Cpu.Stop_trap (Trap.Cap_fault { violation = Cap.Tag_violation; _ })) ->
+     ()
+   | s -> Alcotest.failf "expected a tag fault, got %s" (stop_str s));
+  Alcotest.(check int) "PCC names the faulting instruction, not the chain head"
+    (code_base + 0x10) (Cap.addr ctx.Cpu.pcc)
+
+(* mprotect between two runs of a chained hot loop must sever every chain
+   link: the pmap generation bump flushes the decoded blocks, and the
+   second half of the program re-translates instead of running stale
+   closures. Exercised end-to-end through the kernel, under both ABIs. *)
+let test_chain_mprotect_severs () =
+  let expect =
+    let acc = ref 0 in
+    for i = 0 to 2999 do acc := !acc + (i mod 7) done;
+    for i = 0 to 2999 do acc := !acc + (i mod 5) done;
+    string_of_int !acc
+  in
+  List.iter
+    (fun abi ->
+      let k = Kernel.boot () in
+      k.Kstate.config.Kstate.engine <- Cpu.Chain;
+      Cheri_libc.Runtime.install k;
+      Stdlib_src.install k ~path:"/bin/hot" ~abi
+        {|
+int main(int argc, char **argv) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 3000; i = i + 1) acc = acc + i % 7;
+  for (i = 0; i < 3000; i = i + 1) acc = acc + i % 5;
+  print_int(acc);
+  return 0;
+}
+|};
+      let p = Kernel.spawn k ~path:"/bin/hot" ~argv:[ "hot" ] () in
+      (* Run the first hot loop, stopping while the program is still
+         going. *)
+      let _ = Kernel.run ~max_steps:8_000 k in
+      (match p.Proc.state with
+       | Proc.Zombie _ -> Alcotest.fail "program finished too early"
+       | _ -> ());
+      let bb = k.Kstate.bb in
+      let st0 = Bbcache.chain_stats bb in
+      Alcotest.(check bool) "first loop chained" true
+        (st0.Bbcache.ch_chained > 0);
+      let built0 = bb.Bbcache.built and flushes0 = bb.Bbcache.flushes in
+      (* Re-protect the text page (rx -> rx still bumps the generation,
+         exactly as a real mprotect syscall does). *)
+      let base, _, _ = List.hd p.Proc.code in
+      let page = Cheri_tagmem.Phys.page_size in
+      Addr_space.protect p.Proc.asp
+        ~start:(base land lnot (page - 1))
+        ~len:page ~prot:Prot.rx;
+      (* Run to completion: the engine must notice the generation bump,
+         drop every block (and with them all chain links), re-translate,
+         and still compute the right answer. *)
+      let _ = Kernel.run k in
+      (match p.Proc.state with
+       | Proc.Zombie (Proc.Exited 0) -> ()
+       | _ -> Alcotest.failf "program did not exit cleanly (%s)"
+                (String.concat "; " p.Proc.fault_log));
+      Alcotest.(check string)
+        (Abi.to_string abi ^ ": output survives re-translation")
+        expect (String.trim (Buffer.contents p.Proc.console));
+      Alcotest.(check bool) "blocks were flushed" true
+        (bb.Bbcache.flushes > flushes0);
+      Alcotest.(check bool) "blocks were re-translated" true
+        (bb.Bbcache.built > built0))
+    [ Abi.Mips64; Abi.Cheriabi ]
+
 (* --- Kernel-level parity --------------------------------------------------------- *)
 
 let parity_src = {|
@@ -399,25 +767,34 @@ int main(int argc, char **argv) {
 }
 |}
 
-let measure ~engine ?quantum abi =
-  let m = Harness.run ~engine ?quantum ~abi parity_src in
+let measure ~engine ?quantum ?(elide = false) abi =
+  let m = Harness.run ~engine ?quantum ~elide ~abi parity_src in
   if not (Harness.ok m) then
     Alcotest.failf "parity run failed: %s (%s)" (Harness.status_string m)
       (String.concat "; " m.Harness.m_faults);
   ( m.Harness.m_output, m.Harness.m_instructions, m.Harness.m_cycles,
     m.Harness.m_l2_misses )
 
+(* Every non-reference engine configuration against step: identical
+   output, retired-instruction, cycle and L2-miss counts — in particular
+   the same preemption points when [quantum] forces timeslices to expire
+   inside blocks and chains. *)
 let check_parity ?quantum abi =
-  let label =
-    Printf.sprintf "%s%s" (Abi.to_string abi)
-      (match quantum with None -> "" | Some q -> Printf.sprintf " q=%d" q)
-  in
   let o1, i1, c1, l1 = measure ~engine:Cpu.Step ?quantum abi in
-  let o2, i2, c2, l2 = measure ~engine:Cpu.Block ?quantum abi in
-  Alcotest.(check string) (label ^ ": output") o1 o2;
-  Alcotest.(check int) (label ^ ": instructions") i1 i2;
-  Alcotest.(check int) (label ^ ": cycles") c1 c2;
-  Alcotest.(check int) (label ^ ": L2 misses") l1 l2
+  List.iter
+    (fun (which, engine, elide) ->
+      let label =
+        Printf.sprintf "%s %s%s" (Abi.to_string abi) which
+          (match quantum with None -> "" | Some q -> Printf.sprintf " q=%d" q)
+      in
+      let o2, i2, c2, l2 = measure ~engine ?quantum ~elide abi in
+      Alcotest.(check string) (label ^ ": output") o1 o2;
+      Alcotest.(check int) (label ^ ": instructions") i1 i2;
+      Alcotest.(check int) (label ^ ": cycles") c1 c2;
+      Alcotest.(check int) (label ^ ": L2 misses") l1 l2)
+    [ "block", Cpu.Block, false;
+      "chain", Cpu.Chain, false;
+      "chain+elide", Cpu.Chain, true ]
 
 let test_kernel_parity () =
   check_parity Abi.Mips64;
@@ -431,5 +808,14 @@ let test_kernel_parity_tiny_quantum () =
 let suite =
   [ "differential fuzz: step vs block", `Quick, test_fuzz_engines;
     "PCC bounds mid-block", `Quick, test_pcc_midblock_bounds;
+    "chain: self-loop", `Quick, test_chain_self_loop;
+    "chain: ping-pong", `Quick, test_chain_ping_pong;
+    "chain: megamorphic Jr inline cache", `Quick, test_chain_ic_megamorphic;
+    "chain: monomorphic CJR inline cache", `Quick, test_chain_cjr_monomorphic;
+    "chain: megamorphic CJR inline cache", `Quick, test_chain_cjr_megamorphic;
+    "chain: fuel boundaries", `Quick, test_chain_fuel_boundaries;
+    "chain: crosses facts-elided entry", `Quick, test_chain_crosses_elided_entry;
+    "chain: mid-chain trap attribution", `Quick, test_chain_trap_attribution;
+    "chain: mprotect severs chains", `Quick, test_chain_mprotect_severs;
     "kernel parity", `Quick, test_kernel_parity;
     "kernel parity, tiny quantum", `Quick, test_kernel_parity_tiny_quantum ]

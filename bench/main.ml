@@ -409,7 +409,7 @@ let engine_bench () =
   in
   let run_pass ~elide engine =
     List.fold_left
-      (fun (insns, secs, ch) (label, abi, argv, image) ->
+      (fun (insns, secs, ch, checked, elided) (label, abi, argv, image) ->
         let k = Cheri_kernel.Kernel.boot () in
         k.Cheri_kernel.Kstate.config.Cheri_kernel.Kstate.engine <- engine;
         if elide then
@@ -426,10 +426,13 @@ let engine_bench () =
         (match status with
          | Some _ -> ()
          | None -> failwith (Printf.sprintf "engine bench: %s ran away" label));
+        let bb = k.Cheri_kernel.Kstate.bb in
         ( insns + p.Cheri_kernel.Proc.ctx.Cheri_isa.Cpu.instret,
           secs +. dt,
-          add_ch ch (Cheri_isa.Bbcache.chain_stats k.Cheri_kernel.Kstate.bb) ))
-      (0, 0.0, zero_ch) images
+          add_ch ch (Cheri_isa.Bbcache.chain_stats bb),
+          checked + bb.Cheri_isa.Bbcache.checked_probes,
+          elided + bb.Cheri_isa.Bbcache.elided_probes ))
+      (0, 0.0, zero_ch, 0, 0) images
   in
   (* Host wall-clock is noisy at the few-percent level, which is the same
      order as the elision win: take the best of [reps] passes per leg so the
@@ -441,21 +444,21 @@ let engine_bench () =
     let rec go n acc =
       if n = 0 then acc
       else begin
-        let i, s, ch = run_pass ~elide engine in
+        let i, s, ch, cp, ep = run_pass ~elide engine in
         (match acc with
-         | Some (i0, _, _) when i0 <> i ->
+         | Some (i0, _, _, _, _) when i0 <> i ->
            failwith
              (Printf.sprintf
                 "engine bench: repeated pass retired %d insns, expected %d" i
                 i0)
          | _ -> ());
         let best =
-          match acc with Some (_, s0, _) -> Float.min s0 s | None -> s
+          match acc with Some (_, s0, _, _, _) -> Float.min s0 s | None -> s
         in
-        (* The chain stats are deterministic across passes of one leg (same
-           images, same schedule), so keeping the latest pass's totals is
-           keeping any pass's. *)
-        go (n - 1) (Some (i, best, ch))
+        (* The chain stats (and probe counts) are deterministic across passes
+           of one leg (same images, same schedule), so keeping the latest
+           pass's totals is keeping any pass's. *)
+        go (n - 1) (Some (i, best, ch, cp, ep))
       end
     in
     match go reps None with
@@ -465,8 +468,8 @@ let engine_bench () =
   let legs =
     List.map
       (fun (name, e, elide, reps) ->
-        let insns, secs, ch = run_engine ~elide ~reps e in
-        name, insns, secs, ch)
+        let insns, secs, ch, cp, ep = run_engine ~elide ~reps e in
+        name, insns, secs, ch, (cp, ep))
       [ "step", Cheri_isa.Cpu.Step, false, 1;
         "block", Cheri_isa.Cpu.Block, false, 3;
         "block+elide", Cheri_isa.Cpu.Block, true, 3;
@@ -506,22 +509,32 @@ let engine_bench () =
     if total = 0 then 0.0
     else float_of_int ch.ch_ic_hits /. float_of_int total
   in
-  Printf.printf "%-18s %14s %10s %10s %10s %8s\n" "engine" "sim insns"
-    "host s" "sim-MIPS/s" "chain-len" "IC-hit";
+  (* Dynamic elide rate: of the check_cap probes executed by compiled
+     blocks, how many ran as check-free closures (tier-1 facts plus guarded
+     facts whose entry guard held). *)
+  let elide_rate (cp, ep) =
+    if cp + ep = 0 then 0.0 else float_of_int ep /. float_of_int (cp + ep)
+  in
+  Printf.printf "%-18s %14s %10s %10s %10s %8s %8s\n" "engine" "sim insns"
+    "host s" "sim-MIPS/s" "chain-len" "IC-hit" "elided";
   List.iter
-    (fun (name, insns, secs, ch) ->
+    (fun (name, insns, secs, ch, pr) ->
       let open Cheri_isa.Bbcache in
+      let el =
+        if fst pr + snd pr = 0 then "-"
+        else Printf.sprintf "%.1f%%" (100.0 *. elide_rate pr)
+      in
       if ch.ch_entries = 0 then
-        Printf.printf "%-18s %14d %10.3f %10.2f %10s %8s\n" name insns secs
-          (mips insns secs) "-" "-"
+        Printf.printf "%-18s %14d %10.3f %10.2f %10s %8s %8s\n" name insns secs
+          (mips insns secs) "-" "-" el
       else
-        Printf.printf "%-18s %14d %10.3f %10.2f %10.2f %7.1f%%\n" name insns
-          secs (mips insns secs) (chain_len ch) (100.0 *. ic_rate ch))
+        Printf.printf "%-18s %14d %10.3f %10.2f %10.2f %7.1f%% %8s\n" name
+          insns secs (mips insns secs) (chain_len ch) (100.0 *. ic_rate ch) el)
     legs;
   (match legs with
-   | (_, i1, s1, _) :: rest ->
+   | (_, i1, s1, _, _) :: rest ->
      List.iter
-       (fun (name, i, _, _) ->
+       (fun (name, i, _, _, _) ->
          if i <> i1 then
            failwith
              (Printf.sprintf
@@ -530,7 +543,7 @@ let engine_bench () =
        rest;
      let mips1 = mips i1 s1 in
      List.iter
-       (fun (name, i, s, _) ->
+       (fun (name, i, s, _, _) ->
          Printf.printf "%s/step speedup: %.2fx (identical %d retired insns)\n"
            name (mips i s /. mips1) i1)
        rest;
@@ -558,14 +571,19 @@ let engine_bench () =
                "bench-smoke: elide leg ran %d eager superblock fixpoints \
                 (expected lazy analysis only)" sb_eager);
         let leg name =
-          match List.find_opt (fun (n, _, _, _) -> n = name) legs with
-          | Some (_, i, s, _) -> mips i s
+          match List.find_opt (fun (n, _, _, _, _) -> n = name) legs with
+          | Some (_, i, s, _, _) -> mips i s
           | None -> 0.0
         in
         let leg_ch name =
-          match List.find_opt (fun (n, _, _, _) -> n = name) legs with
-          | Some (_, _, _, ch) -> ch
+          match List.find_opt (fun (n, _, _, _, _) -> n = name) legs with
+          | Some (_, _, _, ch, _) -> ch
           | None -> zero_ch
+        in
+        let leg_pr name =
+          match List.find_opt (fun (n, _, _, _, _) -> n = name) legs with
+          | Some (_, _, _, _, pr) -> pr
+          | None -> (0, 0)
         in
         let b = leg "block" and e = leg "block+elide" in
         if e < b *. 0.95 then
@@ -588,18 +606,36 @@ let engine_bench () =
         if cch.Cheri_isa.Bbcache.ch_ic_hits = 0 then
           failwith "bench-smoke: chain leg never hit an inline cache";
         if cch.Cheri_isa.Bbcache.ch_chained = 0 then
-          failwith "bench-smoke: chain leg never chained a block"
+          failwith "bench-smoke: chain leg never chained a block";
+        (* Probe gates: elide legs must actually execute check-free
+           closures; non-elide legs must never see one. *)
+        if snd (leg_pr "block+elide") = 0 then
+          failwith "bench-smoke: block+elide leg executed no elided probes";
+        if snd (leg_pr "block+chain+elide") = 0 then
+          failwith "bench-smoke: chain+elide leg executed no elided probes";
+        if snd (leg_pr "block") <> 0 || snd (leg_pr "block+chain") <> 0 then
+          failwith "bench-smoke: non-elide leg executed elided probes"
       end);
      if !opt_json then begin
        let speedup_of name =
-         match List.find_opt (fun (n, _, _, _) -> n = name) legs with
-         | Some (_, i, s, _) -> mips i s /. mips1
+         match List.find_opt (fun (n, _, _, _, _) -> n = name) legs with
+         | Some (_, i, s, _, _) -> mips i s /. mips1
          | None -> 0.0
        in
        let chain_ch =
-         match List.find_opt (fun (n, _, _, _) -> n = "block+chain") legs with
-         | Some (_, _, _, ch) -> ch
+         match
+           List.find_opt (fun (n, _, _, _, _) -> n = "block+chain") legs
+         with
+         | Some (_, _, _, ch, _) -> ch
          | None -> zero_ch
+       in
+       let probes_of name =
+         match List.find_opt (fun (n, _, _, _, _) -> n = name) legs with
+         | Some (_, _, _, _, pr) -> pr
+         | None -> (0, 0)
+       in
+       let an_funcs, an_iters, an_checks, an_proved =
+         Cheri_analysis.Absint.ipa_totals ()
        in
        let oc = open_out "BENCH_simulator.json" in
        Printf.fprintf oc
@@ -615,19 +651,30 @@ let engine_bench () =
           \"avg_chain_length\": %.3f, \"ic_hits\": %d, \"ic_misses\": %d, \
           \"ic_megamorphic\": %d, \"ic_hit_rate\": %.3f },\n\
          \  \"fact_cache\": { \"hits\": %d, \"misses\": %d, \
-          \"superblocks_eager\": %d, \"superblocks_lazy\": %d }\n\
+          \"superblocks_eager\": %d, \"superblocks_lazy\": %d, \
+          \"guarded_prescans\": %d },\n\
+         \  \"analysis\": { \"functions_summarized\": %d, \
+          \"fixpoint_iterations\": %d, \"checks_provable\": %d, \
+          \"checks_total\": %d },\n\
+         \  \"check_probes\": {\n\
+         \    \"block_elide\": { \"checked\": %d, \"elided\": %d, \
+          \"elide_rate\": %.3f },\n\
+         \    \"chain_elide\": { \"checked\": %d, \"elided\": %d, \
+          \"elide_rate\": %.3f }\n\
+         \  }\n\
           }\n"
          (String.concat ",\n"
             (List.map
-               (fun (name, insns, secs, ch) ->
+               (fun (name, insns, secs, ch, pr) ->
                  let open Cheri_isa.Bbcache in
                  Printf.sprintf
                    "    { \"engine\": %S, \"instructions\": %d, \
                     \"host_seconds\": %.3f, \"sim_mips\": %.3f, \
-                    \"chain_length\": %.3f, \"ic_hit_rate\": %.3f }"
+                    \"chain_length\": %.3f, \"ic_hit_rate\": %.3f, \
+                    \"elide_rate\": %.3f }"
                    name insns secs (mips insns secs)
                    (if ch.ch_entries = 0 then 0.0 else chain_len ch)
-                   (ic_rate ch))
+                   (ic_rate ch) (elide_rate pr))
                legs))
          (speedup_of "block") (speedup_of "block+elide")
          (speedup_of "block+chain") (speedup_of "block+chain+elide")
@@ -638,7 +685,14 @@ let engine_bench () =
          chain_ch.Cheri_isa.Bbcache.ch_ic_misses
          chain_ch.Cheri_isa.Bbcache.ch_ic_mega
          (ic_rate chain_ch)
-         fc_hits fc_misses sb_eager sb_lazy;
+         fc_hits fc_misses sb_eager sb_lazy
+         Cheri_analysis.Absint.stats.Cheri_analysis.Absint.cs_lazy_gsb
+         an_funcs an_iters an_proved an_checks
+         (fst (probes_of "block+elide")) (snd (probes_of "block+elide"))
+         (elide_rate (probes_of "block+elide"))
+         (fst (probes_of "block+chain+elide"))
+         (snd (probes_of "block+chain+elide"))
+         (elide_rate (probes_of "block+chain+elide"));
        close_out oc;
        Printf.printf "wrote BENCH_simulator.json\n"
      end

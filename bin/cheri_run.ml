@@ -57,7 +57,7 @@ let externs_lines =
     0 Cheri_workloads.Stdlib_src.libc_externs
 
 let run file abi engine args dump_asm stats trace no_libc clc_small lint
-    verify elide =
+    verify elide astats =
   let src = read_file file in
   let opts =
     { (Cheri_cc.Compile.default_options abi) with clc_large_imm = not clc_small }
@@ -109,23 +109,39 @@ let run file abi engine args dump_asm stats trace no_libc clc_small lint
              link.Rtld.lk_symtab []
         |> List.sort_uniq compare
       in
+      let got =
+        List.filter_map
+          (fun (name, off) ->
+            match Hashtbl.find_opt link.Rtld.lk_symtab name with
+            | Some (Rtld.Dfunc (_, addr)) -> Some (off, addr)
+            | _ -> None)
+          link.Rtld.lk_got
+        |> List.sort compare
+      in
       let r =
         Absint.verify ~ddc ~pcc_may:(Perms.diff Perms.all Perms.system_regs)
-          ~entries link.Rtld.lk_code
+          ~entries ~got link.Rtld.lk_code
       in
       if r.Absint.r_diags = [] then begin
-        Printf.printf "%s: no verifier diagnostics (%d checks, %d elidable)\n"
-          file r.Absint.r_sites r.Absint.r_elided;
+        Printf.printf
+          "%s: no verifier diagnostics (%d checks, %d elidable, %d guarded; \
+           interprocedural %d/%d in %d iters)\n"
+          file r.Absint.r_sites r.Absint.r_elided r.Absint.r_guarded
+          r.Absint.r_flow_elided r.Absint.r_flow_sites r.Absint.r_iters;
         0
       end
       else begin
         List.iter
           (fun d -> Printf.printf "%s: %s\n" file (Absint.pp_diag d))
           r.Absint.r_diags;
-        Printf.printf "%s: %d diagnostic%s (%d checks, %d elidable)\n" file
+        Printf.printf
+          "%s: %d diagnostic%s (%d checks, %d elidable, %d guarded; \
+           interprocedural %d/%d in %d iters)\n"
+          file
           (List.length r.Absint.r_diags)
           (if List.length r.Absint.r_diags = 1 then "" else "s")
-          r.Absint.r_sites r.Absint.r_elided;
+          r.Absint.r_sites r.Absint.r_elided r.Absint.r_guarded
+          r.Absint.r_flow_elided r.Absint.r_flow_sites r.Absint.r_iters;
         1
       end
   end
@@ -202,6 +218,27 @@ let run file abi engine args dump_asm stats trace no_libc clc_small lint
         (Abi.to_string abi) p.Proc.ctx.Cpu.instret p.Proc.ctx.Cpu.cycles
         p.Proc.syscall_count
         (Cache.l2_misses (Cheri_kernel.Kstate.hierarchy k))
+    end;
+    if astats then begin
+      let module Absint = Cheri_analysis.Absint in
+      let module Bbcache = Cheri_isa.Bbcache in
+      let s = Absint.stats in
+      let funcs, iters, checks, proved = Absint.ipa_totals () in
+      let bb = k.Cheri_kernel.Kstate.bb in
+      let checked = bb.Bbcache.checked_probes
+      and elided = bb.Bbcache.elided_probes in
+      let rate a b = if a + b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int (a + b) in
+      Printf.eprintf
+        "--- analysis stats ---\n\
+         functions summarized:  %d (%d fixpoint iterations)\n\
+         checks provable:       %d of %d flow sites\n\
+         facts cache:           %d hits, %d misses (%.1f%% hit rate)\n\
+         superblocks analyzed:  %d eager, %d lazy, %d guarded pre-scans\n\
+         dynamic probes:        %d checked, %d elided (%.1f%% elided)\n"
+        funcs iters proved checks s.Absint.cs_hits s.Absint.cs_misses
+        (rate s.Absint.cs_hits s.Absint.cs_misses)
+        s.Absint.cs_eager_sb s.Absint.cs_lazy_sb s.Absint.cs_lazy_gsb
+        checked elided (rate elided checked)
     end;
     if trace then begin
       let events = Trace.to_list collector in
@@ -287,9 +324,18 @@ let cmd =
                    interpreter proves cannot fail. Observable behaviour and \
                    all statistics remain bit-identical.")
   in
+  let astats =
+    Arg.(value & flag
+         & info [ "analysis-stats" ]
+             ~doc:"After the run, print check-elision analysis statistics: \
+                   functions summarized, interprocedural fixpoint \
+                   iterations, statically provable checks, fact-cache hit \
+                   rate and the dynamic checked/elided probe counts. Most \
+                   useful together with $(b,--elide-checks).")
+  in
   Cmd.v
     (Cmd.info "cheri_run" ~doc:"Run a CSmall program on the CheriABI simulator")
     Term.(const run $ file $ abi $ engine $ args $ dump $ stats $ trace
-          $ no_libc $ clc_small $ lint $ verify $ elide)
+          $ no_libc $ clc_small $ lint $ verify $ elide $ astats)
 
 let () = exit (Cmd.eval' cmd)

@@ -52,9 +52,14 @@ type totals = {
   mutable t_warn : int;
   mutable t_sites : int;
   mutable t_elided : int;
+  mutable t_guarded : int;
+  mutable t_flow_sites : int;
+  mutable t_flow_elided : int;
 }
 
-let totals = { t_must = 0; t_warn = 0; t_sites = 0; t_elided = 0 }
+let totals =
+  { t_must = 0; t_warn = 0; t_sites = 0; t_elided = 0; t_guarded = 0;
+    t_flow_sites = 0; t_flow_elided = 0 }
 
 (* Verify one named source under [abi]: print diagnostics and elision
    statistics, accumulate totals. *)
@@ -79,8 +84,20 @@ let verify_named ~abi name src =
            link.Rtld.lk_symtab []
       |> List.sort_uniq compare
     in
+    (* GOT byte offset -> resolved function entry, exactly the view
+       Exec hands the kernel fact provider: it lets the CFG turn CJALR
+       through a constant GOT slot into a real call edge. *)
+    let got =
+      List.filter_map
+        (fun (name, off) ->
+          match Hashtbl.find_opt link.Rtld.lk_symtab name with
+          | Some (Rtld.Dfunc (_, addr)) -> Some (off, addr)
+          | _ -> None)
+        link.Rtld.lk_got
+      |> List.sort compare
+    in
     let r =
-      Absint.verify ~ddc:(initial_ddc abi) ~pcc_may ~entries
+      Absint.verify ~ddc:(initial_ddc abi) ~pcc_may ~entries ~got
         link.Rtld.lk_code
     in
     if r.Absint.r_diags = [] then Printf.printf "  (clean)\n"
@@ -96,19 +113,32 @@ let verify_named ~abi name src =
           | Absint.Warn -> (m, w + 1))
         (0, 0) r.Absint.r_diags
     in
-    let pct =
+    let pct n =
       if r.Absint.r_sites = 0 then 0.
-      else 100. *. float r.Absint.r_elided /. float r.Absint.r_sites
+      else 100. *. float n /. float r.Absint.r_sites
     in
     Printf.printf
-      "  funcs %d, blocks %d; checks %d, elidable %d (%.1f%%), \
-       superblocks with facts %d\n"
+      "  funcs %d, blocks %d; checks %d, elidable %d (%.1f%%) + %d guarded \
+       (%.1f%% total), superblocks with facts %d\n"
       r.Absint.r_funcs r.Absint.r_blocks r.Absint.r_sites r.Absint.r_elided
-      pct r.Absint.r_sb;
+      (pct r.Absint.r_elided) r.Absint.r_guarded
+      (pct (r.Absint.r_elided + r.Absint.r_guarded))
+      r.Absint.r_sb;
+    let fpct =
+      if r.Absint.r_flow_sites = 0 then 0.
+      else 100. *. float r.Absint.r_flow_elided /. float r.Absint.r_flow_sites
+    in
+    Printf.printf
+      "  interprocedural: %d of %d flow checks provable (%.1f%%), %d summary \
+       iterations\n"
+      r.Absint.r_flow_elided r.Absint.r_flow_sites fpct r.Absint.r_iters;
     totals.t_must <- totals.t_must + must;
     totals.t_warn <- totals.t_warn + warn;
     totals.t_sites <- totals.t_sites + r.Absint.r_sites;
-    totals.t_elided <- totals.t_elided + r.Absint.r_elided
+    totals.t_elided <- totals.t_elided + r.Absint.r_elided;
+    totals.t_guarded <- totals.t_guarded + r.Absint.r_guarded;
+    totals.t_flow_sites <- totals.t_flow_sites + r.Absint.r_flow_sites;
+    totals.t_flow_elided <- totals.t_flow_elided + r.Absint.r_flow_elided
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -123,9 +153,22 @@ let () =
     in
     pick args
   in
+  (* Coverage-regression gate (@verify): exit nonzero when total static
+     elision coverage (unconditional + guarded, over all verified images)
+     falls below this floor, so an analysis regression fails the build
+     even before the baseline diff localizes it. *)
+  let min_elide =
+    let rec pick = function
+      | "--min-elide" :: v :: _ -> Some (float_of_string v)
+      | _ :: rest -> pick rest
+      | [] -> None
+    in
+    pick args
+  in
   let files =
     let rec strip = function
       | "--abi" :: _ :: rest -> strip rest
+      | "--min-elide" :: _ :: rest -> strip rest
       | "--corpus" :: rest -> strip rest
       | f :: rest -> f :: strip rest
       | [] -> []
@@ -140,10 +183,22 @@ let () =
           (fun (name, src) -> verify_named ~abi (group ^ " / " ^ name) src)
           sources)
       (Compat.own_sources ());
-  let pct =
-    if totals.t_sites = 0 then 0.
-    else 100. *. float totals.t_elided /. float totals.t_sites
+  let pct n =
+    if totals.t_sites = 0 then 0. else 100. *. float n /. float totals.t_sites
   in
+  let covered = totals.t_elided + totals.t_guarded in
   Printf.printf
-    "\n== totals ==\nmust-trap %d, may-trap %d; checks %d, elidable %d (%.1f%%)\n"
-    totals.t_must totals.t_warn totals.t_sites totals.t_elided pct
+    "\n== totals ==\nmust-trap %d, may-trap %d; checks %d, elidable %d \
+     (%.1f%%) + %d guarded = %d covered (%.1f%%)\n"
+    totals.t_must totals.t_warn totals.t_sites totals.t_elided
+    (pct totals.t_elided) totals.t_guarded covered (pct covered);
+  Printf.printf "interprocedural: %d of %d flow checks provable\n"
+    totals.t_flow_elided totals.t_flow_sites;
+  match min_elide with
+  | Some floor when pct covered < floor ->
+    Printf.eprintf
+      "cheri_verify: elision coverage %.1f%% fell below the recorded floor \
+       %.1f%%\n"
+      (pct covered) floor;
+    exit 3
+  | _ -> ()

@@ -54,6 +54,8 @@ type acap = {
   a_may : Perms.t;             (* permissions possibly present *)
   a_win : (int * int) option;  (* proven: [addr+lo, addr+hi) within bounds *)
   a_eb : (int * int) option;   (* exact: (addr - base, top - addr) *)
+  a_boff : int option;         (* exact: addr - base alone (weaker than a_eb;
+                                  survives when only the length is unknown) *)
   a_topoff : int option;       (* upper bound on top - addr *)
   a_prov : Lint.prov;          (* provenance, PR 2's lattice *)
   a_conc : Cap.t option;       (* exactly-known concrete value *)
@@ -61,8 +63,8 @@ type acap = {
 
 let top_acap =
   { a_tag = Maybe; a_seal = Maybe; a_must = Perms.none; a_may = Perms.all;
-    a_win = None; a_eb = None; a_topoff = None; a_prov = Lint.Unknown;
-    a_conc = None }
+    a_win = None; a_eb = None; a_boff = None; a_topoff = None;
+    a_prov = Lint.Unknown; a_conc = None }
 
 let of_cap ?(prov = Lint.Unknown) c =
   let addr = Cap.addr c and base = Cap.base c and top = Cap.top c in
@@ -73,6 +75,7 @@ let of_cap ?(prov = Lint.Unknown) c =
       (if base <= addr && addr <= top && base < top
        then Some (base - addr, top - addr) else None);
     a_eb = Some (addr - base, top - addr);
+    a_boff = Some (addr - base);
     a_topoff = Some (top - addr);
     a_prov = prov;
     a_conc = Some c }
@@ -99,6 +102,7 @@ let join_acap ~widen a b =
              if l <= h then Some (l, h) else None
            | _ -> None);
       a_eb = keep_if_stable a.a_eb b.a_eb;
+      a_boff = keep_if_stable a.a_boff b.a_boff;
       a_topoff =
         (if widen then keep_if_stable a.a_topoff b.a_topoff
          else
@@ -193,6 +197,83 @@ let clobber_after_call st =
   out.slots <- IMap.empty;
   out
 
+(* --- Function summaries -----------------------------------------------------
+
+   Context-insensitive entry->exit transformers. A callee is analyzed once
+   from a generic entry state (Top registers; see [analyze_fn]), so its
+   exit state over-approximates its effect for *every* call site, and a
+   call edge applies the summary instead of clobbering the world:
+   registers the callee provably never writes keep the caller's facts,
+   written ones take the callee's exit value (sound because the callee's
+   entry state subsumes the caller's actual arguments).
+
+   [su_exit = None] means the function is not (yet) known to return — the
+   bottom transformer: during the ascending whole-image fixpoint it makes
+   call fall-through edges dead until a return path is found, and a
+   function that truly never returns keeps its callers' fall-through
+   blocks unreachable (no diagnostics are emitted from them).
+
+   [su_poison] degrades the summary to exactly the old pessimistic
+   clobber: set when the function returns through a computed register
+   (neither ra nor cra — the exit state would not describe where control
+   actually goes) and, as a soundness backstop, on every summary when the
+   outer worklist overruns its iteration budget (a truncated fixpoint is
+   not a fixpoint). *)
+
+type summary = {
+  mutable su_writes : int;   (* creg bitmask the function may write *)
+  mutable su_gwrites : int;  (* gpr bitmask the function may write *)
+  mutable su_stores : bool;  (* may store through any reachable capability *)
+  mutable su_exit : st option;      (* join over return-site states *)
+  mutable su_exit_joins : int;
+  mutable su_poison : bool;  (* degrade to clobber_after_call *)
+}
+
+let su_bottom () =
+  { su_writes = 0; su_gwrites = 0; su_stores = false; su_exit = None;
+    su_exit_joins = 0; su_poison = false }
+
+(* Caller state across a summarized call. csp survives by calling
+   convention, exactly as in [clobber_after_call]; a store anywhere in the
+   callee may have reached any caller-visible memory, so spill slots are
+   dropped wholesale. *)
+let apply_summary st su =
+  if su.su_poison then Some (clobber_after_call st)
+  else
+    match su.su_exit with
+    | None -> None
+    | Some ex ->
+      let out = copy_st st in
+      for r = 1 to 31 do
+        if (su.su_gwrites lsr r) land 1 = 1 then out.g.(r) <- Any;
+        if r <> Reg.csp && (su.su_writes lsr r) land 1 = 1 then
+          out.c.(r) <- ex.c.(r)
+      done;
+      if su.su_stores then out.slots <- IMap.empty;
+      Some out
+
+(* Join [src] (a freshly recomputed summary) into [dst] in place; returns
+   whether [dst] grew. Ascending on every component, with widening on the
+   exit join after a few rounds, so the outer fixpoint terminates. *)
+let join_summary dst src =
+  let changed = ref false in
+  let w = dst.su_writes lor src.su_writes in
+  if w <> dst.su_writes then (dst.su_writes <- w; changed := true);
+  let gw = dst.su_gwrites lor src.su_gwrites in
+  if gw <> dst.su_gwrites then (dst.su_gwrites <- gw; changed := true);
+  if src.su_stores && not dst.su_stores then
+    (dst.su_stores <- true; changed := true);
+  if src.su_poison && not dst.su_poison then
+    (dst.su_poison <- true; changed := true);
+  (match dst.su_exit, src.su_exit with
+   | _, None -> ()
+   | None, Some ex -> dst.su_exit <- Some (copy_st ex); changed := true
+   | Some cur, Some ex ->
+     dst.su_exit_joins <- dst.su_exit_joins + 1;
+     let j, c = join_st ~widen:(dst.su_exit_joins > 8) cur ex in
+     if c then (dst.su_exit <- Some j; changed := true));
+  !changed
+
 (* --- Verdicts -------------------------------------------------------------- *)
 
 type kind =
@@ -252,6 +333,7 @@ let judge_cap a ~perm ~off ~len =
         (match a.a_eb with
          | Some (lo, hi) -> off < -lo || off + len > hi
          | None -> false)
+        || (match a.a_boff with Some bo -> off < -bo | None -> false)
         || (match a.a_topoff with Some h -> off + len > h | None -> false)
       in
       if oob then (false, Some (K_cap Cap.Bounds_violation))
@@ -338,13 +420,14 @@ let inc_acap a d =
     { a with a_tag = tag';
       a_win = Option.map (fun (l, h) -> (l - d, h - d)) a.a_win;
       a_eb = Option.map (fun (l, h) -> (l + d, h - d)) a.a_eb;
+      a_boff = Option.map (fun l -> l + d) a.a_boff;
       a_topoff = Option.map (fun h -> h - d) a.a_topoff;
       a_conc = None }
 
 (* Cursor moved to an unknown absolute address. *)
 let unknown_addr_acap a =
   { a with a_tag = (if a.a_tag = No then No else Maybe);
-    a_win = None; a_eb = None; a_topoff = None; a_conc = None }
+    a_win = None; a_eb = None; a_boff = None; a_topoff = None; a_conc = None }
 
 let setbounds_must a len ~exact =
   match derive_must a with
@@ -378,13 +461,16 @@ let setbounds_result a len ~exact =
     (match len with
      | Cst l when l >= 0 && (exact || Compress.exponent_of_length l = 0) ->
        { a with a_tag = Yes; a_seal = No; a_win = Some (0, l);
-         a_eb = Some (0, l); a_topoff = Some l; a_conc = None }
+         a_eb = Some (0, l); a_boff = Some 0; a_topoff = Some l; a_conc = None }
      | Cst l when l >= 0 ->
+       (* Padding may lower the base below the cursor, so only the
+          requested window — not the exact base offset — is known. *)
        { a with a_tag = Yes; a_seal = No; a_win = Some (0, l); a_eb = None;
-         a_conc = None }
+         a_boff = None; a_conc = None }
      | _ ->
+       (* Unknown length: an exact request still pins base = cursor. *)
        { a with a_tag = Yes; a_seal = No; a_win = None; a_eb = None;
-         a_conc = None })
+         a_boff = (if exact then Some 0 else None); a_conc = None })
 
 (* --- ALU folding ----------------------------------------------------------- *)
 
@@ -690,7 +776,7 @@ let step_st env st (insn : Insn.t) : averdict =
           (* from_ptr on an untagged source returns an untagged NULL-based
              value without trapping. *)
           { a_tag = No; a_seal = No; a_must = Perms.none; a_may = Perms.none;
-            a_win = None; a_eb = None; a_topoff = None;
+            a_win = None; a_eb = None; a_boff = None; a_topoff = None;
             a_prov = Lint.Int_derived; a_conc = None }
         else if src.a_tag = Yes then
           { (unknown_addr_acap src) with a_seal = No;
@@ -815,6 +901,7 @@ type scan = {
   sc_must : (int, int) Hashtbl.t;  (* entry pc -> must-trap bitmask *)
   sc_sites : int;                  (* elidable check sites visited *)
   sc_elided : int;                 (* ... of which discharged *)
+  sc_guarded : int;                (* further checks elidable under guard *)
 }
 
 let make_env ?ddc ?(pcc_may = Perms.all) () =
@@ -839,15 +926,22 @@ type cache_stats = {
   mutable cs_misses : int;     (* provider calls that ran (or deferred) analysis *)
   mutable cs_eager_sb : int;   (* superblock fixpoints run eagerly *)
   mutable cs_lazy_sb : int;    (* superblock fixpoints run on first decode *)
+  mutable cs_lazy_gsb : int;   (* guarded pre-scans run on first decode *)
+  mutable cs_funcs : int;      (* functions summarized (interprocedural) *)
+  mutable cs_iters : int;      (* interprocedural worklist iterations *)
 }
 
-let stats = { cs_hits = 0; cs_misses = 0; cs_eager_sb = 0; cs_lazy_sb = 0 }
+let stats = { cs_hits = 0; cs_misses = 0; cs_eager_sb = 0; cs_lazy_sb = 0;
+              cs_lazy_gsb = 0; cs_funcs = 0; cs_iters = 0 }
 
 let reset_stats () =
   stats.cs_hits <- 0;
   stats.cs_misses <- 0;
   stats.cs_eager_sb <- 0;
-  stats.cs_lazy_sb <- 0
+  stats.cs_lazy_sb <- 0;
+  stats.cs_lazy_gsb <- 0;
+  stats.cs_funcs <- 0;
+  stats.cs_iters <- 0
 
 (* One superblock fixpoint: the straight-line scan the block engine's
    decoded blocks mirror, from a Top state at instruction index [e] of the
@@ -884,15 +978,215 @@ let scan_superblock env insns ~e =
   done;
   (!fmask, !mmask, !sites, !elided)
 
+(* --- Guarded-fact pre-scan (tier 2) ----------------------------------------
+
+   The Top-entry superblock scan above can never discharge an access whose
+   authorizing capability flows in from outside the block — which is most
+   of them: the first stack spill of a block, loads through a pointer that
+   was already in a register at entry, GOT loads through the global
+   pointer. The guarded tier handles exactly those: a demand-driven
+   straight-line pre-scan tracks, for each capability register, whether its
+   current value is the *entry* value of some register moved by an exactly
+   known byte delta (CMove / CIncOffset with constant offsets), and for
+   each GPR an exact integer delta from an entry GPR (Li/Move/Addiu and
+   friends). Every access whose authorizing value traces back to an entry
+   register demands a [Facts.gpred] on that register: tagged, unsealed,
+   carrying the accessed permissions, with a bounds window hulling every
+   access footprint *and every intermediate cursor position* of the chain
+   (a cursor move outside the representable window would strip the tag
+   mid-chain; window ⊆ [base, top] keeps every [Cap.set_addr] on the chain
+   tagged, so entry-time validity is sufficient). Legacy (DDC-relative)
+   accesses through a tracked GPR demand the DDC form instead, dead after
+   any [CWriteDDC] in the prefix.
+
+   Soundness is by construction and entirely independent of the
+   interprocedural layer: the predicate conjunction is evaluated against
+   the real register file at every block entry (bbcache), and a guard that
+   holds implies every guarded check passes. Wild control flow at worst
+   makes guards fail, which falls back to the exact path.
+
+   This is also what discharges strided loops: the loop body is a block,
+   its guard is evaluated once per iteration (the "one loop-entry
+   predicate"), and the hulled window covers the whole per-iteration
+   footprint including the stride update, so every in-loop check is
+   elided while the trip count stays inside the proven bounds — and the
+   first out-of-bounds iteration fails the guard and takes the exact
+   path, which traps exactly where the machine would. *)
+
+type corigin = Oent of int * int | Onone       (* entry creg, cursor delta *)
+type gorigin = Gent of int * int | Gcst of int | Gnone
+
+type gdemand = {
+  mutable dm_perms : int;
+  mutable dm_lo : int;          (* window hull, inclusive cursor offsets *)
+  mutable dm_hi : int;
+  mutable dm_bits : int;        (* fact bits this predicate licenses *)
+}
+
+(* At most this many predicates per entry: the mask is all-or-nothing (one
+   compiled body per block), so a rarely-valid predicate would also forfeit
+   the common ones. Compiled blocks rarely derive from more than two or
+   three distinct entry registers. *)
+let max_gpreds = 4
+
+let guard_scan ~ddc_dead insns ~e ~fmask =
+  let n = Array.length insns in
+  let co = Array.init 32 (fun r -> if r = 0 then Onone else Oent (r, 0)) in
+  let go = Array.make 32 Gnone in
+  for r = 1 to 31 do go.(r) <- Gent (r, 0) done;
+  let readg r = if r = 0 then Gcst 0 else go.(r) in
+  let cdem : (int, gdemand) Hashtbl.t = Hashtbl.create 8 in
+  let ddem : (int, gdemand) Hashtbl.t = Hashtbl.create 4 in
+  let ddc_alive = ref (not ddc_dead) in
+  let dem tbl r0 =
+    match Hashtbl.find_opt tbl r0 with
+    | Some d -> d
+    | None ->
+      let d = { dm_perms = 0; dm_lo = max_int; dm_hi = min_int; dm_bits = 0 } in
+      Hashtbl.add tbl r0 d;
+      d
+  in
+  let hull d lo hi =
+    if lo < d.dm_lo then d.dm_lo <- lo;
+    if hi > d.dm_hi then d.dm_hi <- hi
+  in
+  let cap_access idx cb perm off len =
+    if (fmask lsr idx) land 1 = 0 && idx <= Facts.max_index then
+      match co.(cb) with
+      | Oent (r0, d) ->
+        let dm = dem cdem r0 in
+        dm.dm_perms <- dm.dm_perms lor perm;
+        hull dm (d + off) (d + off + len);
+        dm.dm_bits <- dm.dm_bits lor (1 lsl idx)
+      | Onone -> ()
+  in
+  let legacy_access idx base perm off len =
+    if (fmask lsr idx) land 1 = 0 && idx <= Facts.max_index && !ddc_alive then
+      match readg base with
+      | Gent (g0, d) ->
+        let dm = dem ddem g0 in
+        dm.dm_perms <- dm.dm_perms lor perm;
+        hull dm (d + off) (d + off + len);
+        dm.dm_bits <- dm.dm_bits lor (1 lsl idx)
+      | Gcst _ | Gnone -> ()
+  in
+  (* Every retargeting of a tracked chain hulls the new cursor position
+     into the entry register's window, so the guard also proves that no
+     intermediate [set_addr] on the chain strips the tag. *)
+  let move_cursor r0 d' = let dm = dem cdem r0 in hull dm d' d' in
+  let i = ref e in
+  let stop = ref false in
+  while (not !stop) && !i - e < Cheri_isa.Bbcache.max_block && !i < n do
+    let insn = insns.(!i) in
+    if Insn.is_terminator insn then stop := true
+    else begin
+      let idx = !i - e in
+      (match insn with
+       | Insn.CLoad { w; rd; cb; off; _ } ->
+         cap_access idx cb Perms.load off w;
+         if rd <> 0 then go.(rd) <- Gnone
+       | Insn.CStore { w; cb; off; _ } -> cap_access idx cb Perms.store off w
+       | Insn.CLC { cd; cb; off } ->
+         cap_access idx cb Perms.load off Cap.sizeof;
+         co.(cd) <- Onone
+       | Insn.CSC { cb; off; _ } -> cap_access idx cb Perms.store off Cap.sizeof
+       | Insn.Load { w; rd; base; off; _ } ->
+         legacy_access idx base Perms.load off w;
+         if rd <> 0 then go.(rd) <- Gnone
+       | Insn.Store { w; base; off; _ } -> legacy_access idx base Perms.store off w
+       | Insn.CMove (cd, cb) -> if cd <> 0 then co.(cd) <- co.(cb)
+       | Insn.CIncOffsetImm (cd, cb, imm) ->
+         let p =
+           match co.(cb) with
+           | Oent (r0, d) -> let d' = d + imm in move_cursor r0 d'; Oent (r0, d')
+           | Onone -> Onone
+         in
+         if cd <> 0 then co.(cd) <- p
+       | Insn.CIncOffset (cd, cb, rt) ->
+         let p =
+           match co.(cb), readg rt with
+           | Oent (r0, d), Gcst k -> let d' = d + k in move_cursor r0 d'; Oent (r0, d')
+           | _ -> Onone
+         in
+         if cd <> 0 then co.(cd) <- p
+       | Insn.CWriteDDC _ -> ddc_alive := false
+       | Insn.Li (rd, v) -> if rd <> 0 then go.(rd) <- Gcst v
+       | Insn.Move (rd, rs) -> if rd <> 0 then go.(rd) <- readg rs
+       | Insn.Addiu (rd, rs, k) ->
+         if rd <> 0 then
+           go.(rd) <- (match readg rs with
+             | Gent (g, d) -> Gent (g, d + k)
+             | Gcst c -> Gcst (c + k)
+             | Gnone -> Gnone)
+       | Insn.Addu (rd, rs, rt) ->
+         if rd <> 0 then
+           go.(rd) <- (match readg rs, readg rt with
+             | Gent (g, d), Gcst c | Gcst c, Gent (g, d) -> Gent (g, d + c)
+             | Gcst a, Gcst b -> Gcst (a + b)
+             | _ -> Gnone)
+       | Insn.Subu (rd, rs, rt) ->
+         if rd <> 0 then
+           go.(rd) <- (match readg rs, readg rt with
+             | Gent (g, d), Gcst c -> Gent (g, d - c)
+             | Gcst a, Gcst b -> Gcst (a - b)
+             | _ -> Gnone)
+       | _ ->
+         (match Insn.creg_def insn with
+          | Some cd -> if cd <> 0 then co.(cd) <- Onone
+          | None -> ());
+         (match Insn.gpr_def insn with
+          | Some rd -> if rd <> 0 then go.(rd) <- Gnone
+          | None -> ()));
+      incr i
+    end
+  done;
+  let cands =
+    Hashtbl.fold
+      (fun r0 dm acc ->
+        if dm.dm_bits <> 0 then (false, r0, dm) :: acc else acc)
+      cdem []
+    @ Hashtbl.fold
+        (fun g0 dm acc ->
+          if dm.dm_bits <> 0 then (true, g0, dm) :: acc else acc)
+        ddem []
+  in
+  let cands =
+    List.sort
+      (fun (_, ra, a) (_, rb, b) ->
+        match compare (Facts.popcount b.dm_bits) (Facts.popcount a.dm_bits) with
+        | 0 -> compare ra rb
+        | c -> c)
+      cands
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  let kept = take max_gpreds cands in
+  let gmask = List.fold_left (fun m (_, _, dm) -> m lor dm.dm_bits) 0 kept in
+  let preds =
+    List.map
+      (fun (is_ddc, r0, dm) ->
+        { Facts.gp_reg = r0; gp_ddc = is_ddc; gp_perms = dm.dm_perms;
+          gp_lo = dm.dm_lo; gp_hi = dm.dm_hi })
+      kept
+    |> Array.of_list
+  in
+  (gmask land lnot fmask, preds)
+
 (* Analyze every pc of every region as a potential superblock entry, from a
    Top state: exactly the straight-line runs the block engine decodes (it
    keys blocks by whatever pc control arrives at), bounded by the same
    [Bbcache.max_block]. *)
 let scan_code ?ddc ?pcc_may regions =
   let env = make_env ?ddc ?pcc_may () in
+  (* A statically untagged DDC (cheriabi's null DDC) makes every legacy
+     access a must-trap; DDC-form guards could never fire. *)
+  let ddc_dead = env.e_ddc.a_tag = No in
   let facts = Facts.create () in
   let must_tbl = Hashtbl.create 256 in
-  let sites = ref 0 and elided = ref 0 in
+  let sites = ref 0 and elided = ref 0 and guarded = ref 0 in
   List.iter
     (fun (base, insns) ->
       let n = Array.length insns in
@@ -901,6 +1195,9 @@ let scan_code ?ddc ?pcc_may regions =
         let fmask, mmask, s, el = scan_superblock env insns ~e in
         stats.cs_eager_sb <- stats.cs_eager_sb + 1;
         Facts.add_mask facts ~entry fmask;
+        let gmask, preds = guard_scan ~ddc_dead insns ~e ~fmask in
+        Facts.add_guarded facts ~entry gmask preds;
+        guarded := !guarded + Facts.popcount gmask;
         if mmask <> 0 then begin
           let cur =
             match Hashtbl.find_opt must_tbl entry with Some m -> m | None -> 0
@@ -912,7 +1209,7 @@ let scan_code ?ddc ?pcc_may regions =
       done)
     regions;
   { sc_facts = facts; sc_must = must_tbl; sc_sites = !sites;
-    sc_elided = !elided }
+    sc_elided = !elided; sc_guarded = !guarded }
 
 let facts_of_code ?ddc ?pcc_may regions =
   (scan_code ?ddc ?pcc_may regions).sc_facts
@@ -926,6 +1223,7 @@ let facts_of_code ?ddc ?pcc_may regions =
    flushes) and cached re-execs are hash lookups. *)
 let lazy_facts_of_code ?ddc ?pcc_may regions =
   let env = make_env ?ddc ?pcc_may () in
+  let ddc_dead = env.e_ddc.a_tag = No in
   let resolve entry =
     let rec find = function
       | [] -> 0
@@ -944,7 +1242,27 @@ let lazy_facts_of_code ?ddc ?pcc_may regions =
     in
     find regions
   in
-  Facts.create_lazy ~resolve
+  (* The guarded resolver re-derives the unconditional mask (memoized at
+     the guard level, so at most one extra superblock fixpoint per entry)
+     because guard bits must exclude everything tier 1 already proved. *)
+  let gresolve entry =
+    let rec find = function
+      | [] -> Facts.no_guard
+      | (base, insns) :: rest ->
+        if entry >= base
+           && entry < base + (4 * Array.length insns)
+           && (entry - base) land 3 = 0
+        then begin
+          stats.cs_lazy_gsb <- stats.cs_lazy_gsb + 1;
+          let e = (entry - base) / 4 in
+          let fmask, _, _, _ = scan_superblock env insns ~e in
+          guard_scan ~ddc_dead insns ~e ~fmask
+        end
+        else find rest
+    in
+    find regions
+  in
+  Facts.create_lazy ~gresolve ~resolve ()
 
 (* --- Image-keyed fact cache -------------------------------------------------
 
@@ -974,7 +1292,29 @@ type fact_key = {
 
 let fact_cache : (fact_key, Facts.t) Hashtbl.t = Hashtbl.create 16
 
-let clear_fact_cache () = Hashtbl.reset fact_cache
+(* Interprocedural-analysis results for one image: the per-function
+   summary table plus the counters --analysis-stats reports. Cached
+   alongside the fact tables under the same key discipline, one step
+   lazier: the thunk only runs if something actually asks for the stats
+   (or the summaries), so plain execution never pays for CFG recovery. *)
+type ipa = {
+  ip_funcs : int;                     (* functions summarized *)
+  ip_iters : int;                     (* outer worklist iterations *)
+  ip_checks : int;                    (* flow-level check sites swept *)
+  ip_proved : int;                    (* ... statically provable *)
+  ip_sums : (int, summary) Hashtbl.t; (* function root -> summary *)
+}
+
+(* Keyed by the fact key plus the linkage view (entry points and GOT map)
+   the CFG was recovered from — defensively, like fk_layout: the linker is
+   deterministic per image + ABI. *)
+let sum_cache
+    : (fact_key * int list * (int * int) list, ipa Lazy.t) Hashtbl.t =
+  Hashtbl.create 16
+
+let clear_fact_cache () =
+  Hashtbl.reset fact_cache;
+  Hashtbl.reset sum_cache
 
 let cached_facts ~image ~ddc ~pcc_may ~mode regions =
   let key =
@@ -997,16 +1337,6 @@ let cached_facts ~image ~ddc ~pcc_may ~mode regions =
     in
     Hashtbl.add fact_cache key f;
     f
-
-(* The standard kernel fact provider (Kstate.config.fact_provider):
-   image-cached, user-PCC permission envelope (user code can never hold
-   SYSTEM_REGS — the kernel's user root is derived without it — which is
-   what makes a concrete DDC sound: CWriteDDC must trap). Lazy by default;
-   [Eager] pays the whole image up front, which only wins for processes
-   that execute most of their code. *)
-let provider ?(mode = Lazy_sb) () =
-  let pcc_may = Perms.diff Perms.all Perms.system_regs in
-  fun ~image ~ddc regions -> cached_facts ~image ~ddc ~pcc_may ~mode regions
 
 let must_traps sc ~entry ~index =
   index >= 0 && index <= Facts.max_index
@@ -1039,7 +1369,11 @@ type report = {
   r_blocks : int;
   r_sites : int;     (* elidable check sites (superblock scan) *)
   r_elided : int;    (* checks discharged *)
+  r_guarded : int;   (* further checks elidable under entry guards *)
   r_sb : int;        (* superblock entries with at least one fact *)
+  r_flow_sites : int;  (* check sites swept by the interprocedural pass *)
+  r_flow_elided : int; (* ... discharged on the stabilized flow states *)
+  r_iters : int;     (* outer summary-worklist iterations *)
 }
 
 let kind_msg kind prov =
@@ -1062,11 +1396,238 @@ let kind_msg kind prov =
    | K_div -> "division traps (zero divisor or INT_MIN/-1)")
   ^ p
 
-(* Fixpoint + post-convergence diagnostics for one function. Diagnostics
-   are only collected after the block input states have stabilized:
-   states rise monotonically during iteration, so a must-trap provable
-   from an early state can be invalidated by a later join. *)
-let analyze_fn env cfg root members ~emit =
+(* --- Path-sensitive branch refinement ---------------------------------------
+
+   Block-local provenance of branch operands: which GPR currently holds
+   the result of a [CGetTag]/[CGetLen] on some capability register, or of
+   an unsigned bounds compare [Sltu k, len] against such a length. At the
+   block's conditional terminator, each successor edge learns what the
+   guard decided — the taken edge of [bnez (cgettag cb)] flows a state in
+   which cb is tagged, the fall-through one in which it is not — and
+   edges whose condition contradicts the abstract state are pruned as
+   infeasible. *)
+
+type borigin =
+  | BTag of int           (* gpr = tag bit of creg *)
+  | BLen of int           (* gpr = length of creg *)
+  | BLtLen of int * int   (* gpr = (k <u length of creg), k >= 0 *)
+
+let kill_borigin orig cd =
+  let stale =
+    Hashtbl.fold
+      (fun r o acc ->
+        match o with
+        | BTag c | BLen c | BLtLen (_, c) -> if c = cd then r :: acc else acc)
+      orig []
+  in
+  List.iter (Hashtbl.remove orig) stale
+
+(* Learn tag(cb) = [expect]; false = the edge is infeasible. [a_conc]
+   always pins the tag exactly ([of_cap]), so a contradicting refinement
+   can only meet a [Maybe], where a_conc is already None. *)
+let tag_refine st cb expect =
+  let a = getc st cb in
+  match a.a_tag, expect with
+  | Yes, false | No, true -> false
+  | _ ->
+    refinec st cb
+      (if expect then { a with a_tag = Yes } else { a with a_tag = No });
+    true
+
+(* Learn (k <u length cb) = true: length >= k+1, and with the exact base
+   offset bo = addr - base the window [-bo, k+1-bo) is provably in
+   bounds (lengths are never negative, so unsigned > is signed > here). *)
+let ltlen_true st cb k =
+  let a = getc st cb in
+  match a.a_boff with
+  | Some bo ->
+    let lo = -bo and hi = k + 1 - bo in
+    let win =
+      match a.a_win with
+      | Some (l, h) -> Some (min l lo, max h hi)
+      | None -> Some (lo, hi)
+    in
+    refinec st cb { a with a_win = win }
+  | None -> ()
+
+(* Learn (k <u length cb) = false: length <= k, so top - addr <= k - bo. *)
+let ltlen_false st cb k =
+  let a = getc st cb in
+  match a.a_boff with
+  | Some bo ->
+    let h = k - bo in
+    let topoff =
+      match a.a_topoff with Some t -> Some (min t h) | None -> Some h
+    in
+    refinec st cb { a with a_topoff = topoff }
+  | None -> ()
+
+(* Refine [st] (a private copy) along one edge of conditional terminator
+   [tm]; [taken] selects the branch-taken edge. Returns false when the
+   edge is infeasible under the abstract state. *)
+let refine_edge st orig (tm : Insn.t) ~taken =
+  let feas = ref true in
+  let byorig r = Hashtbl.find_opt orig r in
+  (match tm with
+   | Insn.Beq (rs, rt, _) | Insn.Bne (rs, rt, _) ->
+     let eq = match tm with Insn.Beq _ -> taken | _ -> not taken in
+     (match getg st rs, getg st rt with
+      | Cst a, Cst b -> if (a = b) <> eq then feas := false
+      | _ -> ());
+     if !feas then begin
+       if eq then
+         (match getg st rs, getg st rt with
+          | Cst k, Any -> setg st rt (Cst k)
+          | Any, Cst k -> setg st rs (Cst k)
+          | _ -> ());
+       let against_zero r other =
+         if getg st other = Cst 0 then
+           match byorig r with
+           | Some (BTag cb) ->
+             (* value = 0 <-> untagged *)
+             if not (tag_refine st cb (not eq)) then feas := false
+           | Some (BLtLen (k, cb)) ->
+             if eq then ltlen_false st cb k else ltlen_true st cb k
+           | _ -> ()
+       in
+       against_zero rs rt;
+       against_zero rt rs
+     end
+   | Insn.Blez (rs, _) | Insn.Bgtz (rs, _) | Insn.Bltz (rs, _)
+   | Insn.Bgez (rs, _) ->
+     let holds = taken in
+     (match getg st rs with
+      | Cst v ->
+        let c =
+          match tm with
+          | Insn.Blez _ -> v <= 0
+          | Insn.Bgtz _ -> v > 0
+          | Insn.Bltz _ -> v < 0
+          | _ -> v >= 0
+        in
+        if c <> holds then feas := false
+      | Any -> ());
+     if !feas then
+       (match byorig rs with
+        | Some (BTag cb) ->
+          (* tag in {0, 1} *)
+          (match tm with
+           | Insn.Blez _ ->
+             if not (tag_refine st cb (not holds)) then feas := false
+           | Insn.Bgtz _ -> if not (tag_refine st cb holds) then feas := false
+           | Insn.Bltz _ -> if holds then feas := false
+           | Insn.Bgez _ -> if not holds then feas := false
+           | _ -> ())
+        | Some (BLtLen (k, cb)) ->
+          (* compare result in {0, 1} *)
+          (match tm with
+           | Insn.Blez _ ->
+             if holds then ltlen_false st cb k else ltlen_true st cb k
+           | Insn.Bgtz _ ->
+             if holds then ltlen_true st cb k else ltlen_false st cb k
+           | Insn.Bltz _ -> if holds then feas := false
+           | Insn.Bgez _ -> if not holds then feas := false
+           | _ -> ())
+        | _ -> ())
+   | _ -> ());
+  !feas
+
+(* Flow [st] through the straight-line body of [b], tracking branch-operand
+   origins; returns (origins, terminator). [on_insn] sees every
+   non-terminator verdict (diagnostics, counters). *)
+let flow_block env ?(on_insn = fun _ _ _ -> ()) st (b : Cfg.bb) =
+  let orig : (int, borigin) Hashtbl.t = Hashtbl.create 4 in
+  let term = ref None in
+  Array.iteri
+    (fun i insn ->
+      if Insn.is_terminator insn then term := Some insn
+      else begin
+        (* Compute the defined GPR's new origin from the *pre*-state (Sltu
+           reads may be overwritten by its own destination). *)
+        let gorig =
+          match insn with
+          | Insn.CGetTag (rd, cb) when rd <> 0 -> Some (rd, Some (BTag cb))
+          | Insn.CGetLen (rd, cb) when rd <> 0 -> Some (rd, Some (BLen cb))
+          | Insn.Sltu (rd, rs, rt) when rd <> 0 ->
+            (match getg st rs, Hashtbl.find_opt orig rt with
+             | Cst k, Some (BLen cb) when k >= 0 ->
+               Some (rd, Some (BLtLen (k, cb)))
+             | _ -> Some (rd, None))
+          | Insn.Move (rd, rs) when rd <> 0 ->
+            Some (rd, Hashtbl.find_opt orig rs)
+          | _ ->
+            (match Insn.gpr_def insn with
+             | Some rd when rd <> 0 -> Some (rd, None)
+             | _ -> None)
+        in
+        let v = step_st env st insn in
+        on_insn (b.Cfg.bb_entry + (4 * i)) insn v;
+        (match Insn.creg_def insn with
+         | Some cd -> kill_borigin orig cd
+         | None -> ());
+        (match gorig with
+         | Some (rd, Some o) -> Hashtbl.replace orig rd o
+         | Some (rd, None) -> Hashtbl.remove orig rd
+         | None -> ())
+      end)
+    b.Cfg.bb_insns;
+  (orig, !term)
+
+(* Per-successor output states of a flowed block: ordinary edges get a
+   refined copy (or are pruned as infeasible), call fall-through edges go
+   through the callee's summary — or the old full clobber when the callee
+   is unknown (Jalr, unresolved CJALR, Syscall, Rt). *)
+let succ_outs ~sums (b : Cfg.bb) st orig term =
+  let fall = b.Cfg.bb_entry + (4 * Array.length b.Cfg.bb_insns) in
+  let cond_target =
+    match term with
+    | Some
+        (Insn.Beq (_, _, t) | Insn.Bne (_, _, t) | Insn.Blez (_, t)
+        | Insn.Bgtz (_, t) | Insn.Bltz (_, t) | Insn.Bgez (_, t))
+      when t <> fall ->
+      Some t
+    | _ -> None
+  in
+  List.filter_map
+    (fun s ->
+      match s with
+      | Cfg.Seq t ->
+        let out = copy_st st in
+        let ok =
+          match cond_target, term with
+          | Some tgt, Some tm -> refine_edge out orig tm ~taken:(t = tgt)
+          | _ -> true
+        in
+        if ok then Some (t, out) else None
+      | Cfg.Ret_of t ->
+        let out =
+          match b.Cfg.bb_calls with
+          | [ callee ] ->
+            (match Hashtbl.find_opt sums callee with
+             | Some su -> apply_summary st su
+             | None -> Some (clobber_after_call st))
+          | _ -> Some (clobber_after_call st)
+        in
+        Option.map (fun o -> (t, o)) out)
+    b.Cfg.bb_succs
+
+type fn_result = {
+  fr_sum : summary;
+  fr_sites : int;   (* flow-level elidable check sites swept *)
+  fr_elided : int;  (* ... discharged on the stabilized states *)
+}
+
+(* Fixpoint + post-convergence sweep for one function. [sums] supplies
+   callee summaries (an empty table degrades every call to the clobber).
+   Diagnostics and counters are only collected after the block input
+   states have stabilized: states rise monotonically during iteration, so
+   a must-trap provable from an early state can be invalidated by a later
+   join. The sweep also recomputes the function's own summary: exit
+   states join over return terminators ([jr ra] / [cjr cra]) and over
+   summary-composed tail transfers (jumps and branches into other
+   function roots); returns through any other register poison the
+   summary (the exit state would not describe where control goes). *)
+let analyze_fn ?emit env ~sums cfg root members =
   let in_states : (int, st) Hashtbl.t = Hashtbl.create 16 in
   let join_counts : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let member = Hashtbl.create 16 in
@@ -1081,12 +1642,6 @@ let analyze_fn env cfg root members ~emit =
   Hashtbl.replace in_states root entry_st;
   let work = Queue.create () in
   Queue.add root work;
-  let flow_block st (b : Cfg.bb) =
-    Array.iter
-      (fun insn ->
-        if not (Insn.is_terminator insn) then ignore (step_st env st insn))
-      b.Cfg.bb_insns
-  in
   let steps = ref 0 in
   while (not (Queue.is_empty work)) && !steps < 20_000 do
     incr steps;
@@ -1094,14 +1649,9 @@ let analyze_fn env cfg root members ~emit =
     match Cfg.block_of cfg e, Hashtbl.find_opt in_states e with
     | Some b, Some ist ->
       let st = copy_st ist in
-      flow_block st b;
+      let orig, term = flow_block env st b in
       List.iter
-        (fun s ->
-          let t, out =
-            match s with
-            | Cfg.Seq t -> (t, st)
-            | Cfg.Ret_of t -> (t, clobber_after_call st)
-          in
+        (fun (t, out) ->
           if Hashtbl.mem member t then
             match Hashtbl.find_opt in_states t with
             | None ->
@@ -1119,39 +1669,185 @@ let analyze_fn env cfg root members ~emit =
                 Hashtbl.replace join_counts t (jc + 1);
                 Queue.add t work
               end)
-        b.Cfg.bb_succs
+        (succ_outs ~sums b st orig term)
     | _ -> ()
   done;
+  (* Post-convergence sweep: diagnostics, counters, and this function's
+     summary (write effects + exit state). *)
+  let sum = su_bottom () in
+  let wcreg r = if r <> 0 then sum.su_writes <- sum.su_writes lor (1 lsl r) in
+  let wgpr r = if r <> 0 then sum.su_gwrites <- sum.su_gwrites lor (1 lsl r) in
+  let clobber_effect () =
+    sum.su_writes <- sum.su_writes lor (lnot (1 lsl Reg.csp) land 0xffff_fffe);
+    sum.su_gwrites <- sum.su_gwrites lor 0xffff_fffe;
+    sum.su_stores <- true
+  in
+  let callee_effect t =
+    match Hashtbl.find_opt sums t with
+    | Some su when not su.su_poison ->
+      sum.su_writes <- sum.su_writes lor su.su_writes;
+      sum.su_gwrites <- sum.su_gwrites lor su.su_gwrites;
+      if su.su_stores then sum.su_stores <- true
+    | _ -> clobber_effect ()
+  in
+  let add_exit stx =
+    match sum.su_exit with
+    | None -> sum.su_exit <- Some (copy_st stx)
+    | Some cur ->
+      sum.su_exit_joins <- sum.su_exit_joins + 1;
+      let j, _ = join_st ~widen:(sum.su_exit_joins > 8) cur stx in
+      sum.su_exit <- Some j
+  in
+  let sites = ref 0 and elided = ref 0 in
   List.iter
     (fun e ->
-      match Cfg.block_of cfg e, Hashtbl.find_opt in_states e with
-      | Some b, Some ist ->
-        let st = copy_st ist in
-        Array.iteri
-          (fun i insn ->
-            let pc = b.Cfg.bb_entry + (4 * i) in
-            if Insn.is_terminator insn then begin
-              match term_verdict st insn with
-              | `Must (k, p) ->
-                emit ~fn:root ~block:e ~pc ~sev:Must ~kind:k ~prov:p insn
-              | `Warn (k, p) ->
-                emit ~fn:root ~block:e ~pc ~sev:Warn ~kind:k ~prov:p insn
-              | `None -> ()
-            end
-            else begin
-              let v = step_st env st insn in
-              match v.av_must with
-              | Some (k, p) ->
-                emit ~fn:root ~block:e ~pc ~sev:Must ~kind:k ~prov:p insn
-              | None -> ()
-            end)
-          b.Cfg.bb_insns
-      | _ -> ())
-    members
+      match Cfg.block_of cfg e with
+      | None -> ()
+      | Some b ->
+        (* Syntactic write effects accumulate over every member block,
+           reachable or not — the summary must cover any path a caller
+           could exercise. *)
+        Array.iter
+          (fun insn ->
+            (match Insn.creg_def insn with Some cd -> wcreg cd | None -> ());
+            (match Insn.gpr_def insn with Some rd -> wgpr rd | None -> ());
+            match insn with
+            | Insn.Store _ | Insn.CStore _ | Insn.CSC _ ->
+              sum.su_stores <- true
+            | _ -> ())
+          b.Cfg.bb_insns;
+        let has_ret_of =
+          List.exists
+            (function Cfg.Ret_of _ -> true | Cfg.Seq _ -> false)
+            b.Cfg.bb_succs
+        in
+        if has_ret_of && b.Cfg.bb_calls = [] then clobber_effect ()
+        else List.iter callee_effect b.Cfg.bb_calls;
+        (match Hashtbl.find_opt in_states e with
+         | None -> ()
+         | Some ist ->
+           let st = copy_st ist in
+           let on_insn pc insn v =
+             if v.av_site then incr sites;
+             if v.av_elide then incr elided;
+             match emit, v.av_must with
+             | Some emit, Some (k, p) ->
+               emit ~fn:root ~block:e ~pc ~sev:Must ~kind:k ~prov:p insn
+             | _ -> ()
+           in
+           let orig, term = flow_block env ~on_insn st b in
+           (match term, emit with
+            | Some tm, Some emit ->
+              let pc = b.Cfg.bb_entry + (4 * (Array.length b.Cfg.bb_insns - 1)) in
+              (match term_verdict st tm with
+               | `Must (k, p) ->
+                 emit ~fn:root ~block:e ~pc ~sev:Must ~kind:k ~prov:p tm
+               | `Warn (k, p) ->
+                 emit ~fn:root ~block:e ~pc ~sev:Warn ~kind:k ~prov:p tm
+               | `None -> ())
+            | _ -> ());
+           (match term with
+            | Some (Insn.Jr r) when r = Reg.ra -> add_exit st
+            | Some (Insn.CJR c) when c = Reg.cra -> add_exit st
+            | Some (Insn.Jr _ | Insn.CJR _) -> sum.su_poison <- true
+            | Some (Insn.J t) when b.Cfg.bb_calls = [ t ] ->
+              (* Tail call: this function's exit is the callee's exit
+                 composed with the transfer state. *)
+              (match Hashtbl.find_opt sums t with
+               | Some su -> Option.iter add_exit (apply_summary st su)
+               | None -> add_exit (clobber_after_call st))
+            | _ -> ());
+           (* Conditional or fall-through transfers into another function
+              root are tail transfers too. *)
+           List.iter
+             (fun (t, out) ->
+               if not (Hashtbl.mem member t) then
+                 match Hashtbl.find_opt sums t with
+                 | Some su -> Option.iter add_exit (apply_summary out su)
+                 | None -> add_exit (clobber_after_call out))
+             (succ_outs ~sums b st orig term)))
+    members;
+  { fr_sum = sum; fr_sites = !sites; fr_elided = !elided }
 
-let verify ?ddc ?pcc_may ~entries regions =
+(* Whole-image summary fixpoint: bottom-start ascending worklist over
+   function roots, re-queuing callers (and tail-callers) whenever a
+   summary grows. The iteration budget is a soundness backstop, not a
+   tuning knob: a truncated ascent is not a fixpoint, so overrunning it
+   poisons every summary back to the pessimistic clobber. *)
+let summarize env cfg =
+  let sums : (int, summary) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (root, _) -> Hashtbl.replace sums root (su_bottom ()))
+    cfg.Cfg.funcs;
+  let callers : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let add_caller callee caller =
+    let cur =
+      match Hashtbl.find_opt callers callee with Some l -> l | None -> []
+    in
+    if not (List.mem caller cur) then
+      Hashtbl.replace callers callee (caller :: cur)
+  in
+  List.iter
+    (fun (root, members) ->
+      List.iter
+        (fun e ->
+          match Cfg.block_of cfg e with
+          | None -> ()
+          | Some b ->
+            List.iter
+              (fun t -> if Hashtbl.mem sums t then add_caller t root)
+              b.Cfg.bb_calls;
+            List.iter
+              (function
+                | Cfg.Seq t when t <> root && Hashtbl.mem sums t ->
+                  add_caller t root
+                | _ -> ())
+              b.Cfg.bb_succs)
+        members)
+    cfg.Cfg.funcs;
+  let work = Queue.create () in
+  let queued = Hashtbl.create 16 in
+  let enqueue r =
+    if not (Hashtbl.mem queued r) then begin
+      Hashtbl.replace queued r ();
+      Queue.add r work
+    end
+  in
+  List.iter (fun (root, _) -> enqueue root) cfg.Cfg.funcs;
+  let nfuncs = List.length cfg.Cfg.funcs in
+  let budget = ref (20 * max 1 nfuncs) in
+  let iters = ref 0 in
+  let overflow = ref false in
+  while not (Queue.is_empty work) do
+    if !budget <= 0 then begin
+      overflow := true;
+      Queue.clear work
+    end
+    else begin
+      decr budget;
+      incr iters;
+      let root = Queue.pop work in
+      Hashtbl.remove queued root;
+      match List.assoc_opt root cfg.Cfg.funcs with
+      | None -> ()
+      | Some members ->
+        let r = analyze_fn env ~sums cfg root members in
+        let old = Hashtbl.find sums root in
+        if join_summary old r.fr_sum then
+          List.iter enqueue
+            (match Hashtbl.find_opt callers root with
+             | Some l -> l
+             | None -> [])
+    end
+  done;
+  if !overflow then Hashtbl.iter (fun _ su -> su.su_poison <- true) sums;
+  stats.cs_funcs <- stats.cs_funcs + nfuncs;
+  stats.cs_iters <- stats.cs_iters + !iters;
+  (sums, !iters)
+
+let verify ?ddc ?pcc_may ?(got = []) ~entries regions =
   let env = make_env ?ddc ?pcc_may () in
-  let cfg = Cfg.build ~entries regions in
+  let cfg = Cfg.build ~entries ~got regions in
+  let sums, iters = summarize env cfg in
   let seen = Hashtbl.create 64 in
   let diags = ref [] in
   let emit ~fn ~block ~pc ~sev ~kind ~prov insn =
@@ -1166,7 +1862,12 @@ let verify ?ddc ?pcc_may ~entries regions =
         :: !diags
     end
   in
-  List.iter (fun (root, members) -> analyze_fn env cfg root members ~emit)
+  let flow_sites = ref 0 and flow_elided = ref 0 in
+  List.iter
+    (fun (root, members) ->
+      let r = analyze_fn ~emit env ~sums cfg root members in
+      flow_sites := !flow_sites + r.fr_sites;
+      flow_elided := !flow_elided + r.fr_elided)
     cfg.Cfg.funcs;
   let sc = scan_code ?ddc ?pcc_may regions in
   let diags =
@@ -1180,4 +1881,66 @@ let verify ?ddc ?pcc_may ~entries regions =
     r_blocks = List.length cfg.Cfg.order;
     r_sites = sc.sc_sites;
     r_elided = sc.sc_elided;
-    r_sb = Facts.blocks sc.sc_facts }
+    r_guarded = sc.sc_guarded;
+    r_sb = Facts.blocks sc.sc_facts;
+    r_flow_sites = !flow_sites;
+    r_flow_elided = !flow_elided;
+    r_iters = iters }
+
+(* --- Cached interprocedural results + the kernel fact provider ------------- *)
+
+let cached_ipa ~image ~ddc ~pcc_may ~entries ~got regions =
+  let key =
+    ( { fk_img = Cheri_rtld.Sobj.image_id image;
+        fk_ddc = ddc;
+        fk_pcc_may = pcc_may;
+        fk_lazy = false;
+        fk_layout =
+          List.map (fun (b, insns) -> (b, Array.length insns)) regions },
+      entries,
+      got )
+  in
+  match Hashtbl.find_opt sum_cache key with
+  | Some l -> l
+  | None ->
+    let l =
+      lazy
+        (let env = make_env ~ddc ~pcc_may () in
+         let cfg = Cfg.build ~entries ~got regions in
+         let sums, iters = summarize env cfg in
+         let checks = ref 0 and proved = ref 0 in
+         List.iter
+           (fun (root, members) ->
+             let r = analyze_fn env ~sums cfg root members in
+             checks := !checks + r.fr_sites;
+             proved := !proved + r.fr_elided)
+           cfg.Cfg.funcs;
+         { ip_funcs = List.length cfg.Cfg.funcs; ip_iters = iters;
+           ip_checks = !checks; ip_proved = !proved; ip_sums = sums })
+    in
+    Hashtbl.add sum_cache key l;
+    l
+
+(* Force and aggregate every cached interprocedural result (what
+   --analysis-stats reports after a run). *)
+let ipa_totals () =
+  Hashtbl.fold
+    (fun _ l (f, i, c, p) ->
+      let ipa = Lazy.force l in
+      (f + ipa.ip_funcs, i + ipa.ip_iters, c + ipa.ip_checks, p + ipa.ip_proved))
+    sum_cache (0, 0, 0, 0)
+
+(* The standard kernel fact provider (Kstate.config.fact_provider):
+   image-cached, user-PCC permission envelope (user code can never hold
+   SYSTEM_REGS — the kernel's user root is derived without it — which is
+   what makes a concrete DDC sound: CWriteDDC must trap). Lazy by default;
+   [Eager] pays the whole image up front, which only wins for processes
+   that execute most of their code. The interprocedural summary table is
+   registered per image as well, unforced: it feeds --analysis-stats and
+   verification, while the dynamic elision path rests on the two fact
+   tiers alone (guards are self-validating at block entry). *)
+let provider ?(mode = Lazy_sb) () =
+  let pcc_may = Perms.diff Perms.all Perms.system_regs in
+  fun ~image ~ddc ~entries ~got regions ->
+    ignore (cached_ipa ~image ~ddc ~pcc_may ~entries ~got regions);
+    cached_facts ~image ~ddc ~pcc_may ~mode regions

@@ -86,6 +86,15 @@ type block = {
   b_entry : int;
   b_ilen : int;                        (* instructions incl. terminator *)
   b_body : body;                       (* straight-line prefix *)
+  (* Entry guard for tier-2 (guarded) elision facts. The body bakes in the
+     union of the unconditional mask and the guarded mask; it may only run
+     when every predicate holds on the *entry-time* register state, so the
+     engine evaluates the conjunction at each acceptance site (dispatch,
+     chained fall/jump, capability jump) right next to [block_ok]. A
+     failing guard falls back to the exact single-step path — guards gate
+     performance, never correctness. Empty for blocks with no guarded
+     facts, which therefore pay nothing. *)
+  b_guard : Facts.gpred array;
   b_term : (Cpu.ctx -> exit_) option;  (* absent: block ended at max size
                                           or at the edge of decoded code *)
   (* Chain links (the [run ~chain:true] engine). Patched lazily the first
@@ -157,6 +166,15 @@ type t = {
   mutable ic_hits : int;               (* inline-cache key matches *)
   mutable ic_misses : int;             (* IC repatches (key mismatch) *)
   mutable ic_mega : int;               (* megamorphic hashtable fallbacks *)
+  (* Dynamic check_cap probe counters (bench/docs; not part of the parity
+     contract). Every memory-access closure executed by the block engines
+     bumps exactly one of these: [checked_probes] when the compiled closure
+     runs the capability check, [elided_probes] when the analysis discharged
+     it (tier-1 mask or a guarded mask whose entry guard held). Accesses
+     executed on the single-step fallback path are not counted — they are
+     outside the compiled-block world these counters describe. *)
+  mutable checked_probes : int;
+  mutable elided_probes : int;
 }
 
 let max_block = 64
@@ -175,7 +193,24 @@ let create () =
     d_rd_vpage = -1; d_rd_pbase = 0; d_wr_vpage = -1; d_wr_pbase = 0;
     built = 0; flushes = 0; block_runs = 0; step_falls = 0;
     elided_sites = 0;
-    chain_entries = 0; chained = 0; ic_hits = 0; ic_misses = 0; ic_mega = 0 }
+    chain_entries = 0; chained = 0; ic_hits = 0; ic_misses = 0; ic_mega = 0;
+    checked_probes = 0; elided_probes = 0 }
+
+(* Reset the dynamic visibility counters (chain/IC and probe counters).
+   Called when the installed fact table changes identity — a new analysis
+   epoch — so warm- and cold-run statistics stay comparable: without this a
+   long-lived cache would carry IC-miss and probe counts across fact-cache
+   invalidations and --analysis-stats would blend epochs. Deliberately NOT
+   called from [invalidate]: that runs on every context switch and resetting
+   there would zero mid-run accumulation the bench legs rely on. *)
+let reset_dyn_counters t =
+  t.chain_entries <- 0;
+  t.chained <- 0;
+  t.ic_hits <- 0;
+  t.ic_misses <- 0;
+  t.ic_mega <- 0;
+  t.checked_probes <- 0;
+  t.elided_probes <- 0
 
 (* Chain/IC statistics snapshot, for the bench legs and tests. *)
 type chain_stats = {
@@ -216,6 +251,7 @@ let set_facts t facts =
   in
   if not same then begin
     t.facts <- facts;
+    reset_dyn_counters t;
     if Hashtbl.length t.blocks > 0 then begin
       Hashtbl.reset t.blocks;
       t.flushes <- t.flushes + 1
@@ -272,6 +308,37 @@ let cap_ok (c : Cap.t) perm vaddr len =
   && vaddr >= c.Cap.base
   && vaddr + len <= c.Cap.top
 
+(* Entry-guard evaluation for tier-2 elision facts. Each predicate is a
+   sufficient condition, derived syntactically by the analysis, for every
+   guarded check in the block body to pass: the named capability (or the
+   DDC, for legacy accesses relative to a general register) must be tagged,
+   unsealed, carry the demanded permissions, and cover the hulled footprint
+   [[addr + gp_lo, addr + gp_hi]] — which includes every intermediate
+   cursor position, so in-body [CIncOffset*] arithmetic cannot strip a tag
+   the guard vouched for. Pure field reads, evaluated against the state at
+   block entry, before any closure runs. *)
+let guard_ok (ctx : Cpu.ctx) (preds : Facts.gpred array) =
+  let n = Array.length preds in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let p = preds.(!i) in
+    let c, a =
+      if p.Facts.gp_ddc then ctx.Cpu.ddc, ctx.Cpu.gpr.(p.Facts.gp_reg)
+      else
+        let c = ctx.Cpu.creg.(p.Facts.gp_reg) in
+        (c, c.Cap.addr)
+    in
+    ok :=
+      c.Cap.tag
+      && c.Cap.otype = Cap.otype_unsealed
+      && c.Cap.perms land p.Facts.gp_perms = p.Facts.gp_perms
+      && a + p.Facts.gp_lo >= c.Cap.base
+      && a + p.Facts.gp_hi <= c.Cap.top;
+    incr i
+  done;
+  !ok
+
 (* Per-instruction accounting prologue, shared by every [Acct] closure:
    charge the ifetch (through the memoized exec translate) plus base
    cycles, and retire the instruction — exactly what [Cpu.step] does
@@ -297,6 +364,12 @@ let compile_straight t m ~pc ~elide insn =
   let base = Insn.base_cycles insn in
   let check = not elide in
   if elide then t.elided_sites <- t.elided_sites + 1;
+  (* Dynamic probe accounting: one bump per executed memory access, on the
+     side the compiled closure actually took ([check] is baked in). *)
+  let count_probe () =
+    if check then t.checked_probes <- t.checked_probes + 1
+    else t.elided_probes <- t.elided_probes + 1
+  in
   match insn with
   | Insn.Li (rd, v) ->
     fun ctx -> account t m pc base ctx; Cpu.wr_gpr ctx rd v
@@ -328,18 +401,28 @@ let compile_straight t m ~pc ~elide insn =
       Cpu.wr_gpr ctx rd (if Cpu.rd_gpr ctx rs < i then 1 else 0)
   | Insn.Load { w; signed; rd; base = b; off } ->
     fun ctx ->
-      account t m pc base ctx; Cpu.do_load ~check m ctx ~w ~signed ~rd ~base:b ~off
+      account t m pc base ctx; count_probe ();
+      Cpu.do_load ~check m ctx ~w ~signed ~rd ~base:b ~off
   | Insn.Store { w; rs; base = b; off } ->
-    fun ctx -> account t m pc base ctx; Cpu.do_store ~check m ctx ~w ~rs ~base:b ~off
+    fun ctx ->
+      account t m pc base ctx; count_probe ();
+      Cpu.do_store ~check m ctx ~w ~rs ~base:b ~off
   | Insn.CLoad { w; signed; rd; cb; off } ->
     fun ctx ->
-      account t m pc base ctx; Cpu.do_cload ~check m ctx ~w ~signed ~rd ~cb ~off
+      account t m pc base ctx; count_probe ();
+      Cpu.do_cload ~check m ctx ~w ~signed ~rd ~cb ~off
   | Insn.CStore { w; rs; cb; off } ->
-    fun ctx -> account t m pc base ctx; Cpu.do_cstore ~check m ctx ~w ~rs ~cb ~off
+    fun ctx ->
+      account t m pc base ctx; count_probe ();
+      Cpu.do_cstore ~check m ctx ~w ~rs ~cb ~off
   | Insn.CLC { cd; cb; off } ->
-    fun ctx -> account t m pc base ctx; Cpu.do_clc ~check m ctx ~cd ~cb ~off
+    fun ctx ->
+      account t m pc base ctx; count_probe ();
+      Cpu.do_clc ~check m ctx ~cd ~cb ~off
   | Insn.CSC { cs; cb; off } ->
-    fun ctx -> account t m pc base ctx; Cpu.do_csc ~check m ctx ~cs ~cb ~off
+    fun ctx ->
+      account t m pc base ctx; count_probe ();
+      Cpu.do_csc ~check m ctx ~cs ~cb ~off
   | Insn.CIncOffsetImm (cd, cb, i) ->
     fun ctx ->
       account t m pc base ctx;
@@ -369,6 +452,11 @@ let compile_sem t m ~pc ~elide insn =
   if elide then t.elided_sites <- t.elided_sites + 1;
   let hier = m.Cpu.hier in
   let mem = m.Cpu.mem in
+  (* Same dynamic probe accounting as [compile_straight]. *)
+  let count_probe () =
+    if check then t.checked_probes <- t.checked_probes + 1
+    else t.elided_probes <- t.elided_probes + 1
+  in
   match insn with
   | Insn.Li (rd, v) -> fun ctx -> Cpu.wr_gpr ctx rd v
   | Insn.Move (rd, rs) -> fun ctx -> Cpu.wr_gpr ctx rd (Cpu.rd_gpr ctx rs)
@@ -414,6 +502,7 @@ let compile_sem t m ~pc ~elide insn =
       Cpu.wr_gpr ctx rd (if ua < ub then 1 else 0)
   | Insn.Load { w; signed; rd; base = b; off } ->
     fun ctx ->
+      count_probe ();
       let vaddr = Cpu.rd_gpr ctx b + off in
       if check && not (cap_ok ctx.Cpu.ddc Perms.load vaddr w) then
         Cpu.check_cap ctx.Cpu.ddc ~reg:(-2) ~perm:Perms.load ~vaddr ~len:w;
@@ -425,6 +514,7 @@ let compile_sem t m ~pc ~elide insn =
          else Tagmem.read_int mem pa ~len:w)
   | Insn.Store { w; rs; base = b; off } ->
     fun ctx ->
+      count_probe ();
       let vaddr = Cpu.rd_gpr ctx b + off in
       if check && not (cap_ok ctx.Cpu.ddc Perms.store vaddr w) then
         Cpu.check_cap ctx.Cpu.ddc ~reg:(-2) ~perm:Perms.store ~vaddr ~len:w;
@@ -434,6 +524,7 @@ let compile_sem t m ~pc ~elide insn =
       Tagmem.write_int mem pa ~len:w (Cpu.rd_gpr ctx rs)
   | Insn.CLoad { w; signed; rd; cb; off } ->
     fun ctx ->
+      count_probe ();
       let cap = Cpu.rd_creg ctx cb in
       let vaddr = Cap.addr cap + off in
       if check && not (cap_ok cap Perms.load vaddr w) then
@@ -446,6 +537,7 @@ let compile_sem t m ~pc ~elide insn =
          else Tagmem.read_int mem pa ~len:w)
   | Insn.CStore { w; rs; cb; off } ->
     fun ctx ->
+      count_probe ();
       let cap = Cpu.rd_creg ctx cb in
       let vaddr = Cap.addr cap + off in
       if check && not (cap_ok cap Perms.store vaddr w) then
@@ -456,6 +548,7 @@ let compile_sem t m ~pc ~elide insn =
       Tagmem.write_int mem pa ~len:w (Cpu.rd_gpr ctx rs)
   | Insn.CLC { cd; cb; off } ->
     fun ctx ->
+      count_probe ();
       let cap = Cpu.rd_creg ctx cb in
       let vaddr = Cap.addr cap + off in
       if check && not (cap_ok cap Perms.load vaddr Cap.sizeof) then
@@ -471,6 +564,7 @@ let compile_sem t m ~pc ~elide insn =
       Cpu.wr_creg ctx cd loaded
   | Insn.CSC { cs; cb; off } ->
     fun ctx ->
+      count_probe ();
       let cap = Cpu.rd_creg ctx cb in
       let vaddr = Cap.addr cap + off in
       if check && not (cap_ok cap Perms.store vaddr Cap.sizeof) then
@@ -639,14 +733,22 @@ let build t m entry =
   let bases = ref [] in
   let term = ref None in
   let n = ref 0 in
+  (* Unconditional (tier-1) mask, plus the guarded (tier-2) mask whose
+     predicates the run loop evaluates at every entry into this block. The
+     body bakes in the union; a block with guarded bits only runs when its
+     guard holds (else: exact single-step fallback). *)
   let fmask = match t.facts with Some f -> Facts.mask f entry | None -> 0 in
+  let gmask, gpreds =
+    match t.facts with Some f -> Facts.guarded f entry | None -> (0, [||])
+  in
+  let emask = fmask lor gmask in
   (try
      while !term = None && !n < max_block do
        let pc = entry + (4 * !n) in
        let insn = m.Cpu.fetch pc in
        if Insn.is_terminator insn then term := Some (compile_term t m ~pc insn)
        else begin
-         let elide = (fmask lsr !n) land 1 = 1 in
+         let elide = (emask lsr !n) land 1 = 1 in
          if t.chain_mode then begin
            body := compile_sem t m ~pc ~elide insn :: !body;
            bases := Insn.base_cycles insn :: !bases
@@ -674,6 +776,7 @@ let build t m entry =
     in
     Some { b_entry = entry; b_ilen = !n;
            b_body;
+           b_guard = (if gmask = 0 then [||] else gpreds);
            b_term = !term;
            b_fall = None;
            b_jump_key = min_int; b_jump = None; b_jump_misses = 0;
@@ -924,7 +1027,8 @@ let run ?(map_gen = 0) ?(chain = false) t m (ctx : Cpu.ctx) ~fuel =
   while !running && !remaining > 0 do
     let pc = Cap.addr ctx.Cpu.pcc in
     match lookup_or_build t m pc with
-    | Some b when b.b_ilen <= !remaining && block_ok ctx b ->
+    | Some b when b.b_ilen <= !remaining && block_ok ctx b
+                  && guard_ok ctx b.b_guard ->
       if chain then begin
         t.chain_entries <- t.chain_entries + 1;
         let cur = ref b in
@@ -940,7 +1044,8 @@ let run ?(map_gen = 0) ?(chain = false) t m (ctx : Cpu.ctx) ~fuel =
             chaining := false
           | Bx_next pc' ->
             (match chain_succ t m b pc' with
-             | Some nb when nb.b_ilen <= !remaining && bounds_ok ctx nb ->
+             | Some nb when nb.b_ilen <= !remaining && bounds_ok ctx nb
+                            && guard_ok ctx nb.b_guard ->
                t.chained <- t.chained + 1;
                cur := nb
              | _ ->
@@ -948,7 +1053,8 @@ let run ?(map_gen = 0) ?(chain = false) t m (ctx : Cpu.ctx) ~fuel =
                chaining := false)
           | Bx_pcc ->
             (match cjump_succ t m b (Cap.addr ctx.Cpu.pcc) with
-             | Some nb when nb.b_ilen <= !remaining && block_ok ctx nb ->
+             | Some nb when nb.b_ilen <= !remaining && block_ok ctx nb
+                            && guard_ok ctx nb.b_guard ->
                t.chained <- t.chained + 1;
                cur := nb
              | _ -> chaining := false)

@@ -22,10 +22,45 @@
    *adds* memoized entries; it never changes a mask already handed out, so
    compiled blocks that baked a mask in stay consistent with the table. *)
 
+(* Guarded facts (tier 2). A guard predicate is a sufficient condition on
+   the *entry-time* register state under which additional checks in the
+   superblock are discharged. The block engine evaluates the predicate
+   conjunction on every entry; when it holds, the guarded bits join the
+   unconditional mask, and when it fails the block is not run in its
+   elided form (execution falls back to the exact single-step path).
+
+   Two forms, selected by [gp_ddc]:
+   - capability form ([gp_ddc = false]): let c = creg[gp_reg]; the guard
+     holds iff c is tagged, unsealed, carries at least [gp_perms], and
+     addr(c)+gp_lo >= base(c) && addr(c)+gp_hi <= top(c);
+   - DDC form ([gp_ddc = true], legacy accesses): let a = gpr[gp_reg];
+     the guard holds iff DDC is tagged, unsealed, carries [gp_perms], and
+     a+gp_lo >= base(ddc) && a+gp_hi <= top(ddc).
+
+   [gp_hi] is an inclusive cursor bound: access windows demand their
+   end-exclusive limit (end <= top) and intermediate cursor positions
+   demand addr <= top, both of which [a + gp_hi <= top] expresses. *)
+type gpred = {
+  gp_reg : int;    (* capability register, or gpr when [gp_ddc] *)
+  gp_ddc : bool;
+  gp_perms : int;  (* Perms.t is int; facts stays dependency-free *)
+  gp_lo : int;     (* window low offset from the entry cursor *)
+  gp_hi : int;     (* window high offset, inclusive (see above) *)
+}
+
+(* Mask of additionally-elidable checks plus the predicates that license
+   them. The mask is valid only when *all* predicates hold. *)
+type guard = int * gpred array
+
+let no_guard : guard = (0, [||])
+
 type t = {
   tbl : (int, int) Hashtbl.t;     (* superblock entry pc -> bitmask *)
   resolve : (int -> int) option;  (* lazy: entry pc -> mask, on first use *)
+  gtbl : (int, guard) Hashtbl.t;  (* entry pc -> guarded mask + predicates *)
+  gresolve : (int -> guard) option;
   mutable resolved : int;         (* entries materialized through [resolve] *)
+  mutable gresolved : int;        (* entries materialized through [gresolve] *)
   mutable lookups : int;          (* total [mask] queries — one per block
                                      build, however control reached it *)
 }
@@ -33,16 +68,20 @@ type t = {
 let max_index = 62
 
 let create () = { tbl = Hashtbl.create 256; resolve = None; resolved = 0;
+                  gtbl = Hashtbl.create 64; gresolve = None; gresolved = 0;
                   lookups = 0 }
 
 (* A pull-through table: every mask is computed by [resolve] on first
    lookup. [resolve] must be deterministic — re-resolving an entry has to
-   produce the same mask — and total (return 0 for unknown PCs). *)
-let create_lazy ~resolve = { tbl = Hashtbl.create 256; resolve = Some resolve;
-                             resolved = 0; lookups = 0 }
+   produce the same mask — and total (return 0 for unknown PCs). The
+   optional [gresolve] is the same contract for the guarded tier. *)
+let create_lazy ?gresolve ~resolve () =
+  { tbl = Hashtbl.create 256; resolve = Some resolve; resolved = 0;
+    gtbl = Hashtbl.create 64; gresolve; gresolved = 0; lookups = 0 }
 
 let is_lazy t = t.resolve <> None
 let resolved_lazily t = t.resolved
+let gresolved_lazily t = t.gresolved
 
 (* How many times the block engine consulted this table. Every decode goes
    through [mask] — including blocks first reached as a *chained*
@@ -93,3 +132,33 @@ let popcount m =
   go m 0
 
 let checks t = Hashtbl.fold (fun _ m acc -> acc + popcount m) t.tbl 0
+
+(* --- Guarded tier -------------------------------------------------------- *)
+
+(* Record guarded facts for an entry. Empty masks are dropped (a guard
+   that licenses nothing is pure entry-time overhead). *)
+let add_guarded t ~entry mask preds =
+  let mask = mask land ((1 lsl (max_index + 1)) - 1) in
+  if mask <> 0 && Array.length preds > 0 then
+    Hashtbl.replace t.gtbl entry (mask, preds)
+
+(* Guarded mask + predicates for [entry]. The same memoize-even-empty
+   discipline as [mask], but on a separate counter: tests pin the tier-1
+   [resolved_lazily] count and the guarded tier must not disturb it. *)
+let guarded t entry : guard =
+  match Hashtbl.find_opt t.gtbl entry with
+  | Some g -> g
+  | None ->
+    (match t.gresolve with
+     | None -> no_guard
+     | Some f ->
+       let g = f entry in
+       Hashtbl.replace t.gtbl entry g;
+       t.gresolved <- t.gresolved + 1;
+       g)
+
+let guarded_blocks t =
+  Hashtbl.fold (fun _ (m, _) acc -> if m <> 0 then acc + 1 else acc) t.gtbl 0
+
+let guarded_checks t =
+  Hashtbl.fold (fun _ (m, _) acc -> acc + popcount m) t.gtbl 0

@@ -122,6 +122,40 @@ let is_terminator = function
   | Syscall | Break _ | Rt _ -> true
   | _ -> false
 
+(* Capability register written by an instruction, if any. CReadDDC writes
+   its destination creg; CWriteDDC writes the special DDC register, not a
+   creg, so it reports no definition here. *)
+let creg_def = function
+  | CLC { cd; _ }
+  | CMove (cd, _)
+  | CSetBounds (cd, _, _) | CSetBoundsImm (cd, _, _)
+  | CSetBoundsExact (cd, _, _)
+  | CAndPerm (cd, _, _) | CAndPermImm (cd, _, _)
+  | CIncOffset (cd, _, _) | CIncOffsetImm (cd, _, _)
+  | CSetAddr (cd, _, _) | CClearTag (cd, _) | CFromPtr (cd, _, _)
+  | CSeal (cd, _, _) | CUnseal (cd, _, _)
+  | CJALR (cd, _) | CJAL (cd, _) | CReadDDC cd -> Some cd
+  | _ -> None
+
+(* General-purpose register written by an instruction, if any. [Jal]
+   implicitly writes the legacy return-address register. *)
+let gpr_def = function
+  | Li (rd, _) | Move (rd, _)
+  | Addu (rd, _, _) | Addiu (rd, _, _) | Subu (rd, _, _)
+  | Mul (rd, _, _) | Div (rd, _, _) | Rem (rd, _, _)
+  | And_ (rd, _, _) | Andi (rd, _, _) | Or_ (rd, _, _) | Ori (rd, _, _)
+  | Xor_ (rd, _, _) | Xori (rd, _, _) | Nor_ (rd, _, _)
+  | Sll (rd, _, _) | Srl (rd, _, _) | Sra (rd, _, _)
+  | Sllv (rd, _, _) | Srlv (rd, _, _) | Srav (rd, _, _)
+  | Slt (rd, _, _) | Sltu (rd, _, _) | Slti (rd, _, _) | Sltiu (rd, _, _)
+  | Jalr (rd, _)
+  | Load { rd; _ }
+  | CGetBase (rd, _) | CGetLen (rd, _) | CGetAddr (rd, _)
+  | CGetOffset (rd, _) | CGetPerm (rd, _) | CGetTag (rd, _)
+  | CGetType (rd, _) | CRRL (rd, _) | CRAM (rd, _) -> Some rd
+  | Jal _ -> Some Reg.ra
+  | _ -> None
+
 let pp_gpr = Reg.gpr_name
 let pp_creg = Reg.creg_name
 

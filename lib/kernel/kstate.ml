@@ -59,6 +59,7 @@ type config = {
      is then a hash lookup instead of a whole-image re-analysis. *)
   mutable fact_provider :
     (image:Cheri_rtld.Sobj.image -> ddc:Cheri_cap.Cap.t ->
+     entries:int list -> got:(int * int) list ->
      (int * Cheri_isa.Insn.t array) list -> Cheri_isa.Facts.t) option;
 }
 

@@ -12,7 +12,8 @@
       instruction at a time while the oracle reconstructs the superblock
       entry exactly as the block engine keys blocks. No instruction
       claimed must-trap may retire; no trap may fire on a check the
-      analysis discharged.
+      analysis discharged — unconditionally (tier 1) or under a guard the
+      oracle saw hold on the block-entry register state (tier 2).
 
    2. Directed machine-code programs, one per violation kind, asserting
       both directions at a known pc: the scan flags the must-trap AND the
@@ -77,6 +78,7 @@ let oracle_one seed errors =
   let m, ctx, _mem = Test_engines.setup insns seed in
   let sc = Absint.scan_code ~ddc:ctx.Cpu.ddc [ (code_base, insns) ] in
   let entry = ref (Cap.addr ctx.Cpu.pcc) in
+  let guard_held = ref false in
   let fuel = ref Test_engines.fuel in
   let stop = ref false in
   while (not !stop) && !fuel > 0 do
@@ -86,6 +88,13 @@ let oracle_one seed errors =
     if (pc - !entry) / 4 >= Bbcache.max_block then entry := pc;
     let e = !entry in
     let i = (pc - e) / 4 in
+    (* At a block entry the context is exactly the state the block engine
+       evaluates tier-2 guards against; record the verdict for the whole
+       block. *)
+    if i = 0 then begin
+      let gm, preds = Facts.guarded sc.Absint.sc_facts e in
+      guard_held := gm <> 0 && Bbcache.guard_ok ctx preds
+    end;
     let insn = try Some (m.Cpu.fetch pc) with Trap.Trap _ -> None in
     let r = Cpu.run m ctx ~fuel:1 in
     decr fuel;
@@ -100,11 +109,14 @@ let oracle_one seed errors =
              seed pc e i
            :: !errors
      | Some (Cpu.Stop_trap cause) ->
-       (* Trapped: the trap must not be the check the analysis elided. *)
-       if
+       (* Trapped: the trap must not be a check the analysis elided —
+          unconditionally, or under a guard that held at block entry. *)
+       let gm, _ = Facts.guarded sc.Absint.sc_facts e in
+       let claimed =
          Facts.elidable sc.Absint.sc_facts ~entry:e ~index:i
-         && contradicts_elision insn cause
-       then
+         || (!guard_held && i <= Facts.max_index && (gm lsr i) land 1 = 1)
+       in
+       if claimed && contradicts_elision insn cause then
          errors :=
            Printf.sprintf
              "seed %d: 0x%x (entry 0x%x idx %d) elided check trapped: %s"
@@ -256,6 +268,162 @@ let test_directed_elision () =
   Alcotest.(check bool) "post-setbounds repeat access elidable" true
     (Facts.elidable sc.Absint.sc_facts ~entry:code_base ~index:2)
 
+(* --- 3b. Guarded (tier-2) elision in the block engines ----------------------- *)
+
+(* First accesses through an unknown capability register are never
+   unconditionally elidable (the scan's entry state is Top), but the scan
+   emits a guarded fact: one register predicate that licenses eliding every
+   check it hulls. The engines evaluate the predicate on the entry-time
+   register state — a valid wide capability passes (checks compiled out),
+   an untagged one fails (exact single-step fallback reproducing the
+   reference trap). *)
+let guarded_prog cb =
+  [| Insn.CLoad { w = 8; signed = false; rd = 8; cb; off = 0 };
+     Insn.CLoad { w = 8; signed = false; rd = 9; cb; off = 8 };
+     Insn.Break 0 |]
+
+let test_guarded_elision () =
+  let insns = guarded_prog 1 in
+  let sc = Absint.scan_code [ (code_base, insns) ] in
+  Alcotest.(check bool) "first access not unconditionally elidable" false
+    (Facts.elidable sc.Absint.sc_facts ~entry:code_base ~index:0);
+  let gm, preds = Facts.guarded sc.Absint.sc_facts code_base in
+  Alcotest.(check int) "guarded mask covers both checks" 0b11 (gm land 0b11);
+  Alcotest.(check bool) "predicates name the addressed register" true
+    (Array.length preds > 0
+     && Array.for_all
+          (fun p -> p.Facts.gp_reg = 1 && not p.Facts.gp_ddc)
+          preds);
+  List.iter
+    (fun chain ->
+      let label = if chain then "chain" else "block" in
+      (* Valid wide capability in c1: the guard holds, both probes are
+         elided, and the snapshot matches the reference interpreter. *)
+      let step = Test_engines.run_step insns 3 in
+      let m, ctx, mem = Test_engines.setup insns 3 in
+      let facts =
+        Absint.facts_of_code ~ddc:ctx.Cpu.ddc [ (code_base, insns) ]
+      in
+      let bb = Bbcache.create () in
+      Bbcache.set_facts bb (Some facts);
+      let stop = Bbcache.run ~chain bb m ctx ~fuel:50 in
+      Alcotest.(check string) (label ^ ": guarded parity") step
+        (Test_engines.snapshot stop m ctx mem);
+      Alcotest.(check int) (label ^ ": guard held, probes elided") 2
+        bb.Bbcache.elided_probes;
+      Alcotest.(check int) (label ^ ": guard held, nothing checked") 0
+        bb.Bbcache.checked_probes;
+      (* Untagged capability in c6: the same program shape now fails the
+         guard at block entry; the engine falls back to exact single-step
+         and reproduces the reference trap with no probe accounted. *)
+      let insns6 = guarded_prog 6 in
+      let step6 = Test_engines.run_step insns6 3 in
+      let m, ctx, mem = Test_engines.setup insns6 3 in
+      let facts =
+        Absint.facts_of_code ~ddc:ctx.Cpu.ddc [ (code_base, insns6) ]
+      in
+      let bb = Bbcache.create () in
+      Bbcache.set_facts bb (Some facts);
+      let stop = Bbcache.run ~chain bb m ctx ~fuel:50 in
+      Alcotest.(check string) (label ^ ": failed-guard parity") step6
+        (Test_engines.snapshot stop m ctx mem);
+      Alcotest.(check int) (label ^ ": failed guard, nothing elided") 0
+        bb.Bbcache.elided_probes)
+    [ false; true ]
+
+(* --- 3c. Branch refinement at the interprocedural flow level ----------------- *)
+
+(* A CGetLen/Sltu/Beq guard dominating a dereference: on the guarded edge
+   the flow analysis learns the bounds-compare outcome and discharges the
+   check; the same dereference without the guard stays checked. And a
+   CGetTag guard over a known-untagged capability prunes the would-trap
+   edge as infeasible, so no must-trap diagnostic is emitted — while the
+   unguarded twin flags it. *)
+let test_branch_refinement () =
+  let flow prog =
+    let r = Absint.verify ~entries:[ code_base ] [ (code_base, prog) ] in
+    let musts =
+      List.filter (fun d -> d.Absint.g_sev = Absint.Must) r.Absint.r_diags
+    in
+    (r.Absint.r_flow_sites, r.Absint.r_flow_elided, List.length musts)
+  in
+  (* base := cursor (length stays unknown), prove the load permission with
+     a first access, then branch on (15 <u length): the fall-through edge
+     proves the [0,16) window, covering the off-8 dereference. *)
+  let lskip = code_base + (4 * 7) in
+  let guarded =
+    [| Insn.CSetBoundsExact (1, 1, 5);
+       Insn.CLoad { w = 8; signed = false; rd = 2; cb = 1; off = 0 };
+       Insn.CGetLen (9, 1);
+       Insn.Li (10, 15);
+       Insn.Sltu (11, 10, 9);
+       Insn.Beq (11, 0, lskip);
+       Insn.CLoad { w = 8; signed = false; rd = 3; cb = 1; off = 8 };
+       Insn.Break 0 |]
+  in
+  let unguarded = Array.copy guarded in
+  unguarded.(5) <- Insn.Nop;
+  Alcotest.(check (triple int int int))
+    "bounds-compare guard discharges the dominated dereference" (2, 1, 0)
+    (flow guarded);
+  Alcotest.(check (triple int int int))
+    "without the branch the same dereference stays checked" (2, 0, 0)
+    (flow unguarded);
+  (* Tag refinement: c1 is provably untagged, so the tag != 0 edge is
+     infeasible and the dereference behind it is unreachable. *)
+  let lderef = code_base + (4 * 4) in
+  let pruned =
+    [| Insn.CClearTag (1, 1);
+       Insn.CGetTag (8, 1);
+       Insn.Bne (8, 0, lderef);
+       Insn.Break 0;
+       Insn.CLoad { w = 8; signed = false; rd = 2; cb = 1; off = 0 };
+       Insn.Break 0 |]
+  in
+  let reached = Array.copy pruned in
+  reached.(2) <- Insn.J lderef;
+  let _, _, pruned_musts = flow pruned in
+  Alcotest.(check int) "infeasible-edge dereference emits no must-trap" 0
+    pruned_musts;
+  let _, _, reached_musts = flow reached in
+  Alcotest.(check bool) "unguarded twin flags the must-trap" true
+    (reached_musts > 0)
+
+(* --- 3d. Tail calls in the CFG ------------------------------------------------ *)
+
+(* A direct jump into another function's entry is a tail call: a call edge
+   (so the callee's summary applies and its exit composes into the
+   caller's), not a successor edge (the callee's blocks must not be
+   swallowed into the caller's partition). *)
+let test_tail_call_cfg () =
+  let g = code_base + 8 in
+  let insns =
+    [| Insn.Nop; Insn.J g; Insn.Li (2, 1); Insn.Break 0 |]
+  in
+  let cfg =
+    Cheri_analysis.Cfg.build ~entries:[ code_base; g ] [ (code_base, insns) ]
+  in
+  let module Cfg = Cheri_analysis.Cfg in
+  let fb =
+    match Cfg.block_of cfg code_base with
+    | Some b -> b
+    | None -> Alcotest.fail "no block at the caller's entry"
+  in
+  Alcotest.(check (list int)) "tail call recorded as a call edge" [ g ]
+    fb.Cfg.bb_calls;
+  Alcotest.(check bool) "tail call leaves no successor edge" true
+    (fb.Cfg.bb_succs = []);
+  let members root =
+    match List.assoc_opt root cfg.Cfg.funcs with
+    | Some ms -> ms
+    | None -> Alcotest.failf "no function partition at 0x%x" root
+  in
+  Alcotest.(check bool) "callee blocks stay out of the caller's partition"
+    false
+    (List.mem g (members code_base));
+  Alcotest.(check bool) "callee partitions under its own root" true
+    (List.mem g (members g))
+
 (* --- 4. C-level must-trap, cross-referenced with the kernel fault ------------ *)
 
 let int_deref_src = {|
@@ -339,6 +507,9 @@ let suite =
   [ "fuzz soundness oracle", `Quick, test_fuzz_oracle;
     "directed must-trap claims", `Quick, test_directed_must;
     "directed elision claims", `Quick, test_directed_elision;
+    "guarded elision in the engines", `Quick, test_guarded_elision;
+    "branch refinement", `Quick, test_branch_refinement;
+    "tail calls in the CFG", `Quick, test_tail_call_cfg;
     "C-level must-trap + fault cross-reference", `Quick,
     test_c_level_must_trap;
     "kernel elision parity", `Quick, test_kernel_elide_parity ]

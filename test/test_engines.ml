@@ -800,6 +800,64 @@ let test_kernel_parity () =
   check_parity Abi.Mips64;
   check_parity Abi.Cheriabi
 
+(* Dynamic counters (chain entries, inline-cache hits/misses, check_cap
+   probes) survive map invalidation — that runs on every context switch
+   and the bench accumulates across timeslices — but installing a fact
+   table with a *different identity* starts a new measurement regime:
+   set_facts must zero them, so e.g. a megamorphic miss count from the
+   previous program's facts cannot leak into the new program's rates. *)
+let test_counter_reset_on_new_facts () =
+  let loop_t = code_base + 8 in
+  let insns =
+    [| Insn.Li (8, 40);
+       Insn.Li (9, 0);
+       (* loop: *)
+       Insn.CLoad { w = 8; signed = false; rd = 10; cb = 1; off = 0 };
+       Insn.Addiu (8, 8, -1);
+       Insn.Bgtz (8, loop_t);
+       Insn.Break 0 |]
+  in
+  let m, ctx, _mem = setup insns 9 in
+  let facts_a =
+    Cheri_analysis.Absint.facts_of_code ~ddc:ctx.Cpu.ddc [ (code_base, insns) ]
+  in
+  let bb = Bbcache.create () in
+  Bbcache.set_facts bb (Some facts_a);
+  (* The loop must run to its Break terminator (surfaced as a trap), not
+     die early on the guarded load. *)
+  (match Bbcache.run ~chain:true bb m ctx ~fuel with
+   | Some (Cpu.Stop_trap (Trap.Break_trap _)) -> ()
+   | r -> Alcotest.failf "loop program stopped early: %s" (stop_str r));
+  Alcotest.(check bool) "chain entries accumulated" true
+    (bb.Bbcache.chain_entries > 0);
+  Alcotest.(check bool) "elided probes accumulated" true
+    (bb.Bbcache.elided_probes > 0);
+  let probes = bb.Bbcache.elided_probes in
+  (* Map invalidation (context switch) drops compiled blocks but must not
+     disturb the dynamic counters. *)
+  Bbcache.invalidate bb;
+  Alcotest.(check int) "invalidate keeps probe counters" probes
+    bb.Bbcache.elided_probes;
+  (* Reasserting the same table (every kernel dispatch does) is a no-op. *)
+  Bbcache.set_facts bb (Some facts_a);
+  Alcotest.(check int) "same facts keep probe counters" probes
+    bb.Bbcache.elided_probes;
+  (* A fresh table identity resets every dynamic counter. *)
+  let facts_b =
+    Cheri_analysis.Absint.facts_of_code ~ddc:ctx.Cpu.ddc [ (code_base, insns) ]
+  in
+  Bbcache.set_facts bb (Some facts_b);
+  Alcotest.(check int) "new facts reset elided probes" 0
+    bb.Bbcache.elided_probes;
+  Alcotest.(check int) "new facts reset checked probes" 0
+    bb.Bbcache.checked_probes;
+  Alcotest.(check int) "new facts reset chain entries" 0
+    bb.Bbcache.chain_entries;
+  Alcotest.(check int) "new facts reset IC hits" 0 bb.Bbcache.ic_hits;
+  Alcotest.(check int) "new facts reset IC misses" 0 bb.Bbcache.ic_misses;
+  Alcotest.(check int) "new facts reset megamorphic falls" 0
+    bb.Bbcache.ic_mega
+
 let test_kernel_parity_tiny_quantum () =
   (* A prime quantum far below block size: almost every timeslice ends
      mid-block, so the fuel fallback path carries real weight. *)
@@ -817,5 +875,6 @@ let suite =
     "chain: crosses facts-elided entry", `Quick, test_chain_crosses_elided_entry;
     "chain: mid-chain trap attribution", `Quick, test_chain_trap_attribution;
     "chain: mprotect severs chains", `Quick, test_chain_mprotect_severs;
+    "counter reset on new facts", `Quick, test_counter_reset_on_new_facts;
     "kernel parity", `Quick, test_kernel_parity;
     "kernel parity, tiny quantum", `Quick, test_kernel_parity_tiny_quantum ]

@@ -143,9 +143,9 @@ let repeated_exec ~abi ~quantum () =
   Absint.clear_fact_cache ();
   let calls = ref 0 in
   let base = Absint.provider () in
-  let provider ~image ~ddc code =
+  let provider ~image ~ddc ~entries ~got code =
     incr calls;
-    base ~image ~ddc code
+    base ~image ~ddc ~entries ~got code
   in
   let runs = List.init n (fun _ -> krun ~provider ?quantum image) in
   List.iteri
@@ -202,8 +202,8 @@ let partial_invalidation ~abi () =
   Absint.clear_fact_cache ();
   let provided = ref None in
   let base = Absint.provider () in
-  let provider ~image ~ddc code =
-    let f = base ~image ~ddc code in
+  let provider ~image ~ddc ~entries ~got code =
+    let f = base ~image ~ddc ~entries ~got code in
     provided := Some f;
     f
   in
@@ -255,9 +255,9 @@ let fork_sharing ~abi () =
   Absint.clear_fact_cache ();
   let calls = ref 0 in
   let base = Absint.provider () in
-  let provider ~image ~ddc code =
+  let provider ~image ~ddc ~entries ~got code =
     incr calls;
-    base ~image ~ddc code
+    base ~image ~ddc ~entries ~got code
   in
   (* Small quantum: parent and child genuinely interleave, so every
      context switch re-asserts facts across the two processes. *)

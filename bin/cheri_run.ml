@@ -56,13 +56,76 @@ let externs_lines =
     (fun n c -> if c = '\n' then n + 1 else n)
     0 Cheri_workloads.Stdlib_src.libc_externs
 
+(* --fleet N: run N instances of the compiled program as whole simulated
+   machines sharded across OCaml domains (docs/FLEET.md) and print the
+   aggregate report. Request-latency percentiles are measured over '#'
+   markers the program prints per completed unit of work (as the TLS
+   traffic workload does); programs that print none simply report no
+   requests. *)
+let run_fleet ~abi ~engine ~elide ~no_libc ~opts ~file ~args ~fleet_n ~domains
+    src =
+  let module Fleet = Cheri_fleet.Fleet in
+  let image =
+    if no_libc then Cheri_cc.Compile.build_image ~opts ~abi ~name:"prog" src
+    else Cheri_workloads.Stdlib_src.build_image ~opts ~abi ~name:"prog" src
+  in
+  let base = Filename.basename file in
+  let specs =
+    List.init fleet_n (fun i ->
+        { Fleet.ms_label = Printf.sprintf "%s/%d" base i;
+          ms_abi = abi;
+          ms_image = image;
+          ms_path = "/bin/prog";
+          ms_argv = base :: args;
+          ms_max_steps = 400_000_000;
+          ms_marker = '#' })
+  in
+  let r = Fleet.run ~engine ~elide ~domains specs in
+  Printf.printf "%-24s %6s %6s %12s %9s %8s  %s\n" "machine" "domain" "stolen"
+    "sim insns" "requests" "host s" "status";
+  Array.iter
+    (fun (m : Fleet.machine_result) ->
+      Printf.printf "%-24s %6d %6s %12d %9d %8.3f  %s\n" m.Fleet.mr_label
+        m.Fleet.mr_domain
+        (if m.Fleet.mr_stolen then "yes" else "no")
+        m.Fleet.mr_insns m.Fleet.mr_requests m.Fleet.mr_host_seconds
+        (Fleet.status_str m.Fleet.mr_status))
+    r.Fleet.f_results;
+  Printf.printf
+    "aggregate: %.2f sim-MIPS over %d machines, %d domains (%d workers), %d \
+     steals\n"
+    r.Fleet.f_mips fleet_n r.Fleet.f_domains r.Fleet.f_workers
+    r.Fleet.f_steals;
+  if r.Fleet.f_requests > 0 then
+    Printf.printf
+      "request latency (sim cycles over %d requests): p50=%d p95=%d p99=%d\n"
+      r.Fleet.f_requests r.Fleet.f_p50 r.Fleet.f_p95 r.Fleet.f_p99;
+  if
+    Array.for_all
+      (fun (m : Fleet.machine_result) ->
+        m.Fleet.mr_status = Some (Proc.Exited 0))
+      r.Fleet.f_results
+  then 0
+  else 1
+
 let run file abi engine args dump_asm stats trace no_libc clc_small lint
-    verify elide astats =
+    verify elide astats fleet_n domains =
   let src = read_file file in
   let opts =
     { (Cheri_cc.Compile.default_options abi) with clc_large_imm = not clc_small }
   in
-  if verify then begin
+  if fleet_n > 0 then begin
+    match
+      run_fleet ~abi ~engine ~elide ~no_libc ~opts ~file ~args ~fleet_n
+        ~domains src
+    with
+    | code -> code
+    | exception Cheri_cc.Ast.Compile_error msg ->
+      let bias = if no_libc then 0 else externs_lines in
+      Printf.eprintf "%s: %s\n" file (Cheri_analysis.Lint.shift_line ~bias msg);
+      2
+  end
+  else if verify then begin
     (* Static whole-image verification: compile and link exactly as execve
        would, then run the capability abstract interpreter. *)
     match
@@ -333,9 +396,25 @@ let cmd =
                    rate and the dynamic checked/elided probe counts. Most \
                    useful together with $(b,--elide-checks).")
   in
+  let fleet =
+    Arg.(value & opt int 0
+         & info [ "fleet" ] ~docv:"N"
+             ~doc:"Run $(docv) instances of the program as whole simulated \
+                   machines sharded across OCaml domains, and print the \
+                   aggregate fleet report instead of the program's output. \
+                   Request latency percentiles are computed over '#' markers \
+                   the program prints. Exits 0 iff every machine exits 0.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Number of domains requested for $(b,--fleet) (capped at \
+                   the host's core count; see docs/FLEET.md).")
+  in
   Cmd.v
     (Cmd.info "cheri_run" ~doc:"Run a CSmall program on the CheriABI simulator")
     Term.(const run $ file $ abi $ engine $ args $ dump $ stats $ trace
-          $ no_libc $ clc_small $ lint $ verify $ elide $ astats)
+          $ no_libc $ clc_small $ lint $ verify $ elide $ astats $ fleet
+          $ domains)
 
 let () = exit (Cmd.eval' cmd)

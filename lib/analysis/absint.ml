@@ -926,7 +926,9 @@ type cache_stats = {
   mutable cs_misses : int;     (* provider calls that ran (or deferred) analysis *)
   mutable cs_eager_sb : int;   (* superblock fixpoints run eagerly *)
   mutable cs_lazy_sb : int;    (* superblock fixpoints run on first decode *)
-  mutable cs_lazy_gsb : int;   (* guarded pre-scans run on first decode *)
+  mutable cs_lazy_gsb : int;   (* guarded pre-scans that re-ran a fixpoint
+                                  (0 since the combined resolver serves
+                                  both tiers from one scan) *)
   mutable cs_funcs : int;      (* functions summarized (interprocedural) *)
   mutable cs_iters : int;      (* interprocedural worklist iterations *)
 }
@@ -934,14 +936,29 @@ type cache_stats = {
 let stats = { cs_hits = 0; cs_misses = 0; cs_eager_sb = 0; cs_lazy_sb = 0;
               cs_lazy_gsb = 0; cs_funcs = 0; cs_iters = 0 }
 
+(* Domain safety: the image-keyed memo tables below are shared by reference
+   across the fleet's domains (each domain's kernel calls the provider),
+   and [stats] is bumped from lazy resolvers running inside any domain's
+   block build. [cache_lock] serializes table lookups/inserts and forces;
+   [stats_lock] serializes counter updates. They are distinct locks because
+   forcing a cached IPA thunk under [cache_lock] re-enters the summarizer,
+   which bumps counters — with one (non-reentrant) lock that would
+   self-deadlock. Ordering is always cache_lock -> stats_lock, or either
+   alone; never the reverse. Reading [stats] fields directly stays lock-free
+   and is meaningful once domains have been joined. *)
+let cache_lock = Mutex.create ()
+let stats_lock = Mutex.create ()
+let bump f = Mutex.protect stats_lock f
+
 let reset_stats () =
-  stats.cs_hits <- 0;
-  stats.cs_misses <- 0;
-  stats.cs_eager_sb <- 0;
-  stats.cs_lazy_sb <- 0;
-  stats.cs_lazy_gsb <- 0;
-  stats.cs_funcs <- 0;
-  stats.cs_iters <- 0
+  bump (fun () ->
+      stats.cs_hits <- 0;
+      stats.cs_misses <- 0;
+      stats.cs_eager_sb <- 0;
+      stats.cs_lazy_sb <- 0;
+      stats.cs_lazy_gsb <- 0;
+      stats.cs_funcs <- 0;
+      stats.cs_iters <- 0)
 
 (* One superblock fixpoint: the straight-line scan the block engine's
    decoded blocks mirror, from a Top state at instruction index [e] of the
@@ -1193,7 +1210,7 @@ let scan_code ?ddc ?pcc_may regions =
       for e = 0 to n - 1 do
         let entry = base + (4 * e) in
         let fmask, mmask, s, el = scan_superblock env insns ~e in
-        stats.cs_eager_sb <- stats.cs_eager_sb + 1;
+        bump (fun () -> stats.cs_eager_sb <- stats.cs_eager_sb + 1);
         Facts.add_mask facts ~entry fmask;
         let gmask, preds = guard_scan ~ddc_dead insns ~e ~fmask in
         Facts.add_guarded facts ~entry gmask preds;
@@ -1218,51 +1235,35 @@ let facts_of_code ?ddc ?pcc_may regions =
    first time the block engine decodes that superblock ([Facts.mask] at
    build time), so a process only pays analysis for code it executes. The
    masks are exactly [scan_code]'s — same environment, same straight-line
-   scan — the resolver just picks out one entry. Resolved masks are
-   memoized inside the table, so re-decodes (context switch / generation
-   flushes) and cached re-execs are hash lookups. *)
+   scan — the resolver just picks out one entry. One scan serves both
+   tiers: the guarded pre-scan reuses the fixpoint's unconditional mask
+   (guard bits must exclude everything tier 1 already proved) instead of
+   re-running the fixpoint the way the old two-resolver split did, so
+   [stats.cs_lazy_gsb] — extra fixpoints charged to the guarded tier —
+   stays 0 on the block-build path. Resolved entries are memoized inside
+   the table, so re-decodes (context switch / generation flushes) and
+   cached re-execs are hash lookups. *)
 let lazy_facts_of_code ?ddc ?pcc_may regions =
   let env = make_env ?ddc ?pcc_may () in
   let ddc_dead = env.e_ddc.a_tag = No in
   let resolve entry =
     let rec find = function
-      | [] -> 0
+      | [] -> (0, Facts.no_guard)
       | (base, insns) :: rest ->
         if entry >= base
            && entry < base + (4 * Array.length insns)
            && (entry - base) land 3 = 0
         then begin
-          stats.cs_lazy_sb <- stats.cs_lazy_sb + 1;
-          let fmask, _, _, _ =
-            scan_superblock env insns ~e:((entry - base) / 4)
-          in
-          fmask
-        end
-        else find rest
-    in
-    find regions
-  in
-  (* The guarded resolver re-derives the unconditional mask (memoized at
-     the guard level, so at most one extra superblock fixpoint per entry)
-     because guard bits must exclude everything tier 1 already proved. *)
-  let gresolve entry =
-    let rec find = function
-      | [] -> Facts.no_guard
-      | (base, insns) :: rest ->
-        if entry >= base
-           && entry < base + (4 * Array.length insns)
-           && (entry - base) land 3 = 0
-        then begin
-          stats.cs_lazy_gsb <- stats.cs_lazy_gsb + 1;
+          bump (fun () -> stats.cs_lazy_sb <- stats.cs_lazy_sb + 1);
           let e = (entry - base) / 4 in
           let fmask, _, _, _ = scan_superblock env insns ~e in
-          guard_scan ~ddc_dead insns ~e ~fmask
+          (fmask, guard_scan ~ddc_dead insns ~e ~fmask)
         end
         else find rest
     in
     find regions
   in
-  Facts.create_lazy ~gresolve ~resolve ()
+  Facts.create_lazy ~resolve ()
 
 (* --- Image-keyed fact cache -------------------------------------------------
 
@@ -1313,8 +1314,9 @@ let sum_cache
   Hashtbl.create 16
 
 let clear_fact_cache () =
-  Hashtbl.reset fact_cache;
-  Hashtbl.reset sum_cache
+  Mutex.protect cache_lock (fun () ->
+      Hashtbl.reset fact_cache;
+      Hashtbl.reset sum_cache)
 
 let cached_facts ~image ~ddc ~pcc_may ~mode regions =
   let key =
@@ -1324,19 +1326,20 @@ let cached_facts ~image ~ddc ~pcc_may ~mode regions =
       fk_lazy = (mode = Lazy_sb);
       fk_layout = List.map (fun (b, insns) -> (b, Array.length insns)) regions }
   in
-  match Hashtbl.find_opt fact_cache key with
-  | Some f ->
-    stats.cs_hits <- stats.cs_hits + 1;
-    f
-  | None ->
-    stats.cs_misses <- stats.cs_misses + 1;
-    let f =
-      match mode with
-      | Eager -> facts_of_code ~ddc ~pcc_may regions
-      | Lazy_sb -> lazy_facts_of_code ~ddc ~pcc_may regions
-    in
-    Hashtbl.add fact_cache key f;
-    f
+  Mutex.protect cache_lock (fun () ->
+      match Hashtbl.find_opt fact_cache key with
+      | Some f ->
+        bump (fun () -> stats.cs_hits <- stats.cs_hits + 1);
+        f
+      | None ->
+        bump (fun () -> stats.cs_misses <- stats.cs_misses + 1);
+        let f =
+          match mode with
+          | Eager -> facts_of_code ~ddc ~pcc_may regions
+          | Lazy_sb -> lazy_facts_of_code ~ddc ~pcc_may regions
+        in
+        Hashtbl.add fact_cache key f;
+        f)
 
 let must_traps sc ~entry ~index =
   index >= 0 && index <= Facts.max_index
@@ -1900,35 +1903,41 @@ let cached_ipa ~image ~ddc ~pcc_may ~entries ~got regions =
       entries,
       got )
   in
-  match Hashtbl.find_opt sum_cache key with
-  | Some l -> l
-  | None ->
-    let l =
-      lazy
-        (let env = make_env ~ddc ~pcc_may () in
-         let cfg = Cfg.build ~entries ~got regions in
-         let sums, iters = summarize env cfg in
-         let checks = ref 0 and proved = ref 0 in
-         List.iter
-           (fun (root, members) ->
-             let r = analyze_fn env ~sums cfg root members in
-             checks := !checks + r.fr_sites;
-             proved := !proved + r.fr_elided)
-           cfg.Cfg.funcs;
-         { ip_funcs = List.length cfg.Cfg.funcs; ip_iters = iters;
-           ip_checks = !checks; ip_proved = !proved; ip_sums = sums })
-    in
-    Hashtbl.add sum_cache key l;
-    l
+  Mutex.protect cache_lock (fun () ->
+      match Hashtbl.find_opt sum_cache key with
+      | Some l -> l
+      | None ->
+        let l =
+          lazy
+            (let env = make_env ~ddc ~pcc_may () in
+             let cfg = Cfg.build ~entries ~got regions in
+             let sums, iters = summarize env cfg in
+             let checks = ref 0 and proved = ref 0 in
+             List.iter
+               (fun (root, members) ->
+                 let r = analyze_fn env ~sums cfg root members in
+                 checks := !checks + r.fr_sites;
+                 proved := !proved + r.fr_elided)
+               cfg.Cfg.funcs;
+             { ip_funcs = List.length cfg.Cfg.funcs; ip_iters = iters;
+               ip_checks = !checks; ip_proved = !proved; ip_sums = sums })
+        in
+        Hashtbl.add sum_cache key l;
+        l)
 
 (* Force and aggregate every cached interprocedural result (what
-   --analysis-stats reports after a run). *)
+   --analysis-stats reports after a run). Forcing happens under
+   [cache_lock]: OCaml 5 [Lazy.t] is not domain-safe (a concurrent force
+   raises [RacyLazy]), so the registered thunks are only ever forced
+   serialized here. The provider itself never forces. *)
 let ipa_totals () =
-  Hashtbl.fold
-    (fun _ l (f, i, c, p) ->
-      let ipa = Lazy.force l in
-      (f + ipa.ip_funcs, i + ipa.ip_iters, c + ipa.ip_checks, p + ipa.ip_proved))
-    sum_cache (0, 0, 0, 0)
+  Mutex.protect cache_lock (fun () ->
+      Hashtbl.fold
+        (fun _ l (f, i, c, p) ->
+          let ipa = Lazy.force l in
+          (f + ipa.ip_funcs, i + ipa.ip_iters, c + ipa.ip_checks,
+           p + ipa.ip_proved))
+        sum_cache (0, 0, 0, 0))
 
 (* The standard kernel fact provider (Kstate.config.fact_provider):
    image-cached, user-PCC permission envelope (user code can never hold

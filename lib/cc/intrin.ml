@@ -78,6 +78,8 @@ let table =
       i_kind = Ksys S.sys_ftruncate };
     { i_name = "mmap_anon"; i_ret = cptr; i_args = [ Tint ];
       i_kind = Kspecial "mmap_anon" };
+    { i_name = "mprotect"; i_ret = Tint; i_args = [ cptr; Tint; Tint ];
+      i_kind = Ksys S.sys_mprotect };
     { i_name = "munmap"; i_ret = Tint; i_args = [ cptr; Tint ];
       i_kind = Ksys S.sys_munmap };
     { i_name = "sbrk"; i_ret = cptr; i_args = [ Tint ]; i_kind = Ksys S.sys_sbrk };

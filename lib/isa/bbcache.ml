@@ -144,16 +144,22 @@ type t = {
   mutable x_gs : int;
   mutable x_gcost : int;
   mutable x_gpa : int;
-  (* Chain-mode data-side translate memo: one-entry software TLBs, split
-     by access kind because read and write rights (and COW) differ. Valid
-     for one [run] only — reset on every entry, like the code-side memo:
-     the kernel mutates the pmap only between runs, and the accessed bit
-     a memoized hit skips is idempotent (the miss that created the entry
-     already set it), so observable state is identical. *)
-  mutable d_rd_vpage : int;
-  mutable d_rd_pbase : int;
-  mutable d_wr_vpage : int;
-  mutable d_wr_pbase : int;
+  (* Chain-mode data-side translate memo: small set-associative software
+     TLBs (2 sets x 2 ways, indexed by vpage parity, MRU way first), split
+     by access kind because read and write rights (and COW) differ. One
+     entry per side thrashes as soon as a loop touches two pages of the
+     same kind per iteration — memcpy-style src/dst streams, a buffer plus
+     the stack — which is the common shape of the TLS record loops; four
+     entries cover those with a two-compare hit path. Valid for one [run]
+     only — reset on every entry, like the code-side memo: the kernel
+     mutates the pmap only between runs, and the accessed bit a memoized
+     hit skips is idempotent (the miss that created the entry already set
+     it), so observable state is identical. Layout: set s occupies indices
+     2s (MRU) and 2s+1; vpage tag -1 = invalid. *)
+  d_rd_vp : int array;
+  d_rd_pb : int array;
+  d_wr_vp : int array;
+  d_wr_pb : int array;
   (* Visibility counters (bench/docs; not part of the parity contract). *)
   mutable built : int;
   mutable flushes : int;
@@ -166,6 +172,8 @@ type t = {
   mutable ic_hits : int;               (* inline-cache key matches *)
   mutable ic_misses : int;             (* IC repatches (key mismatch) *)
   mutable ic_mega : int;               (* megamorphic hashtable fallbacks *)
+  mutable dtlb_hits : int;             (* data-side software-TLB hits *)
+  mutable dtlb_misses : int;           (* ... full translates *)
   (* Dynamic check_cap probe counters (bench/docs; not part of the parity
      contract). Every memory-access closure executed by the block engines
      bumps exactly one of these: [checked_probes] when the compiled closure
@@ -190,10 +198,12 @@ let create () =
     cur_vpage = -1; cur_pbase = 0;
     chain_mode = false;
     x_i = 0; x_gs = 0; x_gcost = -1; x_gpa = 0;
-    d_rd_vpage = -1; d_rd_pbase = 0; d_wr_vpage = -1; d_wr_pbase = 0;
+    d_rd_vp = Array.make 4 (-1); d_rd_pb = Array.make 4 0;
+    d_wr_vp = Array.make 4 (-1); d_wr_pb = Array.make 4 0;
     built = 0; flushes = 0; block_runs = 0; step_falls = 0;
     elided_sites = 0;
     chain_entries = 0; chained = 0; ic_hits = 0; ic_misses = 0; ic_mega = 0;
+    dtlb_hits = 0; dtlb_misses = 0;
     checked_probes = 0; elided_probes = 0 }
 
 (* Reset the dynamic visibility counters (chain/IC and probe counters).
@@ -209,6 +219,8 @@ let reset_dyn_counters t =
   t.ic_hits <- 0;
   t.ic_misses <- 0;
   t.ic_mega <- 0;
+  t.dtlb_hits <- 0;
+  t.dtlb_misses <- 0;
   t.checked_probes <- 0;
   t.elided_probes <- 0
 
@@ -219,23 +231,29 @@ type chain_stats = {
   ch_ic_hits : int;
   ch_ic_misses : int;
   ch_ic_mega : int;
+  ch_dtlb_hits : int;
+  ch_dtlb_misses : int;
 }
 
 let chain_stats t =
   { ch_entries = t.chain_entries; ch_chained = t.chained;
     ch_ic_hits = t.ic_hits; ch_ic_misses = t.ic_misses;
-    ch_ic_mega = t.ic_mega }
+    ch_ic_mega = t.ic_mega;
+    ch_dtlb_hits = t.dtlb_hits; ch_dtlb_misses = t.dtlb_misses }
 
 (* Drop every decoded block (context switch, exec image replacement).
    Facts are left attached: they are keyed by entry pc against the owning
    process's image, and the kernel re-asserts them via [set_facts] on every
    dispatch (dropping them when the owner or its address space changed). *)
+let dtlb_reset t =
+  Array.fill t.d_rd_vp 0 4 (-1);
+  Array.fill t.d_wr_vp 0 4 (-1)
+
 let invalidate t =
   Hashtbl.reset t.blocks;
   t.map_gen <- min_int;
   t.cur_vpage <- -1;
-  t.d_rd_vpage <- -1;
-  t.d_wr_vpage <- -1;
+  dtlb_reset t;
   t.flushes <- t.flushes + 1
 
 (* Install (or clear) the elision fact table. Compiled closures bake the
@@ -275,24 +293,64 @@ let translate_exec t m pc =
    never crosses a page, so one (vpage -> frame base) pair resolves the
    whole access. Misses go through the real [m.translate], which raises
    page faults exactly as the step engine; hits are sound because nothing
-   can invalidate the mapping mid-run (see the field comments). *)
+   can invalidate the mapping mid-run (see the field comments). Lookup in
+   the 2-set x 2-way array: set by vpage parity, MRU way probed first, a
+   second-way hit swaps into the MRU slot, a miss demotes the MRU entry
+   and installs in its place. A fault in [m.translate] propagates before
+   any array write, so a faulting access never perturbs the TLB. Indices
+   are [2*(vp land 1)] and [+1] into length-4 arrays, in range by
+   construction. *)
 let translate_rd t m vaddr =
   let vp = vaddr lsr page_shift in
-  if vp = t.d_rd_vpage then t.d_rd_pbase + (vaddr land page_mask)
+  let s = (vp land 1) * 2 in
+  let vps = t.d_rd_vp and pbs = t.d_rd_pb in
+  if Array.unsafe_get vps s = vp then begin
+    t.dtlb_hits <- t.dtlb_hits + 1;
+    Array.unsafe_get pbs s + (vaddr land page_mask)
+  end
+  else if Array.unsafe_get vps (s + 1) = vp then begin
+    t.dtlb_hits <- t.dtlb_hits + 1;
+    let pb = Array.unsafe_get pbs (s + 1) in
+    Array.unsafe_set vps (s + 1) (Array.unsafe_get vps s);
+    Array.unsafe_set pbs (s + 1) (Array.unsafe_get pbs s);
+    Array.unsafe_set vps s vp;
+    Array.unsafe_set pbs s pb;
+    pb + (vaddr land page_mask)
+  end
   else begin
     let pa = m.Cpu.translate vaddr ~write:false ~exec:false in
-    t.d_rd_vpage <- vp;
-    t.d_rd_pbase <- pa - (vaddr land page_mask);
+    t.dtlb_misses <- t.dtlb_misses + 1;
+    Array.unsafe_set vps (s + 1) (Array.unsafe_get vps s);
+    Array.unsafe_set pbs (s + 1) (Array.unsafe_get pbs s);
+    Array.unsafe_set vps s vp;
+    Array.unsafe_set pbs s (pa - (vaddr land page_mask));
     pa
   end
 
 let translate_wr t m vaddr =
   let vp = vaddr lsr page_shift in
-  if vp = t.d_wr_vpage then t.d_wr_pbase + (vaddr land page_mask)
+  let s = (vp land 1) * 2 in
+  let vps = t.d_wr_vp and pbs = t.d_wr_pb in
+  if Array.unsafe_get vps s = vp then begin
+    t.dtlb_hits <- t.dtlb_hits + 1;
+    Array.unsafe_get pbs s + (vaddr land page_mask)
+  end
+  else if Array.unsafe_get vps (s + 1) = vp then begin
+    t.dtlb_hits <- t.dtlb_hits + 1;
+    let pb = Array.unsafe_get pbs (s + 1) in
+    Array.unsafe_set vps (s + 1) (Array.unsafe_get vps s);
+    Array.unsafe_set pbs (s + 1) (Array.unsafe_get pbs s);
+    Array.unsafe_set vps s vp;
+    Array.unsafe_set pbs s pb;
+    pb + (vaddr land page_mask)
+  end
   else begin
     let pa = m.Cpu.translate vaddr ~write:true ~exec:false in
-    t.d_wr_vpage <- vp;
-    t.d_wr_pbase <- pa - (vaddr land page_mask);
+    t.dtlb_misses <- t.dtlb_misses + 1;
+    Array.unsafe_set vps (s + 1) (Array.unsafe_get vps s);
+    Array.unsafe_set pbs (s + 1) (Array.unsafe_get pbs s);
+    Array.unsafe_set vps s vp;
+    Array.unsafe_set pbs s (pa - (vaddr land page_mask));
     pa
   end
 
@@ -317,27 +375,24 @@ let cap_ok (c : Cap.t) perm vaddr len =
    cursor position, so in-body [CIncOffset*] arithmetic cannot strip a tag
    the guard vouched for. Pure field reads, evaluated against the state at
    block entry, before any closure runs. *)
-let guard_ok (ctx : Cpu.ctx) (preds : Facts.gpred array) =
-  let n = Array.length preds in
-  let ok = ref true in
-  let i = ref 0 in
-  while !ok && !i < n do
-    let p = preds.(!i) in
-    let c, a =
-      if p.Facts.gp_ddc then ctx.Cpu.ddc, ctx.Cpu.gpr.(p.Facts.gp_reg)
-      else
-        let c = ctx.Cpu.creg.(p.Facts.gp_reg) in
-        (c, c.Cap.addr)
-    in
-    ok :=
+let rec guard_ok_from (ctx : Cpu.ctx) (preds : Facts.gpred array) i n =
+  i >= n
+  || (let p = Array.unsafe_get preds i in
+      let c, a =
+        if p.Facts.gp_ddc then ctx.Cpu.ddc, ctx.Cpu.gpr.(p.Facts.gp_reg)
+        else
+          let c = ctx.Cpu.creg.(p.Facts.gp_reg) in
+          (c, c.Cap.addr)
+      in
       c.Cap.tag
       && c.Cap.otype = Cap.otype_unsealed
       && c.Cap.perms land p.Facts.gp_perms = p.Facts.gp_perms
       && a + p.Facts.gp_lo >= c.Cap.base
-      && a + p.Facts.gp_hi <= c.Cap.top;
-    incr i
-  done;
-  !ok
+      && a + p.Facts.gp_hi <= c.Cap.top
+      && guard_ok_from ctx preds (i + 1) n)
+
+let guard_ok (ctx : Cpu.ctx) (preds : Facts.gpred array) =
+  guard_ok_from ctx preds 0 (Array.length preds)
 
 (* Per-instruction accounting prologue, shared by every [Acct] closure:
    charge the ifetch (through the memoized exec translate) plus base
@@ -1019,8 +1074,7 @@ let run ?(map_gen = 0) ?(chain = false) t m (ctx : Cpu.ctx) ~fuel =
     t.map_gen <- map_gen
   end;
   t.cur_vpage <- -1;
-  t.d_rd_vpage <- -1;
-  t.d_wr_vpage <- -1;
+  dtlb_reset t;
   let remaining = ref fuel in
   let result = ref None in
   let running = ref true in
@@ -1028,7 +1082,7 @@ let run ?(map_gen = 0) ?(chain = false) t m (ctx : Cpu.ctx) ~fuel =
     let pc = Cap.addr ctx.Cpu.pcc in
     match lookup_or_build t m pc with
     | Some b when b.b_ilen <= !remaining && block_ok ctx b
-                  && guard_ok ctx b.b_guard ->
+                  && (Array.length b.b_guard = 0 || guard_ok ctx b.b_guard) ->
       if chain then begin
         t.chain_entries <- t.chain_entries + 1;
         let cur = ref b in
@@ -1045,7 +1099,8 @@ let run ?(map_gen = 0) ?(chain = false) t m (ctx : Cpu.ctx) ~fuel =
           | Bx_next pc' ->
             (match chain_succ t m b pc' with
              | Some nb when nb.b_ilen <= !remaining && bounds_ok ctx nb
-                            && guard_ok ctx nb.b_guard ->
+                            && (Array.length nb.b_guard = 0
+                                || guard_ok ctx nb.b_guard) ->
                t.chained <- t.chained + 1;
                cur := nb
              | _ ->
@@ -1054,7 +1109,8 @@ let run ?(map_gen = 0) ?(chain = false) t m (ctx : Cpu.ctx) ~fuel =
           | Bx_pcc ->
             (match cjump_succ t m b (Cap.addr ctx.Cpu.pcc) with
              | Some nb when nb.b_ilen <= !remaining && block_ok ctx nb
-                            && guard_ok ctx nb.b_guard ->
+                            && (Array.length nb.b_guard = 0
+                                || guard_ok ctx nb.b_guard) ->
                t.chained <- t.chained + 1;
                cur := nb
              | _ -> chaining := false)

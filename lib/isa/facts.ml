@@ -15,12 +15,28 @@
    A table can be *lazy*: instead of being populated up front for every
    potential entry PC, it carries a [resolve] thunk that computes one
    entry's mask on first demand ([mask] is the single pull-through point —
-   the block engine calls it exactly once per block build). Resolved masks
-   are memoized, zero or not, so a superblock's fixpoint runs at most once
-   for the lifetime of the table no matter how often its block is rebuilt
-   (context switches, pmap-generation flushes). Lazy resolution only ever
-   *adds* memoized entries; it never changes a mask already handed out, so
-   compiled blocks that baked a mask in stay consistent with the table. *)
+   the block engine calls it exactly once per block build). The resolver
+   returns *both* tiers at once: the unconditional mask and the guarded
+   mask + predicates come out of one straight-line scan, so the guarded
+   pre-scan no longer re-runs the superblock fixpoint a second time on the
+   block-build path ([guarded] right after [mask] is a pure hash hit).
+   Resolved entries are memoized, zero or not, so a superblock's fixpoint
+   runs at most once for the lifetime of the table no matter how often its
+   block is rebuilt (context switches, pmap-generation flushes). Lazy
+   resolution only ever *adds* memoized entries; it never changes a mask
+   already handed out, so compiled blocks that baked a mask in stay
+   consistent with the table.
+
+   Domain safety: tables are shared by reference across OCaml domains (the
+   fleet layer runs one simulated machine per domain against the same
+   image-keyed cached table — the phys-eq [Bbcache.set_facts] contract
+   already allows sharing within one domain). All reads and memoizing
+   writes go through [t.lock]: resolution is serialized per table, so a
+   fixpoint still runs at most once per entry *globally*, and concurrent
+   lookups never observe a resizing hashtable. Masks are deterministic
+   functions of the entry pc, so which domain resolves first is
+   unobservable. The lock is uncontended outside block builds, which are
+   rare relative to execution. *)
 
 (* Guarded facts (tier 2). A guard predicate is a sufficient condition on
    the *entry-time* register state under which additional checks in the
@@ -56,11 +72,17 @@ let no_guard : guard = (0, [||])
 
 type t = {
   tbl : (int, int) Hashtbl.t;     (* superblock entry pc -> bitmask *)
-  resolve : (int -> int) option;  (* lazy: entry pc -> mask, on first use *)
   gtbl : (int, guard) Hashtbl.t;  (* entry pc -> guarded mask + predicates *)
-  gresolve : (int -> guard) option;
+  (* Lazy: entry pc -> (tier-1 mask, guarded tier), on first use. One scan
+     produces both tiers; [mask] memoizes both, so the following [guarded]
+     is a hash hit. Must be deterministic and total (return (0, no_guard)
+     for unknown PCs). *)
+  resolve : (int -> int * guard) option;
+  lock : Mutex.t;                 (* guards every table access (see above) *)
   mutable resolved : int;         (* entries materialized through [resolve] *)
-  mutable gresolved : int;        (* entries materialized through [gresolve] *)
+  mutable gresolved : int;        (* guard pulls that had to run their own
+                                     scan (guarded-before-mask order; 0 on
+                                     the block-build path) *)
   mutable lookups : int;          (* total [mask] queries — one per block
                                      build, however control reached it *)
 }
@@ -68,70 +90,87 @@ type t = {
 let max_index = 62
 
 let create () = { tbl = Hashtbl.create 256; resolve = None; resolved = 0;
-                  gtbl = Hashtbl.create 64; gresolve = None; gresolved = 0;
-                  lookups = 0 }
+                  gtbl = Hashtbl.create 64; gresolved = 0; lookups = 0;
+                  lock = Mutex.create () }
 
-(* A pull-through table: every mask is computed by [resolve] on first
-   lookup. [resolve] must be deterministic — re-resolving an entry has to
-   produce the same mask — and total (return 0 for unknown PCs). The
-   optional [gresolve] is the same contract for the guarded tier. *)
-let create_lazy ?gresolve ~resolve () =
+(* A pull-through table: every entry is computed by [resolve] on first
+   lookup — both tiers from one scan (see above). *)
+let create_lazy ~resolve () =
   { tbl = Hashtbl.create 256; resolve = Some resolve; resolved = 0;
-    gtbl = Hashtbl.create 64; gresolve; gresolved = 0; lookups = 0 }
+    gtbl = Hashtbl.create 64; gresolved = 0; lookups = 0;
+    lock = Mutex.create () }
 
 let is_lazy t = t.resolve <> None
-let resolved_lazily t = t.resolved
-let gresolved_lazily t = t.gresolved
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v -> Mutex.unlock t.lock; v
+  | exception e -> Mutex.unlock t.lock; raise e
+
+let resolved_lazily t = with_lock t (fun () -> t.resolved)
+let gresolved_lazily t = with_lock t (fun () -> t.gresolved)
 
 (* How many times the block engine consulted this table. Every decode goes
    through [mask] — including blocks first reached as a *chained*
    successor, never seen by the dispatch loop — so tests use this to pin
    down that chaining cannot bypass the facts keying. *)
-let lookups t = t.lookups
+let lookups t = with_lock t (fun () -> t.lookups)
 
 let add t ~entry ~index =
-  if index >= 0 && index <= max_index then begin
-    let cur = match Hashtbl.find_opt t.tbl entry with Some m -> m | None -> 0 in
-    Hashtbl.replace t.tbl entry (cur lor (1 lsl index))
-  end
+  if index >= 0 && index <= max_index then
+    with_lock t (fun () ->
+        let cur =
+          match Hashtbl.find_opt t.tbl entry with Some m -> m | None -> 0
+        in
+        Hashtbl.replace t.tbl entry (cur lor (1 lsl index)))
 
 (* Or a whole precomputed mask in (used by the eager whole-image scan;
    never stores an empty mask so [blocks] stays meaningful). *)
 let add_mask t ~entry mask =
   let mask = mask land ((1 lsl (max_index + 1)) - 1) in
-  if mask <> 0 then begin
-    let cur = match Hashtbl.find_opt t.tbl entry with Some m -> m | None -> 0 in
-    Hashtbl.replace t.tbl entry (cur lor mask)
-  end
+  if mask <> 0 then
+    with_lock t (fun () ->
+        let cur =
+          match Hashtbl.find_opt t.tbl entry with Some m -> m | None -> 0
+        in
+        Hashtbl.replace t.tbl entry (cur lor mask))
+
+(* Memoize a resolver result for [entry]: both tiers land in their tables
+   (zero or not — a re-decoded block must not re-run the fixpoint). Caller
+   holds the lock. *)
+let memoize_resolved t entry (m, g) =
+  Hashtbl.replace t.tbl entry m;
+  Hashtbl.replace t.gtbl entry g;
+  t.resolved <- t.resolved + 1;
+  m, g
 
 let mask t entry =
-  t.lookups <- t.lookups + 1;
-  match Hashtbl.find_opt t.tbl entry with
-  | Some m -> m
-  | None ->
-    (match t.resolve with
-     | None -> 0
-     | Some f ->
-       let m = f entry in
-       (* Memoize even zero masks: a re-decoded block must not re-run the
-          fixpoint. *)
-       Hashtbl.replace t.tbl entry m;
-       t.resolved <- t.resolved + 1;
-       m)
+  with_lock t (fun () ->
+      t.lookups <- t.lookups + 1;
+      match Hashtbl.find_opt t.tbl entry with
+      | Some m -> m
+      | None ->
+        (match t.resolve with
+         | None -> 0
+         | Some f -> fst (memoize_resolved t entry (f entry))))
 
 let elidable t ~entry ~index =
   index >= 0 && index <= max_index && (mask t entry lsr index) land 1 = 1
 
 (* Entries carrying at least one fact. Lazy tables memoize zero masks too,
    so count only the non-empty ones. *)
-let blocks t = Hashtbl.fold (fun _ m acc -> if m <> 0 then acc + 1 else acc)
-    t.tbl 0
+let blocks t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ m acc -> if m <> 0 then acc + 1 else acc) t.tbl 0)
 
 let popcount m =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
   go m 0
 
-let checks t = Hashtbl.fold (fun _ m acc -> acc + popcount m) t.tbl 0
+let checks t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ m acc -> acc + popcount m) t.tbl 0)
 
 (* --- Guarded tier -------------------------------------------------------- *)
 
@@ -140,25 +179,30 @@ let checks t = Hashtbl.fold (fun _ m acc -> acc + popcount m) t.tbl 0
 let add_guarded t ~entry mask preds =
   let mask = mask land ((1 lsl (max_index + 1)) - 1) in
   if mask <> 0 && Array.length preds > 0 then
-    Hashtbl.replace t.gtbl entry (mask, preds)
+    with_lock t (fun () -> Hashtbl.replace t.gtbl entry (mask, preds))
 
-(* Guarded mask + predicates for [entry]. The same memoize-even-empty
-   discipline as [mask], but on a separate counter: tests pin the tier-1
-   [resolved_lazily] count and the guarded tier must not disturb it. *)
+(* Guarded mask + predicates for [entry]. On the block-build path this
+   always follows [mask] for the same entry, so the combined resolver has
+   already memoized it and this is a hash hit; a guarded-before-mask call
+   order runs the scan here instead (counted separately — tests pin the
+   tier-1 [resolved] count and the guarded tier must not disturb it). *)
 let guarded t entry : guard =
-  match Hashtbl.find_opt t.gtbl entry with
-  | Some g -> g
-  | None ->
-    (match t.gresolve with
-     | None -> no_guard
-     | Some f ->
-       let g = f entry in
-       Hashtbl.replace t.gtbl entry g;
-       t.gresolved <- t.gresolved + 1;
-       g)
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.gtbl entry with
+      | Some g -> g
+      | None ->
+        (match t.resolve with
+         | None -> no_guard
+         | Some f ->
+           let g = snd (memoize_resolved t entry (f entry)) in
+           t.gresolved <- t.gresolved + 1;
+           g))
 
 let guarded_blocks t =
-  Hashtbl.fold (fun _ (m, _) acc -> if m <> 0 then acc + 1 else acc) t.gtbl 0
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ (m, _) acc -> if m <> 0 then acc + 1 else acc)
+        t.gtbl 0)
 
 let guarded_checks t =
-  Hashtbl.fold (fun _ (m, _) acc -> acc + popcount m) t.gtbl 0
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ (m, _) acc -> acc + popcount m) t.gtbl 0)

@@ -29,6 +29,26 @@ let status_of k pid =
      | Proc.Runnable | Proc.Sleeping _ | Proc.Stopped _ -> None)
   | None -> None
 
+(* Drive the system in fixed instruction chunks until quiescence, until
+   [p] is a zombie, or until [max_steps] total instructions, calling
+   [on_chunk] after every chunk. The chunk boundary is observational
+   only: scheduling decisions and simulated results are exactly those of
+   one uninterrupted [run] (Loop.run resumes mid-quantum), which is what
+   lets callers sample consoles or counters at deterministic points —
+   the fleet layer stamps request-completion markers with simulated
+   cycles this way. Returns total instructions executed. *)
+let run_chunked ?(chunk = 20_000) ~max_steps k (p : Proc.t) ~on_chunk =
+  let executed = ref 0 in
+  let running = ref true in
+  while !running do
+    let n = run ~max_steps:chunk k in
+    executed := !executed + n;
+    on_chunk ();
+    if n = 0 || Proc.is_zombie p || !executed >= max_steps then
+      running := false
+  done;
+  !executed
+
 (* Convenience: spawn a program, run the system to quiescence, and return
    (status, console output, fault log, the process itself). *)
 let run_program ?(max_steps = 200_000_000) k ~path ~argv =

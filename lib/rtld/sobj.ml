@@ -82,11 +82,13 @@ type image = {
   img_entry : string;
 }
 
-let next_image_id = ref 0
+(* Atomic so image identity stays unique even if a fleet domain builds an
+   image (the fleet builds everything up front in the spawning domain, but
+   the id must never silently collide — it keys the analysis caches). *)
+let next_image_id = Atomic.make 0
 
 let image ~name ~entry objects =
-  incr next_image_id;
-  { img_id = !next_image_id; img_name = name; img_objects = objects;
-    img_entry = entry }
+  { img_id = Atomic.fetch_and_add next_image_id 1 + 1; img_name = name;
+    img_objects = objects; img_entry = entry }
 
 let image_id img = img.img_id

@@ -201,6 +201,91 @@ let server_src =
     }
   |}
 
+(* Multi-round traffic variant for the fleet simulator: the same
+   server/client shape as [server_src], but instead of one file exchange
+   the forked client issues [rounds] request/response rounds, each a
+   16-byte request answered with a [payload]-byte encrypted record. The
+   server prints one '#' to its console after serving each round — the
+   fleet harness counts these markers between run chunks to timestamp
+   request completions in *simulated* cycles, so per-request latency is
+   deterministic and independent of host scheduling or domain count. The
+   client decrypts and verifies every record and exits 1 on success, which
+   the server checks after [wait]; "fleet ok" marks a fully verified run.
+
+   [seed] perturbs both the record contents and the handshake, so
+   machines in a mix are genuinely heterogeneous (different data, same
+   code — they share one image when [rounds]/[payload]/[seed] agree). *)
+let traffic_server_src ~rounds ~payload ~seed =
+  libssl_externs
+  ^ Printf.sprintf
+      {|
+    int main(int argc, char **argv) {
+      int rounds = %d;
+      int plen = %d;
+      int sv[2];
+      socketpair(sv);
+      srand(%d);
+      char *data = malloc(plen);
+      int i;
+      for (i = 0; i < plen; i = i + 1) data[i] = 32 + rand() %% 90;
+
+      int pid = fork();
+      if (pid == 0) {
+        /* client: [rounds] request/response rounds, verify each record *) */
+        struct session *cs = ssl_new(1);
+        ssl_handshake(cs, %d + 17);
+        char *req = malloc(32);
+        strcpy(req, "GET /record");
+        char *enc = malloc(plen);
+        char *dec = malloc(plen);
+        int bad = 0;
+        int r;
+        for (r = 0; r < rounds; r = r + 1) {
+          write(sv[1], req, 16);
+          int got = 0;
+          while (got < plen) {
+            int n = read(sv[1], enc + got, plen - got);
+            if (n <= 0) exit(9);
+            got = got + n;
+          }
+          ssl_crypt(cs, enc, dec, plen);
+          for (i = 0; i < plen; i = i + 1) {
+            if (dec[i] != data[i]) bad = bad + 1;
+          }
+        }
+        ssl_free(cs);
+        exit(bad == 0);
+      }
+      /* server: serve [rounds] records, marking each completion *) */
+      struct session *s = ssl_new(2);
+      ssl_handshake(s, %d + 17);
+      char *reqbuf = malloc(32);
+      char *enc = malloc(plen);
+      int r;
+      for (r = 0; r < rounds; r = r + 1) {
+        int n = read(sv[0], reqbuf, 16);
+        if (n <= 0) exit(2);
+        ssl_crypt(s, data, enc, plen);
+        int sent = 0;
+        while (sent < plen) {
+          int w = write(sv[0], enc + sent, min_i(512, plen - sent));
+          if (w <= 0) exit(3);
+          sent = sent + w;
+        }
+        print_str("#");
+      }
+      free(reqbuf);
+      free(enc);
+      ssl_free(s);
+      int status = 0;
+      wait(&status);
+      if ((status >> 8) != 1) return 4;
+      print_str("fleet ok");
+      return 0;
+    }
+  |}
+      rounds payload seed seed seed
+
 (* Run the server under CheriABI with tracing; returns (status, output,
    trace events). *)
 let run_traced () =

@@ -1,0 +1,202 @@
+(* Fleet determinism: sharding whole machines across OCaml domains must
+   not change what any machine computes.
+
+   The contract (docs/FLEET.md): a machine's execution depends only on
+   its spec — never on the domain count, the work-stealing scheduler's
+   machine-to-domain assignment, or what other machines run concurrently.
+   The differential here runs the SAME machine set with 1 domain and with
+   4 genuinely concurrent domains ([~oversubscribe:true] defeats the
+   host-core cap, so even a one-core CI host really interleaves four
+   mutator domains and their stop-the-world collections) and demands
+   bit-identical per-machine snapshots plus identical per-machine stats
+   and latency stamps.
+
+   The mix deliberately includes the hard cases alongside the TLS
+   traffic servers:
+   - a fork-heavy machine (process-tree churn through the shared fact
+     table, fork-time COW, zombie reaping);
+   - an mprotect machine that flips a hot region read-only and back
+     between hot loops (chain severing + fact-cache invalidation racing
+     nothing, because each machine owns its kernel outright). *)
+
+module Fleet = Cheri_fleet.Fleet
+module Abi = Cheri_core.Abi
+module Proc = Cheri_kernel.Proc
+module Absint = Cheri_analysis.Absint
+module Stdlib_src = Cheri_workloads.Stdlib_src
+
+(* --- Custom hard-case machines ---------------------------------------------- *)
+
+(* Six sequential fork/wait generations; each child churns the allocator
+   and exits with a checksum the parent ignores. One '#' per reaped
+   child gives the latency stamper something to chew on. *)
+let fork_heavy_src =
+  {|
+    int main(int argc, char **argv) {
+      int kids = 6;
+      int i;
+      for (i = 0; i < kids; i = i + 1) {
+        int pid = fork();
+        if (pid == 0) {
+          int j;
+          int acc = i + 1;
+          char *buf = malloc(2048);
+          for (j = 0; j < 2048; j = j + 1) {
+            buf[j] = acc % 251;
+            acc = acc * 7 + j;
+          }
+          int sum = 0;
+          for (j = 0; j < 2048; j = j + 1) sum = sum + buf[j];
+          free(buf);
+          exit(sum % 31);
+        }
+        int status = 0;
+        wait(&status);
+        print_str("#");
+      }
+      print_str("forks done");
+      return 0;
+    }
+  |}
+
+(* Hot write loop, mprotect the region read-only, hot read loop, restore
+   read|write — four passes. The protection flips sever superblock
+   chains and bump the pmap generation between hot loops, the exact
+   pattern that must stay deterministic under concurrent fact-cache
+   sharing. *)
+let mprotect_src =
+  {|
+    int main(int argc, char **argv) {
+      char *buf = mmap_anon(8192);
+      int pass;
+      int i;
+      int sum = 0;
+      for (pass = 0; pass < 4; pass = pass + 1) {
+        for (i = 0; i < 8192; i = i + 1) buf[i] = (i + pass) % 127;
+        if (mprotect(buf, 8192, 1) < 0) return 1;
+        for (i = 0; i < 8192; i = i + 1) sum = sum + buf[i];
+        if (mprotect(buf, 8192, 3) < 0) return 2;
+        print_str("#");
+      }
+      if (munmap(buf, 8192) < 0) return 3;
+      if (sum < 0) return 4;
+      print_str("mprotect done");
+      return 0;
+    }
+  |}
+
+let custom_spec ~label ~name src =
+  let abi = Abi.Cheriabi in
+  { Fleet.ms_label = label;
+    ms_abi = abi;
+    ms_image = Stdlib_src.build_image ~abi ~name src;
+    ms_path = "/bin/" ^ name;
+    ms_argv = [ name ];
+    ms_max_steps = 200_000_000;
+    ms_marker = '#' }
+
+(* Small but heterogeneous: two TLS traffic servers (distinct service
+   classes, shared images with the fleet bench path) plus the two
+   hard-case machines above. *)
+let mixed_specs () =
+  Fleet.traffic_mix ~machines:2 ~rounds:3 ()
+  @ [ custom_spec ~label:"fork_heavy" ~name:"fork_heavy" fork_heavy_src;
+      custom_spec ~label:"mprotect_loops" ~name:"mprotect_hot" mprotect_src ]
+
+(* --- 1 vs 4 domains: bit-identical machines ---------------------------------- *)
+
+let check_machine_equal i (a : Fleet.machine_result)
+    (b : Fleet.machine_result) =
+  let tag fmt = Printf.sprintf ("machine %d (%s): " ^^ fmt) i a.Fleet.mr_label in
+  Alcotest.(check string) (tag "label") a.Fleet.mr_label b.Fleet.mr_label;
+  Alcotest.(check bool) (tag "status")
+    true (a.Fleet.mr_status = b.Fleet.mr_status);
+  Alcotest.(check string) (tag "console") a.Fleet.mr_output b.Fleet.mr_output;
+  Alcotest.(check int) (tag "instructions") a.Fleet.mr_insns b.Fleet.mr_insns;
+  Alcotest.(check int) (tag "cycles") a.Fleet.mr_cycles b.Fleet.mr_cycles;
+  Alcotest.(check int) (tag "l2 misses")
+    a.Fleet.mr_l2_misses b.Fleet.mr_l2_misses;
+  Alcotest.(check int) (tag "syscalls")
+    a.Fleet.mr_syscalls b.Fleet.mr_syscalls;
+  Alcotest.(check int) (tag "requests")
+    a.Fleet.mr_requests b.Fleet.mr_requests;
+  Alcotest.(check (array int)) (tag "latency stamps")
+    a.Fleet.mr_latencies b.Fleet.mr_latencies;
+  Alcotest.(check string) (tag "snapshot")
+    a.Fleet.mr_snapshot b.Fleet.mr_snapshot
+
+let test_one_vs_four_domains () =
+  Absint.clear_fact_cache ();
+  let specs = mixed_specs () in
+  let r1 = Fleet.run ~domains:1 specs in
+  let r4 = Fleet.run ~domains:4 ~oversubscribe:true specs in
+  Alcotest.(check int) "requested domains recorded" 4 r4.Fleet.f_domains;
+  Alcotest.(check int) "oversubscribe forces 4 workers" 4 r4.Fleet.f_workers;
+  Alcotest.(check int) "same machine count"
+    (Array.length r1.Fleet.f_results) (Array.length r4.Fleet.f_results);
+  Array.iteri
+    (fun i a -> check_machine_equal i a r4.Fleet.f_results.(i))
+    r1.Fleet.f_results;
+  Alcotest.(check int) "aggregate instructions identical"
+    r1.Fleet.f_insns r4.Fleet.f_insns;
+  Alcotest.(check int) "aggregate requests identical"
+    r1.Fleet.f_requests r4.Fleet.f_requests;
+  (* every machine must have finished cleanly, or the equalities above
+     are vacuous *)
+  Array.iter
+    (fun (m : Fleet.machine_result) ->
+      match m.Fleet.mr_status with
+      | Some (Proc.Exited 0) -> ()
+      | s ->
+        Alcotest.failf "machine %s finished %s" m.Fleet.mr_label
+          (Fleet.status_str s))
+    r1.Fleet.f_results;
+  (* and the hard cases must actually have exercised their hard paths *)
+  let by_label l =
+    let found = ref None in
+    Array.iter
+      (fun (m : Fleet.machine_result) ->
+        if m.Fleet.mr_label = l then found := Some m)
+      r4.Fleet.f_results;
+    match !found with
+    | Some m -> m
+    | None -> Alcotest.failf "machine %s missing from results" l
+  in
+  let fh = by_label "fork_heavy" in
+  Alcotest.(check int) "fork machine reaped 6 children" 6
+    fh.Fleet.mr_requests;
+  Alcotest.(check bool) "fork machine completed" true
+    (String.ends_with ~suffix:"forks done" fh.Fleet.mr_output);
+  let mp = by_label "mprotect_loops" in
+  Alcotest.(check int) "mprotect machine ran 4 passes" 4
+    mp.Fleet.mr_requests;
+  Alcotest.(check bool) "mprotect machine completed" true
+    (String.ends_with ~suffix:"mprotect done" mp.Fleet.mr_output)
+
+(* --- Worker cap and report hygiene ------------------------------------------- *)
+
+let test_worker_cap () =
+  let specs =
+    [ custom_spec ~label:"cap_probe" ~name:"cap_probe" mprotect_src ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  let r = Fleet.run ~domains:8 specs in
+  Alcotest.(check int) "f_domains echoes the request" 8 r.Fleet.f_domains;
+  Alcotest.(check int) "workers capped at host cores"
+    (max 1 (min 8 cores)) r.Fleet.f_workers;
+  Alcotest.(check int) "one utilization slot per worker"
+    r.Fleet.f_workers (Array.length r.Fleet.f_util)
+
+let test_percentiles_monotone () =
+  Absint.clear_fact_cache ();
+  let specs = Fleet.traffic_mix ~machines:2 ~rounds:3 () in
+  let r = Fleet.run ~domains:2 ~oversubscribe:true specs in
+  Alcotest.(check bool) "completed requests" true (r.Fleet.f_requests > 0);
+  Alcotest.(check bool) "p50 positive" true (r.Fleet.f_p50 > 0);
+  Alcotest.(check bool) "p50 <= p95" true (r.Fleet.f_p50 <= r.Fleet.f_p95);
+  Alcotest.(check bool) "p95 <= p99" true (r.Fleet.f_p95 <= r.Fleet.f_p99)
+
+let suite =
+  [ "fleet: 1 vs 4 domains bit-identical", `Slow, test_one_vs_four_domains;
+    "fleet: worker cap respects host cores", `Quick, test_worker_cap;
+    "fleet: latency percentiles monotone", `Quick, test_percentiles_monotone ]

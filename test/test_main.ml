@@ -19,4 +19,5 @@ let () =
       "factcache", Test_factcache.suite;
       "core", Test_core.suite;
       "workloads", Test_workloads.suite;
-      "cache", Test_workloads.cache_suite ]
+      "cache", Test_workloads.cache_suite;
+      "fleet", Test_fleet.suite ]

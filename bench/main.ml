@@ -398,7 +398,8 @@ let engine_bench () =
   let zero_ch =
     { Cheri_isa.Bbcache.ch_entries = 0; ch_chained = 0;
       ch_ic_hits = 0; ch_ic_misses = 0; ch_ic_mega = 0;
-      ch_dtlb_hits = 0; ch_dtlb_misses = 0 }
+      ch_dtlb_hits = 0; ch_dtlb_misses = 0;
+      ch_fused_groups = 0; ch_fused_insns = 0; ch_batched = 0 }
   in
   let add_ch a b =
     let open Cheri_isa.Bbcache in
@@ -408,7 +409,10 @@ let engine_bench () =
       ch_ic_misses = a.ch_ic_misses + b.ch_ic_misses;
       ch_ic_mega = a.ch_ic_mega + b.ch_ic_mega;
       ch_dtlb_hits = a.ch_dtlb_hits + b.ch_dtlb_hits;
-      ch_dtlb_misses = a.ch_dtlb_misses + b.ch_dtlb_misses }
+      ch_dtlb_misses = a.ch_dtlb_misses + b.ch_dtlb_misses;
+      ch_fused_groups = a.ch_fused_groups + b.ch_fused_groups;
+      ch_fused_insns = a.ch_fused_insns + b.ch_fused_insns;
+      ch_batched = a.ch_batched + b.ch_batched }
   in
   let run_pass ~elide engine =
     List.fold_left
@@ -713,7 +717,24 @@ let engine_bench () =
         if snd (leg_pr "block+chain+elide") = 0 then
           failwith "bench-smoke: chain+elide leg executed no elided probes";
         if snd (leg_pr "block") <> 0 || snd (leg_pr "block+chain") <> 0 then
-          failwith "bench-smoke: non-elide leg executed elided probes"
+          failwith "bench-smoke: non-elide leg executed elided probes";
+        (* Tier-3 gates: the chain+elide leg carries fact tables, so its
+           certified prefixes must actually fuse line groups and batch
+           same-line tail probes; the factless chain leg has no
+           certificates and must never fuse. All three are exact
+           structural counts, independent of host timing. *)
+        let cech = leg_ch "block+chain+elide" in
+        if cech.Cheri_isa.Bbcache.ch_fused_groups = 0 then
+          failwith "bench-smoke: chain+elide leg retired no fused groups";
+        if cech.Cheri_isa.Bbcache.ch_batched = 0 then
+          failwith "bench-smoke: chain+elide leg batched no data probes";
+        if cch.Cheri_isa.Bbcache.ch_fused_groups <> 0 then
+          failwith "bench-smoke: factless chain leg fused a group"
+        (* The chain+elide >= chain throughput relation itself is covered
+           by the 0.85-floor backstop above: on these ~40ms legs the
+           honest ratio sits within the host jitter band, so the exact
+           counters here — not a wall-clock coin flip — are what catch
+           fusion or batching being silently disabled. *)
       end);
      if !opt_json then begin
        let speedup_of name =
@@ -727,6 +748,15 @@ let engine_bench () =
          with
          | Some (_, _, _, ch, _) -> ch
          | None -> zero_ch
+       in
+       (* Tier-3 counters live on the chain+elide leg: fusion and batched
+          probes require fact tables, which only the elide legs carry. *)
+       let ce_ch, ce_insns =
+         match
+           List.find_opt (fun (n, _, _, _, _) -> n = "block+chain+elide") legs
+         with
+         | Some (_, i, _, ch, _) -> ch, i
+         | None -> zero_ch, 0
        in
        let probes_of name =
          match List.find_opt (fun (n, _, _, _, _) -> n = name) legs with
@@ -750,6 +780,8 @@ let engine_bench () =
           \"avg_chain_length\": %.3f, \"ic_hits\": %d, \"ic_misses\": %d, \
           \"ic_megamorphic\": %d, \"ic_hit_rate\": %.3f, \
           \"dtlb_hits\": %d, \"dtlb_misses\": %d, \"dtlb_hit_rate\": %.3f },\n\
+         \  \"tier3\": { \"fused_groups\": %d, \"fused_insns\": %d, \
+          \"fused_insn_rate\": %.3f, \"batched_probes\": %d },\n\
          \  \"fact_cache\": { \"hits\": %d, \"misses\": %d, \
           \"superblocks_eager\": %d, \"superblocks_lazy\": %d, \
           \"guarded_prescans\": %d },\n\
@@ -788,6 +820,13 @@ let engine_bench () =
          chain_ch.Cheri_isa.Bbcache.ch_dtlb_hits
          chain_ch.Cheri_isa.Bbcache.ch_dtlb_misses
          (dtlb_rate chain_ch)
+         ce_ch.Cheri_isa.Bbcache.ch_fused_groups
+         ce_ch.Cheri_isa.Bbcache.ch_fused_insns
+         (if ce_insns = 0 then 0.0
+          else
+            float_of_int ce_ch.Cheri_isa.Bbcache.ch_fused_insns
+            /. float_of_int ce_insns)
+         ce_ch.Cheri_isa.Bbcache.ch_batched
          fc_hits fc_misses sb_eager sb_lazy
          Cheri_analysis.Absint.stats.Cheri_analysis.Absint.cs_lazy_gsb
          an_funcs an_iters an_proved an_checks

@@ -1,0 +1,124 @@
+(* diffu — unified diff for the baseline gates (@lint / @verify).
+
+   Dune's builtin [diff] action dumps both files wholesale when they
+   disagree, which for a few-hundred-line analysis report buries the one
+   changed counter. This prints a standard unified diff (3 lines of
+   context) computed with the classic LCS dynamic program, plus a
+   re-promotion hint, and exits 1 so the alias still fails.
+
+   Usage: diffu EXPECTED ACTUAL *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let parts = String.split_on_char '\n' s in
+  (* A trailing newline yields one empty trailing element; drop it so the
+     line count matches what a text editor shows. *)
+  let parts =
+    match List.rev parts with "" :: rest -> List.rev rest | _ -> parts
+  in
+  Array.of_list parts
+
+type op = Keep of string | Del of string | Add of string
+
+(* Edit script from the LCS table. Reports are a few hundred lines, so
+   the O(n*m) table is trivially affordable and always exact. *)
+let script a b =
+  let n = Array.length a and m = Array.length b in
+  let l = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      l.(i).(j) <-
+        (if a.(i) = b.(j) then 1 + l.(i + 1).(j + 1)
+         else max l.(i + 1).(j) l.(i).(j + 1))
+    done
+  done;
+  let ops = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < m do
+    if a.(!i) = b.(!j) then begin
+      ops := Keep a.(!i) :: !ops; incr i; incr j
+    end
+    else if l.(!i + 1).(!j) >= l.(!i).(!j + 1) then begin
+      ops := Del a.(!i) :: !ops; incr i
+    end
+    else begin
+      ops := Add b.(!j) :: !ops; incr j
+    end
+  done;
+  while !i < n do ops := Del a.(!i) :: !ops; incr i done;
+  while !j < m do ops := Add b.(!j) :: !ops; incr j done;
+  Array.of_list (List.rev !ops)
+
+let context = 3
+
+(* Group changed ops into hunks: a hunk spans every run of non-Keep ops
+   whose surrounding context windows touch or overlap. *)
+let hunks ops =
+  let n = Array.length ops in
+  let changed i = match ops.(i) with Keep _ -> false | _ -> true in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if changed !i then begin
+      let s = max 0 (!i - context) in
+      (* Extend past every later change whose context window reaches back
+         within 2*context of the current hunk end. *)
+      let e = ref !i in
+      let j = ref (!i + 1) in
+      while !j < n && !j - !e <= 2 * context do
+        if changed !j then e := !j;
+        incr j
+      done;
+      let e = min (n - 1) (!e + context) in
+      out := (s, e) :: !out;
+      i := e + 1
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let print_hunk ops (s, e) =
+  (* Old/new line numbers at the hunk start: count Keep/Del (old) and
+     Keep/Add (new) ops before it. *)
+  let old_at = ref 1 and new_at = ref 1 in
+  for k = 0 to s - 1 do
+    (match ops.(k) with
+     | Keep _ -> incr old_at; incr new_at
+     | Del _ -> incr old_at
+     | Add _ -> incr new_at)
+  done;
+  let old_n = ref 0 and new_n = ref 0 in
+  for k = s to e do
+    (match ops.(k) with
+     | Keep _ -> incr old_n; incr new_n
+     | Del _ -> incr old_n
+     | Add _ -> incr new_n)
+  done;
+  Printf.printf "@@ -%d,%d +%d,%d @@\n" !old_at !old_n !new_at !new_n;
+  for k = s to e do
+    match ops.(k) with
+    | Keep l -> Printf.printf " %s\n" l
+    | Del l -> Printf.printf "-%s\n" l
+    | Add l -> Printf.printf "+%s\n" l
+  done
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: diffu EXPECTED ACTUAL";
+    exit 2
+  end;
+  let expected = Sys.argv.(1) and actual = Sys.argv.(2) in
+  let a = read_lines expected and b = read_lines actual in
+  if a = b then exit 0;
+  let ops = script a b in
+  Printf.printf "--- %s\n+++ %s\n" expected actual;
+  List.iter (print_hunk ops) (hunks ops);
+  Printf.printf
+    "\nbaseline mismatch: %s differs from %s\n\
+     hint: if the new output is intended, re-promote the baseline:\n\
+    \  cp _build/default/%s %s\n"
+    actual expected actual (Filename.basename expected);
+  exit 1

@@ -72,6 +72,18 @@ type sem_body = {
   sem : (Cpu.ctx -> unit) array;
   groups : int array;                  (* (start lsl 16) lor length, per line *)
   basesum : int array;                 (* prefix sums of Insn.base_cycles *)
+  (* Tier-3 group fusion: for each line group that lies entirely inside the
+     block's trap-freedom certificate ([Facts.cert]), a single closure that
+     runs every member in order — one indirect call per group instead of
+     the per-member dispatch loop. Inside a certified prefix only memory
+     accesses can trap (page fault, alignment, CSC value checks — the
+     capability checks themselves were discharged by tiers 1/2 and the
+     capability-arithmetic instructions were proven trap-free), so the
+     fused closure updates [t.x_i] only immediately before memory members:
+     the generic trap handler then attributes the exact faulting PC, and
+     [commit_sem] commits exactly the retired prefix, as the per-member
+     loop would. [None] for groups not fully certified. *)
+  fused : (Cpu.ctx -> unit) option array;
 }
 
 (* Body representation. [Acct]: the classic per-instruction closures with
@@ -144,6 +156,14 @@ type t = {
   mutable x_gs : int;
   mutable x_gcost : int;
   mutable x_gpa : int;
+  (* Physical address of the head access of the tier-3 access run in
+     flight, or -1 when the run's head line-fit check failed (the whole
+     hulled window must sit inside one 64-byte line at runtime; the
+     analysis proves the deltas, the head proves the placement). Set
+     by every run-head closure before its tails execute — tails are
+     consecutive accesses in the same block body, so the value can never
+     be another run's: each head overwrites it unconditionally. *)
+  mutable x_run_pa : int;
   (* Chain-mode data-side translate memo: small set-associative software
      TLBs (2 sets x 2 ways, indexed by vpage parity, MRU way first), split
      by access kind because read and write rights (and COW) differ. One
@@ -183,6 +203,15 @@ type t = {
      outside the compiled-block world these counters describe. *)
   mutable checked_probes : int;
   mutable elided_probes : int;
+  (* Tier-3 visibility counters (bench/docs; not part of the parity
+     contract). [fused_groups]/[fused_insns]: line groups (and their
+     member instructions) executed through a fused single-call closure.
+     [batched_probes]: data accesses that took the batched guaranteed-hit
+     fast path ([Cache.daccess_repeats]) instead of a full
+     translate + [Cache.data_access] sequence. *)
+  mutable fused_groups : int;
+  mutable fused_insns : int;
+  mutable batched_probes : int;
 }
 
 let max_block = 64
@@ -197,14 +226,15 @@ let create () =
     facts = None;
     cur_vpage = -1; cur_pbase = 0;
     chain_mode = false;
-    x_i = 0; x_gs = 0; x_gcost = -1; x_gpa = 0;
+    x_i = 0; x_gs = 0; x_gcost = -1; x_gpa = 0; x_run_pa = -1;
     d_rd_vp = Array.make 4 (-1); d_rd_pb = Array.make 4 0;
     d_wr_vp = Array.make 4 (-1); d_wr_pb = Array.make 4 0;
     built = 0; flushes = 0; block_runs = 0; step_falls = 0;
     elided_sites = 0;
     chain_entries = 0; chained = 0; ic_hits = 0; ic_misses = 0; ic_mega = 0;
     dtlb_hits = 0; dtlb_misses = 0;
-    checked_probes = 0; elided_probes = 0 }
+    checked_probes = 0; elided_probes = 0;
+    fused_groups = 0; fused_insns = 0; batched_probes = 0 }
 
 (* Reset the dynamic visibility counters (chain/IC and probe counters).
    Called when the installed fact table changes identity — a new analysis
@@ -222,7 +252,10 @@ let reset_dyn_counters t =
   t.dtlb_hits <- 0;
   t.dtlb_misses <- 0;
   t.checked_probes <- 0;
-  t.elided_probes <- 0
+  t.elided_probes <- 0;
+  t.fused_groups <- 0;
+  t.fused_insns <- 0;
+  t.batched_probes <- 0
 
 (* Chain/IC statistics snapshot, for the bench legs and tests. *)
 type chain_stats = {
@@ -233,13 +266,18 @@ type chain_stats = {
   ch_ic_mega : int;
   ch_dtlb_hits : int;
   ch_dtlb_misses : int;
+  ch_fused_groups : int;
+  ch_fused_insns : int;
+  ch_batched : int;
 }
 
 let chain_stats t =
   { ch_entries = t.chain_entries; ch_chained = t.chained;
     ch_ic_hits = t.ic_hits; ch_ic_misses = t.ic_misses;
     ch_ic_mega = t.ic_mega;
-    ch_dtlb_hits = t.dtlb_hits; ch_dtlb_misses = t.dtlb_misses }
+    ch_dtlb_hits = t.dtlb_hits; ch_dtlb_misses = t.dtlb_misses;
+    ch_fused_groups = t.fused_groups; ch_fused_insns = t.fused_insns;
+    ch_batched = t.batched_probes }
 
 (* Drop every decoded block (context switch, exec image replacement).
    Facts are left attached: they are keyed by entry pc against the owning
@@ -668,6 +706,319 @@ let compile_sem t m ~pc ~elide insn =
   | Insn.Nop -> fun _ctx -> ()
   | insn -> fun ctx -> Cpu.exec_straight m ctx ~pc insn
 
+(* Tier-3 access-run role of a body instruction (from [Facts.cert]):
+   [R_head (lo, hi)] marks the first access of a certified same-line run
+   ([lo, hi) is the hulled byte window of the whole run relative to the
+   head's vaddr); [R_tail delta] marks a follow-on access whose vaddr is
+   provably head_vaddr + delta. *)
+type run_info =
+  | R_none
+  | R_head of int * int
+  | R_tail of int
+
+(* [compile_sem] with the access-run fast paths. Every run member keeps
+   its own capability check (unless tier 1/2 elided it), its alignment
+   check and — for CSC — the stored-value rights checks, all evaluated at
+   runtime on the syntactically recomputed vaddr, so each trap the step
+   engine would raise fires here too, with the identical cause and
+   payload. What the certificate lets tails skip is only the address
+   work: the TLB translate and the real [Cache.data_access] probe.
+
+   Heads run the exact sequence (checks, translate, real probe) and then
+   publish [t.x_run_pa]: the head's physical address if the hulled byte
+   window [pa+lo, pa+hi) of the whole run sits inside one 64-byte line,
+   else -1. Testing the fit on the physical address is the same as
+   testing it on the virtual one because pages are line-aligned (the
+   address phase mod 64 is translation-invariant); fit implies the whole
+   run shares the head's line and therefore its page, so every tail's
+   physical address is exactly head_pa + delta and its translate could
+   neither fault nor disagree. For write runs, kind homogeneity (enforced
+   by the analysis) means the head's write translate already performed
+   COW and dirty marking for the shared page. Tails with a published head
+   therefore replace translate + [Cache.data_access] with the
+   guaranteed-hit batch [Cache.daccess_repeats] — exact because run
+   members are *consecutive* data accesses, so the head's DL1 line is
+   still resident (see cache.ml). A tail that finds [t.x_run_pa = -1]
+   runs the exact sequence instead: the fast path gates performance,
+   never correctness. *)
+let compile_sem_run t m ~pc ~elide ~run insn =
+  let check = not elide in
+  let hier = m.Cpu.hier in
+  let mem = m.Cpu.mem in
+  let count_probe () =
+    if check then t.checked_probes <- t.checked_probes + 1
+    else t.elided_probes <- t.elided_probes + 1
+  in
+  let site () = if elide then t.elided_sites <- t.elided_sites + 1 in
+  (* Publish the head's pa for the run's tails, or -1 when the hulled
+     window leaves the head's cache line. *)
+  let publish lo hi pa =
+    t.x_run_pa <-
+      (if ((pa + lo) land (Cache.line_size - 1)) + (hi - lo)
+          <= Cache.line_size
+       then pa
+       else -1)
+  in
+  match run, insn with
+  | R_none, _ -> compile_sem t m ~pc ~elide insn
+  | R_head (lo, hi), Insn.Load { w; signed; rd; base = b; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let vaddr = Cpu.rd_gpr ctx b + off in
+      if check && not (cap_ok ctx.Cpu.ddc Perms.load vaddr w) then
+        Cpu.check_cap ctx.Cpu.ddc ~reg:(-2) ~perm:Perms.load ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let pa = translate_rd t m vaddr in
+      publish lo hi pa;
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+      Cpu.wr_gpr ctx rd
+        (if signed then Tagmem.read_int_signed mem pa ~len:w
+         else Tagmem.read_int mem pa ~len:w)
+  | R_tail delta, Insn.Load { w; signed; rd; base = b; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let vaddr = Cpu.rd_gpr ctx b + off in
+      if check && not (cap_ok ctx.Cpu.ddc Perms.load vaddr w) then
+        Cpu.check_cap ctx.Cpu.ddc ~reg:(-2) ~perm:Perms.load ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let rp = t.x_run_pa in
+      if rp >= 0 then begin
+        t.batched_probes <- t.batched_probes + 1;
+        let pa = rp + delta in
+        Cache.daccess_repeats hier pa 1;
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + hier.Cache.l1_hit_cycles;
+        Cpu.wr_gpr ctx rd
+          (if signed then Tagmem.read_int_signed mem pa ~len:w
+           else Tagmem.read_int mem pa ~len:w)
+      end
+      else begin
+        let pa = translate_rd t m vaddr in
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+        Cpu.wr_gpr ctx rd
+          (if signed then Tagmem.read_int_signed mem pa ~len:w
+           else Tagmem.read_int mem pa ~len:w)
+      end
+  | R_head (lo, hi), Insn.Store { w; rs; base = b; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let vaddr = Cpu.rd_gpr ctx b + off in
+      if check && not (cap_ok ctx.Cpu.ddc Perms.store vaddr w) then
+        Cpu.check_cap ctx.Cpu.ddc ~reg:(-2) ~perm:Perms.store ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let pa = translate_wr t m vaddr in
+      publish lo hi pa;
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+      Tagmem.write_int mem pa ~len:w (Cpu.rd_gpr ctx rs)
+  | R_tail delta, Insn.Store { w; rs; base = b; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let vaddr = Cpu.rd_gpr ctx b + off in
+      if check && not (cap_ok ctx.Cpu.ddc Perms.store vaddr w) then
+        Cpu.check_cap ctx.Cpu.ddc ~reg:(-2) ~perm:Perms.store ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let rp = t.x_run_pa in
+      if rp >= 0 then begin
+        t.batched_probes <- t.batched_probes + 1;
+        let pa = rp + delta in
+        Cache.daccess_repeats hier pa 1;
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + hier.Cache.l1_hit_cycles;
+        Tagmem.write_int mem pa ~len:w (Cpu.rd_gpr ctx rs)
+      end
+      else begin
+        let pa = translate_wr t m vaddr in
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+        Tagmem.write_int mem pa ~len:w (Cpu.rd_gpr ctx rs)
+      end
+  | R_head (lo, hi), Insn.CLoad { w; signed; rd; cb; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.load vaddr w) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let pa = translate_rd t m vaddr in
+      publish lo hi pa;
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+      Cpu.wr_gpr ctx rd
+        (if signed then Tagmem.read_int_signed mem pa ~len:w
+         else Tagmem.read_int mem pa ~len:w)
+  | R_tail delta, Insn.CLoad { w; signed; rd; cb; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.load vaddr w) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let rp = t.x_run_pa in
+      if rp >= 0 then begin
+        t.batched_probes <- t.batched_probes + 1;
+        let pa = rp + delta in
+        Cache.daccess_repeats hier pa 1;
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + hier.Cache.l1_hit_cycles;
+        Cpu.wr_gpr ctx rd
+          (if signed then Tagmem.read_int_signed mem pa ~len:w
+           else Tagmem.read_int mem pa ~len:w)
+      end
+      else begin
+        let pa = translate_rd t m vaddr in
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+        Cpu.wr_gpr ctx rd
+          (if signed then Tagmem.read_int_signed mem pa ~len:w
+           else Tagmem.read_int mem pa ~len:w)
+      end
+  | R_head (lo, hi), Insn.CStore { w; rs; cb; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.store vaddr w) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let pa = translate_wr t m vaddr in
+      publish lo hi pa;
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+      Tagmem.write_int mem pa ~len:w (Cpu.rd_gpr ctx rs)
+  | R_tail delta, Insn.CStore { w; rs; cb; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.store vaddr w) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:w;
+      Cpu.check_align vaddr w;
+      let rp = t.x_run_pa in
+      if rp >= 0 then begin
+        t.batched_probes <- t.batched_probes + 1;
+        let pa = rp + delta in
+        Cache.daccess_repeats hier pa 1;
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + hier.Cache.l1_hit_cycles;
+        Tagmem.write_int mem pa ~len:w (Cpu.rd_gpr ctx rs)
+      end
+      else begin
+        let pa = translate_wr t m vaddr in
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa w;
+        Tagmem.write_int mem pa ~len:w (Cpu.rd_gpr ctx rs)
+      end
+  | R_head (lo, hi), Insn.CLC { cd; cb; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.load vaddr Cap.sizeof) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:Cap.sizeof;
+      Cpu.check_align vaddr Cap.sizeof;
+      let pa = translate_rd t m vaddr in
+      publish lo hi pa;
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa Cap.sizeof;
+      let loaded = Tagmem.read_cap mem pa in
+      let loaded =
+        if Perms.has (Cap.perms cap) Perms.load_cap then loaded
+        else Cap.clear_tag loaded
+      in
+      Cpu.wr_creg ctx cd loaded
+  | R_tail delta, Insn.CLC { cd; cb; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.load vaddr Cap.sizeof) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.load ~vaddr ~len:Cap.sizeof;
+      Cpu.check_align vaddr Cap.sizeof;
+      let rp = t.x_run_pa in
+      if rp >= 0 then begin
+        t.batched_probes <- t.batched_probes + 1;
+        let pa = rp + delta in
+        Cache.daccess_repeats hier pa 1;
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + hier.Cache.l1_hit_cycles;
+        let loaded = Tagmem.read_cap mem pa in
+        let loaded =
+          if Perms.has (Cap.perms cap) Perms.load_cap then loaded
+          else Cap.clear_tag loaded
+        in
+        Cpu.wr_creg ctx cd loaded
+      end
+      else begin
+        let pa = translate_rd t m vaddr in
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa Cap.sizeof;
+        let loaded = Tagmem.read_cap mem pa in
+        let loaded =
+          if Perms.has (Cap.perms cap) Perms.load_cap then loaded
+          else Cap.clear_tag loaded
+        in
+        Cpu.wr_creg ctx cd loaded
+      end
+  | R_head (lo, hi), Insn.CSC { cs; cb; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.store vaddr Cap.sizeof) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:Cap.sizeof;
+      let v = Cpu.rd_creg ctx cs in
+      if Cap.is_tagged v then begin
+        if not (Perms.has (Cap.perms cap) Perms.store_cap) then
+          Cpu.cap_fault (Cap.Permit_violation Perms.store_cap) ~reg:cb ~vaddr;
+        if (not (Perms.has (Cap.perms v) Perms.global))
+           && not (Perms.has (Cap.perms cap) Perms.store_local_cap)
+        then
+          Cpu.cap_fault (Cap.Permit_violation Perms.store_local_cap) ~reg:cb
+            ~vaddr
+      end;
+      Cpu.check_align vaddr Cap.sizeof;
+      let pa = translate_wr t m vaddr in
+      publish lo hi pa;
+      ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa Cap.sizeof;
+      Tagmem.write_cap mem pa v
+  | R_tail delta, Insn.CSC { cs; cb; off } ->
+    site ();
+    fun ctx ->
+      count_probe ();
+      let cap = Cpu.rd_creg ctx cb in
+      let vaddr = Cap.addr cap + off in
+      if check && not (cap_ok cap Perms.store vaddr Cap.sizeof) then
+        Cpu.check_cap cap ~reg:cb ~perm:Perms.store ~vaddr ~len:Cap.sizeof;
+      let v = Cpu.rd_creg ctx cs in
+      if Cap.is_tagged v then begin
+        if not (Perms.has (Cap.perms cap) Perms.store_cap) then
+          Cpu.cap_fault (Cap.Permit_violation Perms.store_cap) ~reg:cb ~vaddr;
+        if (not (Perms.has (Cap.perms v) Perms.global))
+           && not (Perms.has (Cap.perms cap) Perms.store_local_cap)
+        then
+          Cpu.cap_fault (Cap.Permit_violation Perms.store_local_cap) ~reg:cb
+            ~vaddr
+      end;
+      Cpu.check_align vaddr Cap.sizeof;
+      let rp = t.x_run_pa in
+      if rp >= 0 then begin
+        t.batched_probes <- t.batched_probes + 1;
+        let pa = rp + delta in
+        Cache.daccess_repeats hier pa 1;
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + hier.Cache.l1_hit_cycles;
+        Tagmem.write_cap mem pa v
+      end
+      else begin
+        let pa = translate_wr t m vaddr in
+        ctx.Cpu.cycles <- ctx.Cpu.cycles + Cache.data_access hier pa Cap.sizeof;
+        Tagmem.write_cap mem pa v
+      end
+  | (R_head _ | R_tail _), _ ->
+    (* Run info on a non-memory instruction means the certificate and the
+       decoded code disagree — compile the exact closure. *)
+    compile_sem t m ~pc ~elide insn
+
 (* Terminator at [pc] -> exit closure. Mirrors the control arms of
    [Cpu.step] exactly, including the +1 taken-branch cycle, the alignment
    check before any side effect, and the order of tag check / link-register
@@ -778,6 +1129,49 @@ let make_groups entry nbody =
     Array.of_list (List.rev !gs)
   end
 
+(* The body instructions that can still trap inside a certified prefix:
+   their page-fault / alignment / CSC value checks are runtime events the
+   analysis does not discharge, so fused closures keep them as exact
+   repair points ([t.x_i] updated before each). *)
+let is_memop = function
+  | Insn.Load _ | Insn.Store _ | Insn.CLoad _ | Insn.CStore _
+  | Insn.CLC _ | Insn.CSC _ -> true
+  | _ -> false
+
+(* Fuse the member closures of line group [s, e] into one closure. The
+   caller ([exec_block]) sets [t.x_i <- s] before the call; members that
+   can trap ([is_memop]) re-point [t.x_i] at themselves first, so a trap
+   anywhere in the fused group attributes the exact faulting pc and
+   commits exactly the retired prefix — bit-identical to the per-member
+   dispatch loop. Non-memory members were proven trap-free by the
+   certificate (under the block guard, which held at entry), so skipping
+   their [x_i] updates is unobservable. *)
+let fuse t sem mems s e =
+  let n = e - s + 1 in
+  let cls = Array.init n (fun k -> Array.get sem (s + k)) in
+  (* [x_i] to publish before each member: its own index for possible
+     repair points (memory ops), -1 to skip the store entirely. The
+     head's store is always redundant — [exec_block] sets [t.x_i <- s]
+     before entering the fused closure. *)
+  let xi =
+    Array.init n (fun k ->
+        if k > 0 && Array.get mems (s + k) then s + k else -1)
+  in
+  if Array.for_all (fun i -> i < 0) xi then
+    (* No repair points past the head: nothing in the group can move
+       [x_i], so run the members with no per-member bookkeeping at all. *)
+    fun ctx ->
+      for k = 0 to n - 1 do
+        (Array.unsafe_get cls k) ctx
+      done
+  else
+    fun ctx ->
+      for k = 0 to n - 1 do
+        let i = Array.unsafe_get xi k in
+        if i >= 0 then t.x_i <- i;
+        (Array.unsafe_get cls k) ctx
+      done
+
 (* Decode a maximal block starting at [entry]. Returns [None] when even
    the first instruction is outside decoded code: the step fallback then
    reproduces the fetch fault with exact accounting. Build never touches
@@ -786,6 +1180,7 @@ let make_groups entry nbody =
 let build t m entry =
   let body = ref [] in
   let bases = ref [] in
+  let mems = ref [] in
   let term = ref None in
   let n = ref 0 in
   (* Unconditional (tier-1) mask, plus the guarded (tier-2) mask whose
@@ -797,6 +1192,21 @@ let build t m entry =
     match t.facts with Some f -> Facts.guarded f entry | None -> (0, [||])
   in
   let emask = fmask lor gmask in
+  (* Tier-3 certificate: trap-free prefix length and same-line access
+     runs, keyed like the masks. Only consulted in chain mode (fusion and
+     batched probes live in [Sem] bodies). Pulled after [mask]/[guarded]
+     so a lazy fact table resolves each entry exactly once. *)
+  let cert =
+    if t.chain_mode then
+      match t.facts with Some f -> Facts.cert f entry | None -> Facts.no_cert
+    else Facts.no_cert
+  in
+  let rmap = Array.make max_block R_none in
+  Array.iter
+    (fun r ->
+       rmap.(r.Facts.ar_head) <- R_head (r.Facts.ar_lo, r.Facts.ar_hi);
+       Array.iter (fun (j, d) -> rmap.(j) <- R_tail d) r.Facts.ar_tail)
+    cert.Facts.ct_runs;
   (try
      while !term = None && !n < max_block do
        let pc = entry + (4 * !n) in
@@ -805,8 +1215,9 @@ let build t m entry =
        else begin
          let elide = (emask lsr !n) land 1 = 1 in
          if t.chain_mode then begin
-           body := compile_sem t m ~pc ~elide insn :: !body;
-           bases := Insn.base_cycles insn :: !bases
+           body := compile_sem_run t m ~pc ~elide ~run:rmap.(!n) insn :: !body;
+           bases := Insn.base_cycles insn :: !bases;
+           mems := is_memop insn :: !mems
          end
          else body := compile_straight t m ~pc ~elide insn :: !body
        end;
@@ -825,7 +1236,23 @@ let build t m entry =
           (fun i b -> basesum.(nbody - i) <- b)
           !bases;
         for i = 1 to nbody do basesum.(i) <- basesum.(i) + basesum.(i - 1) done;
-        Sem { sem = closures; groups = make_groups entry nbody; basesum }
+        let groups = make_groups entry nbody in
+        let prefix = cert.Facts.ct_prefix in
+        let fused =
+          if prefix <= 0 then Array.make (Array.length groups) None
+          else begin
+            let memarr = Array.make nbody false in
+            List.iteri (fun i b -> memarr.(nbody - 1 - i) <- b) !mems;
+            Array.map
+              (fun packed ->
+                 let s = packed lsr 16 in
+                 let e = s + (packed land 0xffff) - 1 in
+                 if e < prefix then Some (fuse t closures memarr s e)
+                 else None)
+              groups
+          end
+        in
+        Sem { sem = closures; groups; basesum; fused }
       end
       else Acct closures
     in
@@ -937,6 +1364,7 @@ let exec_block t m b (ctx : Cpu.ctx) =
      | Sem sb ->
        let groups = sb.groups in
        let sem = sb.sem in
+       let fused = sb.fused in
        for g = 0 to Array.length groups - 1 do
          let packed = Array.unsafe_get groups g in
          let s = packed lsr 16 in
@@ -946,10 +1374,18 @@ let exec_block t m b (ctx : Cpu.ctx) =
          t.x_gpa <- pa;
          t.x_gcost <- Cache.ifetch m.Cpu.hier pa;
          let e = s + (packed land 0xffff) - 1 in
-         for j = s to e do
-           t.x_i <- j;
-           (Array.unsafe_get sem j) ctx
-         done;
+         (match Array.unsafe_get fused g with
+          | Some f ->
+            (* Certified group: one indirect call; [f] keeps [t.x_i]
+               exact at every possible repair point (memory members). *)
+            t.fused_groups <- t.fused_groups + 1;
+            t.fused_insns <- t.fused_insns + (e - s + 1);
+            f ctx
+          | None ->
+            for j = s to e do
+              t.x_i <- j;
+              (Array.unsafe_get sem j) ctx
+            done);
          commit_sem t m sb ctx e
        done);
     match b.b_term with

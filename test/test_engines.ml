@@ -678,10 +678,101 @@ let test_chain_trap_attribution () =
   Alcotest.(check int) "PCC names the faulting instruction, not the chain head"
     (code_base + 0x10) (Cap.addr ctx.Cpu.pcc)
 
+(* Tier-3 fusion and trap attribution: the certified prefix covers the
+   memory run through c1 (memory accesses are exactly-attributed repair
+   points), so it compiles into one fused closure — but it must stop at
+   the Div, whose divisor is loaded from memory and therefore Any to the
+   analysis (zero at runtime). The trap fires at the first *uncertified*
+   instruction after the fused group and must carry the Div's own PC, not
+   the group head's. *)
+let test_chain_fused_trap_attribution () =
+  (* Fusion is per I-cache line group (16 insns): pad the certified part
+     to fill the first group so the uncertified Div falls in the second. *)
+  let insns =
+    Array.append
+      [| Insn.Li (13, 0);
+         Insn.CStore { w = 8; rs = 13; cb = 1; off = 0 };
+         Insn.CLoad { w = 8; signed = false; rd = 14; cb = 1; off = 0 } |]
+      (Array.append
+         (Array.init 13 (fun _ -> Insn.Addiu (8, 8, 1)))
+         [| (* 0x1040: divide by the just-loaded zero. *)
+            Insn.Div (12, 8, 14);
+            Insn.Break 0 |])
+  in
+  let facts_of ctx =
+    Cheri_analysis.Absint.facts_of_code ~ddc:ctx.Cpu.ddc [ (code_base, insns) ]
+  in
+  let _, st, ctx, _, stop =
+    chain_vs_step ~name:"fused-group trap" ~facts_of insns
+  in
+  Alcotest.(check bool) "the memory run ahead of the Div fused" true
+    (st.Bbcache.ch_fused_groups >= 1 && st.Bbcache.ch_fused_insns >= 2);
+  (match stop with
+   | Some (Cpu.Stop_trap Trap.Div_by_zero) -> ()
+   | s -> Alcotest.failf "expected divide-by-zero, got %s" (stop_str s));
+  Alcotest.(check int) "PCC names the Div, not the fused group"
+    (code_base + 0x40) (Cap.addr ctx.Cpu.pcc)
+
+(* Fuel expiry inside a fused group: sweep every fuel value over a hot
+   loop whose body is a certified memory run, so the quantum regularly
+   expires with a fused closure's group partially or wholly retired — the
+   engine must fall back to single-step replay and land on exactly the
+   step engine's state. Then resume one cache in prime-sized chunks
+   (q=37, the kernel's tiny-quantum shape) and check the same final
+   snapshot, with fused groups and batched tail probes both live. *)
+let test_chain_fuel_mid_fused_group () =
+  let insns =
+    [| Insn.Li (8, 0);
+       Insn.Li (9, 60);
+       (* loop head, 0x1008: adjacent certified accesses on one line *)
+       Insn.CLoad { w = 8; signed = false; rd = 10; cb = 1; off = 0 };
+       Insn.CLoad { w = 8; signed = false; rd = 11; cb = 1; off = 8 };
+       Insn.Addiu (10, 10, 1);
+       Insn.CStore { w = 8; rs = 10; cb = 1; off = 0 };
+       Insn.Addiu (8, 8, 1);
+       Insn.Bne (8, 9, code_base + 8);
+       Insn.Break 0 |]
+  in
+  let facts_of ctx =
+    Cheri_analysis.Absint.facts_of_code ~ddc:ctx.Cpu.ddc [ (code_base, insns) ]
+  in
+  for f = 1 to 100 do
+    let m_s, ctx_s, mem_s = setup insns 11 in
+    let stop_s = Cpu.run m_s ctx_s ~fuel:f in
+    let s_step = snapshot stop_s m_s ctx_s mem_s in
+    let m, ctx, mem = setup insns 11 in
+    let bb = Bbcache.create () in
+    Bbcache.set_facts bb (Some (facts_of ctx));
+    let stop = Bbcache.run ~chain:true bb m ctx ~fuel:f in
+    Alcotest.(check string) (Printf.sprintf "fused fuel=%d" f)
+      s_step (snapshot stop m ctx mem)
+  done;
+  let m, ctx, mem = setup insns 11 in
+  let bb = Bbcache.create () in
+  Bbcache.set_facts bb (Some (facts_of ctx));
+  let stop = ref None and remaining = ref 500 in
+  while !stop = None && !remaining > 0 do
+    let f = min 37 !remaining in
+    stop := Bbcache.run ~chain:true bb m ctx ~fuel:f;
+    remaining := !remaining - f
+  done;
+  let m_s, ctx_s, mem_s = setup insns 11 in
+  let stop_s = Cpu.run m_s ctx_s ~fuel:500 in
+  Alcotest.(check string) "q=37 resume through fused loop"
+    (snapshot stop_s m_s ctx_s mem_s) (snapshot !stop m ctx mem);
+  let st = Bbcache.chain_stats bb in
+  Alcotest.(check bool) "fused groups retired" true
+    (st.Bbcache.ch_fused_groups > 0);
+  Alcotest.(check bool) "tail probes batched" true
+    (st.Bbcache.ch_batched > 0)
+
 (* mprotect between two runs of a chained hot loop must sever every chain
    link: the pmap generation bump flushes the decoded blocks, and the
    second half of the program re-translates instead of running stale
-   closures. Exercised end-to-end through the kernel, under both ABIs. *)
+   closures. With the fact provider on, the mutation hits analyzed code,
+   so the tier-1/2 masks AND the tier-3 certificates are dropped with it:
+   the second loop runs with no fused groups at all. Exercised end-to-end
+   through the kernel, under both ABIs. *)
 let test_chain_mprotect_severs () =
   let expect =
     let acc = ref 0 in
@@ -693,6 +784,8 @@ let test_chain_mprotect_severs () =
     (fun abi ->
       let k = Kernel.boot () in
       k.Kstate.config.Kstate.engine <- Cpu.Chain;
+      k.Kstate.config.Kstate.fact_provider <-
+        Some (Cheri_analysis.Absint.provider ());
       Cheri_libc.Runtime.install k;
       Stdlib_src.install k ~path:"/bin/hot" ~abi
         {|
@@ -716,6 +809,14 @@ int main(int argc, char **argv) {
       let st0 = Bbcache.chain_stats bb in
       Alcotest.(check bool) "first loop chained" true
         (st0.Bbcache.ch_chained > 0);
+      Alcotest.(check bool) "first loop ran fused groups" true
+        (st0.Bbcache.ch_fused_groups > 0);
+      (* The analysis proved tier-3 certificates over the live image. *)
+      (match p.Proc.facts with
+       | Some f ->
+         Alcotest.(check bool) "tier-3 certificates present" true
+           (Facts.cert_blocks f > 0)
+       | None -> Alcotest.fail "fact provider produced no facts");
       let built0 = bb.Bbcache.built and flushes0 = bb.Bbcache.flushes in
       (* Re-protect the text page (rx -> rx still bumps the generation,
          exactly as a real mprotect syscall does). *)
@@ -738,7 +839,14 @@ int main(int argc, char **argv) {
       Alcotest.(check bool) "blocks were flushed" true
         (bb.Bbcache.flushes > flushes0);
       Alcotest.(check bool) "blocks were re-translated" true
-        (bb.Bbcache.built > built0))
+        (bb.Bbcache.built > built0);
+      (* The mutation hit analyzed code: the whole fact set — tier-3
+         certificates included — was conservatively dropped, so the second
+         loop re-translated without fusion. *)
+      Alcotest.(check bool) "facts dropped after mprotect of text" true
+        (p.Proc.facts = None);
+      Alcotest.(check int) "no fused groups after certificates dropped" 0
+        (Bbcache.chain_stats bb).Bbcache.ch_fused_groups)
     [ Abi.Mips64; Abi.Cheriabi ]
 
 (* --- Kernel-level parity --------------------------------------------------------- *)
@@ -874,6 +982,10 @@ let suite =
     "chain: fuel boundaries", `Quick, test_chain_fuel_boundaries;
     "chain: crosses facts-elided entry", `Quick, test_chain_crosses_elided_entry;
     "chain: mid-chain trap attribution", `Quick, test_chain_trap_attribution;
+    "chain: fused-group trap attribution", `Quick,
+    test_chain_fused_trap_attribution;
+    "chain: fuel expiry mid-fused-group", `Quick,
+    test_chain_fuel_mid_fused_group;
     "chain: mprotect severs chains", `Quick, test_chain_mprotect_severs;
     "counter reset on new facts", `Quick, test_counter_reset_on_new_facts;
     "kernel parity", `Quick, test_kernel_parity;

@@ -16,6 +16,7 @@ let () =
       "cc-errors", Test_cc_errors.suite;
       "analysis", Test_analysis.suite;
       "absint", Test_absint.suite;
+      "gamma", Test_gamma.suite;
       "factcache", Test_factcache.suite;
       "core", Test_core.suite;
       "workloads", Test_workloads.suite;

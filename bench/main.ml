@@ -844,13 +844,15 @@ let engine_bench () =
 
 let opt_domains = ref 4
 
-(* Insert or replace the "fleet" member of BENCH_simulator.json. The engine
-   bench writes that file wholesale (without a fleet member); this keeps
-   every existing member and appends/overwrites fleet as the LAST member —
-   an invariant this function maintains, which is what makes the text-level
-   replacement exact (everything from the fleet key to the final brace is
-   the fleet object). *)
-let upsert_fleet_json path obj =
+(* Insert or replace one top-level member of BENCH_simulator.json. The
+   engine bench writes the file wholesale (its own members only); the
+   fleet and malloc legs each own one member and must not clobber the
+   others, so the replacement is brace-aware: an existing member is
+   located by its key and spliced out over its exact object extent
+   (string-aware brace matching), while a missing member is appended as
+   the last member before the closing brace. [obj] carries the full
+   '"key": { ... }' text. *)
+let upsert_member path ~key obj =
   let find_sub s sub =
     let n = String.length s and m = String.length sub in
     let rec go i = if i + m > n then None
@@ -868,25 +870,54 @@ let upsert_fleet_json path obj =
     end
     else "{\n}\n"
   in
-  let cut =
-    match find_sub base "\"fleet\":" with
-    | Some i -> i
-    | None -> (match String.rindex_opt base '}' with Some i -> i | None -> 0)
-  in
-  let j = ref (cut - 1) in
-  while !j >= 0
-        && (match base.[!j] with
-            | ' ' | '\n' | '\t' | '\r' | ',' -> true
-            | _ -> false)
-  do decr j done;
-  let prefix = String.sub base 0 (!j + 1) in
-  let sep =
-    if String.length prefix = 0 || prefix.[String.length prefix - 1] = '{'
-    then "\n  "
-    else ",\n  "
+  let n = String.length base in
+  let out =
+    match find_sub base (Printf.sprintf "\"%s\":" key) with
+    | Some i ->
+      (* Replace in place: skip to the value's opening brace, then match
+         it, skipping over string literals (keys can contain braces). *)
+      let j = ref i in
+      while !j < n && base.[!j] <> '{' do incr j done;
+      if !j >= n then failwith (Printf.sprintf "upsert %S: no object" key);
+      let depth = ref 0 and fin = ref (-1) and instr = ref false in
+      let p = ref !j in
+      while !fin < 0 && !p < n do
+        let c = base.[!p] in
+        if !instr then begin
+          if c = '\\' then incr p else if c = '"' then instr := false
+        end
+        else if c = '"' then instr := true
+        else if c = '{' then incr depth
+        else if c = '}' then begin
+          decr depth;
+          if !depth = 0 then fin := !p
+        end;
+        incr p
+      done;
+      if !fin < 0 then
+        failwith (Printf.sprintf "upsert %S: unbalanced braces" key);
+      String.sub base 0 i ^ obj ^ String.sub base (!fin + 1) (n - !fin - 1)
+    | None ->
+      (* Append as the last member before the final brace. *)
+      let cut =
+        match String.rindex_opt base '}' with Some i -> i | None -> 0
+      in
+      let j = ref (cut - 1) in
+      while !j >= 0
+            && (match base.[!j] with
+                | ' ' | '\n' | '\t' | '\r' | ',' -> true
+                | _ -> false)
+      do decr j done;
+      let prefix = String.sub base 0 (!j + 1) in
+      let sep =
+        if String.length prefix = 0 || prefix.[String.length prefix - 1] = '{'
+        then "\n  "
+        else ",\n  "
+      in
+      prefix ^ sep ^ obj ^ "\n}\n"
   in
   let oc = open_out path in
-  output_string oc (prefix ^ sep ^ obj ^ "\n}\n");
+  output_string oc out;
   close_out oc
 
 (* Minimal schema check over the rendered fleet object: the keys the
@@ -1098,8 +1129,248 @@ let fleet_bench () =
            domains fleet.Fleet.f_mips floor_x single.Fleet.f_mips usable)
   end;
   if !opt_json then begin
-    upsert_fleet_json "BENCH_simulator.json" fleet_obj;
+    upsert_member "BENCH_simulator.json" ~key:"fleet" fleet_obj;
     Printf.printf "updated BENCH_simulator.json (fleet object)\n"
+  end
+
+(* --- Malloc contention: the sharded allocator under cross-shard frees (docs/ALLOC.md) ---
+
+   Two legs. The directed leg drives the allocator API through a real
+   fork so the per-shard counters (remote frees message-passed between
+   shards, queue drains, sweeps at ownership change) are observable at
+   shard granularity — a C program's heap is evicted into machine totals
+   at exit, so shard-level numbers can only be sampled live. The fleet
+   leg then runs the contention workload as whole machines across
+   domains and holds the allocator to the same determinism contract as
+   everything else: bit-identical per-machine snapshots (which embed the
+   alloc= counter line) whatever the domain count — an unsynchronized
+   arena access anywhere would diverge exactly here. *)
+
+let malloc_contention () =
+  let module Fleet = Cheri_fleet.Fleet in
+  let module MI = Cheri_libc.Malloc_impl in
+  header "Malloc contention: sharded allocator, remote-free queues, sweeps";
+  (* --- Directed leg: per-shard choreography --------------------------- *)
+  let k = Cheri_kernel.Kernel.boot () in
+  Cheri_libc.Runtime.install k;
+  Stdlib_src.install k ~path:"/bin/idle" ~abi:Abi.Cheriabi
+    "int main(int argc, char **argv) { return 0; }";
+  let p =
+    Cheri_kernel.Kernel.spawn k ~path:"/bin/idle" ~argv:[ "idle" ] ()
+  in
+  let nobj = 96 in
+  let ptrs =
+    Array.init nobj (fun i -> fst (MI.malloc k p (16 + ((i * 53) mod 2600))))
+  in
+  let child =
+    match Cheri_kernel.Sys_impl.sys_fork k p [] with
+    | Cheri_kernel.Sys_impl.RInt pid ->
+      Option.get (Cheri_kernel.Kstate.find_proc k pid)
+    | _ -> failwith "malloc bench: fork failed"
+  in
+  (* The child frees every other inherited object before its first
+     allocation: its affinity shard does not own those chunks, so each
+     free is message-passed to the owner's remote queue. *)
+  Array.iteri (fun i a -> if i mod 2 = 0 then ignore (MI.free k child a)) ptrs;
+  (* Churn over a small set of repeating classes: the first malloc
+     drains and adopts (ownership-change sweeps), later rounds recycle
+     dirty local slots (reuse sweeps). *)
+  for i = 0 to 63 do
+    let a, _ = MI.malloc k child (16 + ((i mod 8) * 37)) in
+    ignore (MI.free k child a)
+  done;
+  ignore (MI.malloc k child 64);
+  let shards = MI.shard_stats k child in
+  Printf.printf "%-6s %8s %7s %8s %8s %7s %7s %7s %6s %8s\n" "shard"
+    "mallocs" "frees" "rem-enq" "rem-drn" "drains" "own-sw" "reuse"
+    "adopt" "pending";
+  Array.iter
+    (fun (s : MI.shard_stats) ->
+      Printf.printf "%-6d %8d %7d %8d %8d %7d %7d %7d %6d %8d\n" s.MI.ss_id
+        s.MI.ss_mallocs s.MI.ss_frees s.MI.ss_remote_enq
+        s.MI.ss_remote_drained s.MI.ss_drains s.MI.ss_owner_sweeps
+        s.MI.ss_reuse_sweeps s.MI.ss_adoptions s.MI.ss_pending)
+    shards;
+  let ssum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
+  let enq = ssum (fun s -> s.MI.ss_remote_enq) in
+  let drn = ssum (fun s -> s.MI.ss_remote_drained) in
+  let pend = ssum (fun s -> s.MI.ss_pending) in
+  let osw = ssum (fun s -> s.MI.ss_owner_sweeps) in
+  let rsw = ssum (fun s -> s.MI.ss_reuse_sweeps) in
+  Printf.printf
+    "directed: %d remote frees enqueued, %d drained (%d pending), %d \
+     ownership-change sweeps, %d reuse sweeps\n"
+    enq drn pend osw rsw;
+  if !opt_smoke then begin
+    if enq = 0 then
+      failwith "malloc-smoke: directed leg produced no remote frees";
+    if enq <> drn || pend <> 0 then
+      failwith
+        (Printf.sprintf
+           "malloc-smoke: remote queues not drained at quiesce (enq=%d \
+            drained=%d pending=%d)" enq drn pend);
+    if osw = 0 then
+      failwith "malloc-smoke: no sweeps at ownership change";
+    if rsw = 0 then
+      failwith "malloc-smoke: no reuse sweeps of dirty local slots"
+  end;
+  (* --- Fleet leg: determinism + throughput ---------------------------- *)
+  let domains = max 1 !opt_domains in
+  let cores = Domain.recommended_domain_count () in
+  let machines, src =
+    if !opt_smoke then
+      2, Malloc_bench.contention_src ~objs:24 ~generations:4 ~churn:12 ()
+    else 4, Malloc_bench.contention_src ()
+  in
+  let gens = if !opt_smoke then 4 else Malloc_bench.default_generations in
+  Printf.printf
+    "fleet leg: %d contention machines, %d domain%s on %d host core%s\n%!"
+    machines domains
+    (if domains = 1 then "" else "s")
+    cores
+    (if cores = 1 then "" else "s");
+  let image = Stdlib_src.build_image ~abi:Abi.Cheriabi ~name:"malloc_mc" src in
+  let specs =
+    List.init machines (fun i ->
+        { Fleet.ms_label = Printf.sprintf "malloc_mc%d" i;
+          ms_abi = Abi.Cheriabi; ms_image = image; ms_path = "/bin/malloc_mc";
+          ms_argv = [ "malloc_mc" ]; ms_max_steps = 200_000_000;
+          ms_marker = '#' })
+  in
+  Cheri_analysis.Absint.reset_stats ();
+  Cheri_analysis.Absint.clear_fact_cache ();
+  (* Paired wall-clock measurement, exactly as the fleet bench: simulated
+     results are identical across reps, "best" only picks a clock. *)
+  let reps = if !opt_smoke then 3 else 1 in
+  let best a b = if b.Fleet.f_mips > a.Fleet.f_mips then b else a in
+  let rec measure n acc =
+    if n = 0 then acc
+    else begin
+      let s = Fleet.run ~domains:1 specs in
+      let f =
+        if domains = 1 then s
+        else Fleet.run ~domains ~oversubscribe:true specs
+      in
+      let acc =
+        match acc with
+        | None -> Some (s, f)
+        | Some (s0, f0) -> Some (best s0 s, best f0 f)
+      in
+      measure (n - 1) acc
+    end
+  in
+  let single, fleet = Option.get (measure reps None) in
+  Array.iteri
+    (fun i (m : Fleet.machine_result) ->
+      let s = single.Fleet.f_results.(i) in
+      (match m.Fleet.mr_status with
+       | Some (Cheri_kernel.Proc.Exited 0) -> ()
+       | st ->
+         failwith
+           (Printf.sprintf "malloc fleet: %s finished %s" m.Fleet.mr_label
+              (Fleet.status_str st)));
+      if not (String.ends_with ~suffix:" malloc ok" m.Fleet.mr_output) then
+        failwith
+          (Printf.sprintf "malloc fleet: %s did not verify its heap"
+             m.Fleet.mr_label);
+      if m.Fleet.mr_requests <> Malloc_bench.expected_markers ~generations:gens ()
+      then
+        failwith
+          (Printf.sprintf "malloc fleet: %s reaped %d children, expected %d"
+             m.Fleet.mr_label m.Fleet.mr_requests gens);
+      (* The determinism contract, allocator edition: the snapshot embeds
+         the alloc= counter line, so any unsynchronized arena access
+         under the multi-domain fleet diverges exactly here. *)
+      if not (String.equal s.Fleet.mr_snapshot m.Fleet.mr_snapshot) then
+        failwith
+          (Printf.sprintf
+             "malloc fleet: %s diverged between 1 and %d domains \
+              (unsynchronized arena access?)" m.Fleet.mr_label domains);
+      (* Quiesce gates per machine: remote queues fully drained. *)
+      let ma n = List.assoc n m.Fleet.mr_alloc in
+      if ma "remote_enq" = 0 then
+        failwith
+          (Printf.sprintf "malloc fleet: %s saw no remote frees"
+             m.Fleet.mr_label);
+      if ma "remote_enq" <> ma "remote_drained" || ma "pending_remote" <> 0
+      then
+        failwith
+          (Printf.sprintf
+             "malloc fleet: %s queues not drained (enq=%d drained=%d \
+              pending=%d)" m.Fleet.mr_label (ma "remote_enq")
+             (ma "remote_drained") (ma "pending_remote")))
+    fleet.Fleet.f_results;
+  let asum name =
+    Array.fold_left
+      (fun acc (m : Fleet.machine_result) ->
+        acc + List.assoc name m.Fleet.mr_alloc)
+      0 fleet.Fleet.f_results
+  in
+  Printf.printf "%-14s %9s %9s %9s %9s %8s %8s %8s\n" "machine" "mallocs"
+    "frees" "rem-enq" "rem-drn" "own-sw" "reuse" "adopt";
+  Array.iter
+    (fun (m : Fleet.machine_result) ->
+      let ma n = List.assoc n m.Fleet.mr_alloc in
+      Printf.printf "%-14s %9d %9d %9d %9d %8d %8d %8d\n" m.Fleet.mr_label
+        (ma "mallocs") (ma "frees") (ma "remote_enq") (ma "remote_drained")
+        (ma "owner_sweeps") (ma "reuse_sweeps") (ma "adoptions"))
+    fleet.Fleet.f_results;
+  let speedup = fleet.Fleet.f_mips /. single.Fleet.f_mips in
+  Printf.printf
+    "aggregate: 1 domain %.2f sim-MIPS; %d domains %.2f sim-MIPS (%.2fx)\n"
+    single.Fleet.f_mips domains fleet.Fleet.f_mips speedup;
+  if !opt_smoke then begin
+    (* Aggregate-vs-single throughput floor, host-parallelism-aware like
+       the fleet gate: sharding the contention machines must not cost
+       throughput the hardware can deliver. *)
+    let usable = min domains cores in
+    let floor_x = 0.625 *. float_of_int usable in
+    if fleet.Fleet.f_mips < floor_x *. single.Fleet.f_mips then
+      failwith
+        (Printf.sprintf
+           "malloc-smoke: %d-domain aggregate %.2f sim-MIPS under the %.2fx \
+            floor over single-domain %.2f (usable parallelism %d)"
+           domains fleet.Fleet.f_mips floor_x single.Fleet.f_mips usable)
+  end;
+  if !opt_json then begin
+    let obj =
+      Printf.sprintf
+        "\"malloc_contention\": {\n\
+        \    \"machines\": %d,\n\
+        \    \"domains\": %d,\n\
+        \    \"workers\": %d,\n\
+        \    \"requests\": %d,\n\
+        \    \"single_domain_mips\": %.3f,\n\
+        \    \"aggregate_mips\": %.3f,\n\
+        \    \"speedup\": %.3f,\n\
+        \    \"alloc_totals\": { \"mallocs\": %d, \"frees\": %d, \
+         \"remote_enq\": %d, \"remote_drained\": %d, \"drains\": %d, \
+         \"owner_sweeps\": %d, \"reuse_sweeps\": %d, \"adoptions\": %d, \
+         \"tags_cleared\": %d, \"pending_remote\": %d },\n\
+        \    \"directed_shards\": [\n%s\n    ]\n\
+        \  }"
+        machines domains fleet.Fleet.f_workers fleet.Fleet.f_requests
+        single.Fleet.f_mips fleet.Fleet.f_mips speedup (asum "mallocs")
+        (asum "frees") (asum "remote_enq") (asum "remote_drained")
+        (asum "drains") (asum "owner_sweeps") (asum "reuse_sweeps")
+        (asum "adoptions") (asum "tags_cleared") (asum "pending_remote")
+        (String.concat ",\n"
+           (Array.to_list
+              (Array.map
+                 (fun (s : MI.shard_stats) ->
+                   Printf.sprintf
+                     "      { \"shard\": %d, \"mallocs\": %d, \"frees\": %d, \
+                      \"remote_enq\": %d, \"remote_drained\": %d, \
+                      \"drains\": %d, \"owner_sweeps\": %d, \
+                      \"reuse_sweeps\": %d, \"adoptions\": %d }"
+                     s.MI.ss_id s.MI.ss_mallocs s.MI.ss_frees
+                     s.MI.ss_remote_enq s.MI.ss_remote_drained s.MI.ss_drains
+                     s.MI.ss_owner_sweeps s.MI.ss_reuse_sweeps
+                     s.MI.ss_adoptions)
+                 shards)))
+    in
+    upsert_member "BENCH_simulator.json" ~key:"malloc_contention" obj;
+    Printf.printf "updated BENCH_simulator.json (malloc_contention object)\n"
   end
 
 (* --- Driver ------------------------------------------------------------------------------------------ *)
@@ -1108,7 +1379,8 @@ let experiments =
   [ "table1", table1; "table2", table2; "table3", table3; "fig4", fig4;
     "fig5", fig5; "syscalls", syscalls; "initdb", initdb;
     "ablation", ablation; "cachestudy", cachestudy; "bugs", bugs;
-    "simulator", simulator; "engine", engine_bench; "fleet", fleet_bench ]
+    "simulator", simulator; "engine", engine_bench; "fleet", fleet_bench;
+    "malloc", malloc_contention ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -49,6 +49,7 @@ module Proc = Cheri_kernel.Proc
 module Vfs = Cheri_kernel.Vfs
 module Absint = Cheri_analysis.Absint
 module Runtime = Cheri_libc.Runtime
+module Malloc_impl = Cheri_libc.Malloc_impl
 module Stdlib_src = Cheri_workloads.Stdlib_src
 module Openssl_sim = Cheri_workloads.Openssl_sim
 
@@ -86,6 +87,7 @@ type machine_result = {
   mr_latencies : int array;        (* sim cycles between completions *)
   mr_host_seconds : float;
   mr_snapshot : string;            (* full architectural state rendering *)
+  mr_alloc : (string * int) list;  (* machine-lifetime allocator counters *)
 }
 
 (* --- Snapshot --------------------------------------------------------------- *)
@@ -121,6 +123,14 @@ let snapshot k (p : Proc.t) status =
     (Cache.hits h.Cache.dl1) (Cache.misses h.Cache.dl1)
     (Cache.hits h.Cache.l2) (Cache.misses h.Cache.l2);
   Printf.bprintf b "syscalls=%d\n" p.Proc.syscall_count;
+  (* Machine-lifetime allocator counters: shard traffic (remote frees,
+     drains, ownership-change sweeps) must be bit-identical across domain
+     counts, so it belongs in the differential snapshot. *)
+  Printf.bprintf b "alloc=%s\n"
+    (String.concat " "
+       (List.map
+          (fun (name, v) -> Printf.sprintf "%s:%d" name v)
+          (Malloc_impl.machine_counters k)));
   Printf.bprintf b "faults=%s\n" (String.concat "|" p.Proc.fault_log);
   Printf.bprintf b "console=%s\n" (String.escaped (Buffer.contents p.Proc.console));
   let mem = k.Kstate.mem in
@@ -192,7 +202,8 @@ let run_machine ?(engine = Cpu.Chain) ?(elide = true) spec =
     mr_requests = !seen;
     mr_latencies = lats;
     mr_host_seconds = Unix.gettimeofday () -. host0;
-    mr_snapshot = snapshot k p status }
+    mr_snapshot = snapshot k p status;
+    mr_alloc = Malloc_impl.machine_counters k }
 
 (* --- Work-stealing scheduler ------------------------------------------------ *)
 

@@ -118,6 +118,11 @@ let build_args k (p : Proc.t) ~abi ~argv ~envv =
 
 (* Replace [p]'s image with [image] built for [abi]. *)
 let exec_image k (p : Proc.t) ~abi ~(image : Sobj.image) ~argv ~envv =
+  (* Exec destroys the old address space: give the runtime library a
+     chance to evict per-space allocator state keyed by its principal. *)
+  (match k.Kstate.on_asp_destroy with
+   | Some f -> f k (Addr_space.principal p.Proc.asp)
+   | None -> ());
   Addr_space.destroy p.Proc.asp;
   let asp = Addr_space.create ~root:k.Kstate.user_root ~phys:k.Kstate.phys
       ~swap:k.Kstate.swap () in

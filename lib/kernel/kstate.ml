@@ -79,6 +79,14 @@ let default_config () =
     fork_cap_frame_cost = 260;
     fact_provider = None }
 
+(* Extensible slot for state owned by the runtime library (the allocator):
+   libc depends on the kernel, not vice versa, so the kernel can only
+   offer an opaque anchor. The allocator registers its own constructor
+   ([Malloc_impl.Alloc_state]) and stores per-machine state here — one
+   instance per booted kernel, hence per fleet worker domain, which is
+   what removes the old cross-domain global-table race. *)
+type rt_ext = ..
+
 type t = {
   mem : Tagmem.t;
   phys : Phys.t;
@@ -101,6 +109,16 @@ type t = {
   mutable trace_pid : int option;
   (* Runtime-builtin dispatcher, installed by the C runtime library. *)
   mutable rt_handler : (t -> Proc.t -> int -> unit) option;
+  (* Per-machine runtime-library state (allocator heaps); see [rt_ext]. *)
+  mutable rt_alloc : rt_ext option;
+  (* Lifecycle hooks for runtime-library state keyed by address-space
+     principal. [on_asp_destroy] fires with the principal *before* the
+     space is torn down (exit and execve both destroy the old space) so
+     per-space allocator metadata can be evicted instead of leaking.
+     [on_fork] fires after the child process is fully constructed so
+     allocator metadata follows the COW'd heap into the child. *)
+  mutable on_asp_destroy : (t -> int -> unit) option;
+  mutable on_fork : (t -> Proc.t -> Proc.t -> unit) option;
   config : config;
   syscall_stats : (string, int) Hashtbl.t;
   mutable console_echo : bool;
@@ -132,6 +150,9 @@ let boot ?(mem_size = 64 * 1024 * 1024) ?l2_size () =
     shm = Hashtbl.create 8; next_shm_id = 1;
     tracer = None; trace_pid = None;
     rt_handler = None;
+    rt_alloc = None;
+    on_asp_destroy = None;
+    on_fork = None;
     config = default_config ();
     syscall_stats = Hashtbl.create 64;
     console_echo = false }
@@ -187,6 +208,9 @@ let wake_pipe_waiters k (pipe : Vfs.pipe) =
    parent, and notify pipe peers. *)
 let exit_proc k (p : Proc.t) status =
   Proc.close_all_fds p;
+  (match k.on_asp_destroy with
+   | Some f -> f k (Addr_space.principal p.Proc.asp)
+   | None -> ());
   Cheri_vm.Addr_space.destroy p.Proc.asp;
   Proc.clear_code p;
   p.Proc.state <- Proc.Zombie status;

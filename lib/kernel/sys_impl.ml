@@ -508,6 +508,13 @@ let sys_fork k (p : Proc.t) = function
     in
     Kstate.charge k p (base + extra);
     child.Proc.ctx.Cpu.cycles <- p.Proc.ctx.Cpu.cycles;
+    (* The child's heap pages were COW'd above; let the runtime library
+       carry the matching allocator metadata over to the child's fresh
+       address-space principal (a child that inherits live heap pointers
+       must be able to free them). *)
+    (match k.Kstate.on_fork with
+     | Some f -> f k p child
+     | None -> ());
     RInt pid
   | _ -> err Errno.EINVAL
 

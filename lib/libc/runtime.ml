@@ -121,9 +121,9 @@ let write_stdout k (p : Proc.t) data =
 
 (* --- Allocator entry points --------------------------------------------------------- *)
 
-(* ASan adds 16-byte redzones around every allocation; payload -> base. *)
-let asan_live : (int, int * int) Hashtbl.t = Hashtbl.create 64
-
+(* ASan adds 16-byte redzones around every allocation; the payload->base
+   map lives with the rest of the per-heap allocator metadata (so fork
+   and exec handle it like everything else). *)
 let redzone = 16
 
 let do_malloc k p len =
@@ -133,7 +133,7 @@ let do_malloc k p len =
     shadow_set k p base redzone 1;
     shadow_set k p payload len 0;
     shadow_set k p (payload + len) redzone 1;
-    Hashtbl.replace asan_live payload (base, len);
+    Malloc_impl.asan_register k p payload (base, len);
     K.charge k p (40 + (len / 32));
     payload, None
   end
@@ -148,10 +148,10 @@ let do_free k p r =
        ptr_fault "free() of untagged capability"
      | _ -> ());
     if is_asan p then begin
-      match Hashtbl.find_opt asan_live addr with
+      match Malloc_impl.asan_find k p addr with
       | None -> asan_fault "AddressSanitizer: invalid free"
       | Some (base, len) ->
-        Hashtbl.remove asan_live addr;
+        Malloc_impl.asan_remove k p addr;
         shadow_set k p addr len 1;   (* poison the freed payload *)
         (try ignore (Malloc_impl.free k p base)
          with Malloc_impl.Alloc_fault _ -> ())
@@ -165,13 +165,13 @@ let do_free k p r =
           ptr_fault "free() of pointer without matching allocation"
   end
 
-let alloc_size p addr =
+let alloc_size k p addr =
   if is_asan p then
-    match Hashtbl.find_opt asan_live addr with
+    match Malloc_impl.asan_find k p addr with
     | Some (_, len) -> Some len
     | None -> None
   else
-    match Malloc_impl.lookup p addr with
+    match Malloc_impl.lookup k p addr with
     | Some info -> Some info.Malloc_impl.ai_size
     | None -> None
 
@@ -214,7 +214,7 @@ let do_free_revoke k (p : Proc.t) r =
   let addr = ref_addr r in
   if addr <> 0 then begin
     let len =
-      match alloc_size p addr with
+      match alloc_size k p addr with
       | Some l -> l
       | None -> 0
     in
@@ -375,7 +375,7 @@ let dispatch k (p : Proc.t) n =
       end
       else begin
         let old_len =
-          match alloc_size p old_addr with
+          match alloc_size k p old_addr with
           | Some l -> l
           | None ->
             if p.Proc.abi = Abi.Cheriabi then
@@ -417,10 +417,16 @@ let dispatch k (p : Proc.t) n =
     Proc.log_fault p ("allocator: " ^ Errno.to_string e);
     ret_ptr k p ~addr:0 ~cap:None
 
-(* Install the dispatcher into a booted kernel. *)
+(* Install the dispatcher into a booted kernel. The allocator lifecycle
+   hooks (heap eviction on exit/execve, metadata copy on fork) are wired
+   eagerly here — and lazily by the allocator itself on first use, for
+   callers that drive [Malloc_impl] without a runtime. *)
 let install k =
   k.K.rt_handler <- Some dispatch;
+  k.K.on_asp_destroy <- Some (fun k pr -> Malloc_impl.evict k ~principal:pr);
+  k.K.on_fork <-
+    Some (fun k parent child -> Malloc_impl.fork_heap k ~parent ~child);
   (* ASan: freshly mapped heap is entirely poisoned; allocations unpoison
      their payloads. *)
-  Malloc_impl.on_map :=
-    Some (fun k p base len -> if is_asan p then shadow_set k p base len 1)
+  Malloc_impl.set_on_map k
+    (fun k p base len -> if is_asan p then shadow_set k p base len 1)

@@ -169,6 +169,30 @@ let resident_pa t vaddr =
     Some (Phys.frame_addr f + (vaddr land (page_size - 1)))
   | _ -> None
 
+(* Like [resident_pa], but safe for callers that intend to *mutate* tags
+   (the allocator's freed-object sweeps): a resident COW page whose frame
+   is still shared with another address space is privatized (tag-preserving
+   copy) first, so the sweep cannot reach through the shared frame and
+   strip capabilities out of the peer process. Lazy and swapped pages
+   still answer None — no tags can live there. *)
+let private_pa t vaddr =
+  match Hashtbl.find_opt t.table (vpn_of vaddr) with
+  | Some ({ state = Present f; _ } as e) ->
+    if e.cow && Phys.refcount t.phys f > 1 then begin
+      let nf = alloc_frame_pressured t in
+      Tagmem.move (Phys.mem t.phys) ~src:(Phys.frame_addr f)
+        ~dst:(Phys.frame_addr nf) ~len:page_size;
+      Phys.decref t.phys f;
+      e.state <- Present nf;
+      e.cow <- false;
+      t.cow_copies <- t.cow_copies + 1;
+      Some (Phys.frame_addr nf + (vaddr land (page_size - 1)))
+    end else begin
+      e.cow <- false;   (* sole owner: drop the COW bit like handle_fault *)
+      Some (Phys.frame_addr f + (vaddr land (page_size - 1)))
+    end
+  | _ -> None
+
 (* Hot path: virtual -> physical, raising on anything needing the kernel.
    Uses [Hashtbl.find] rather than [find_opt] to keep the hit path
    allocation-free. *)

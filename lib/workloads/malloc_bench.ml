@@ -1,0 +1,83 @@
+(* Malloc-contention workload: cross-shard free traffic for the sharded
+   allocator (docs/ALLOC.md).
+
+   A root process populates a heap of mixed size classes (including the
+   >4 KiB classes whose CRRL rounding is non-trivial), planting
+   capabilities inside some objects so the ownership-change sweeps have
+   real tags to clear. It then runs [generations] sequential fork/wait
+   rounds. Each child inherits the root's heap metadata (COW pages plus
+   the forked allocator state) under a *different* pid, hence a different
+   affinity shard: its frees of inherited objects are remote frees,
+   message-passed to the owning shard's queue; its first allocation then
+   drains and adopts — exactly the snmalloc choreography the bench's
+   per-shard stats gate on. The child's churn loop afterwards exercises
+   dirty-slot reuse sweeps. The root prints one '#' per reaped child (the
+   fleet latency marker) and finally re-reads and frees every object it
+   kept — which only works if the children's frees stayed confined to
+   their own COW frames.
+
+   Everything is deterministic: sizes come from tiny LCG-ish formulas of
+   the loop indices, and pids are allocated sequentially per machine. *)
+
+let default_objs = 48
+let default_generations = 6
+let default_churn = 40
+
+let contention_src ?(objs = default_objs) ?(generations = default_generations)
+    ?(churn = default_churn) () =
+  Printf.sprintf
+    {|
+    int main(int argc, char **argv) {
+      char *objs[%d];
+      int n = %d;
+      int gens = %d;
+      int churn = %d;
+      int i;
+      int gen;
+      for (i = 0; i < n; i = i + 1) {
+        int sz = 16 + ((i * 53) %% 1200);
+        if (i %% 11 == 0) sz = 5000 + ((i * 97) %% 9000);
+        char *o = malloc(sz);
+        o[0] = i %% 113;
+        o[sz - 1] = (i * 3) %% 113;
+        if (i %% 3 == 0) {
+          char **q = (char**)o;
+          q[0] = o;
+        }
+        objs[i] = o;
+      }
+      for (gen = 0; gen < gens; gen = gen + 1) {
+        int pid = fork();
+        if (pid == 0) {
+          int j;
+          int acc = 0;
+          for (j = gen %% 4; j < n; j = j + 4) { free(objs[j]); }
+          for (j = 0; j < churn; j = j + 1) {
+            int sz = 16 + ((j * 37 + gen * 101) %% 2600);
+            char *t = malloc(sz);
+            t[0] = j %% 127;
+            t[sz - 1] = (j + gen) %% 127;
+            acc = acc + t[0] + t[sz - 1];
+            free(t);
+          }
+          exit(acc %% 31);
+        }
+        int st = 0;
+        wait(&st);
+        print_str("#");
+      }
+      int sum = 0;
+      for (i = 0; i < n; i = i + 1) {
+        char *o = objs[i];
+        sum = sum + o[0];
+        free(o);
+      }
+      print_int(sum);
+      print_str(" malloc ok");
+      return 0;
+    }
+  |}
+    objs objs generations churn
+
+(* The marker count a clean run produces (one '#' per generation). *)
+let expected_markers ?(generations = default_generations) () = generations

@@ -24,6 +24,7 @@ module Abi = Cheri_core.Abi
 module Proc = Cheri_kernel.Proc
 module Absint = Cheri_analysis.Absint
 module Stdlib_src = Cheri_workloads.Stdlib_src
+module Malloc_bench = Cheri_workloads.Malloc_bench
 
 (* --- Custom hard-case machines ---------------------------------------------- *)
 
@@ -101,7 +102,13 @@ let custom_spec ~label ~name src =
 let mixed_specs () =
   Fleet.traffic_mix ~machines:2 ~rounds:3 ()
   @ [ custom_spec ~label:"fork_heavy" ~name:"fork_heavy" fork_heavy_src;
-      custom_spec ~label:"mprotect_loops" ~name:"mprotect_hot" mprotect_src ]
+      custom_spec ~label:"mprotect_loops" ~name:"mprotect_hot" mprotect_src;
+      (* Cross-shard allocator traffic: remote-free queues, adoption and
+         ownership-change sweeps, all folded into the snapshot's alloc=
+         line — so the 1-vs-4 equality below is also the allocator
+         determinism gate. *)
+      custom_spec ~label:"malloc_contention" ~name:"malloc_mc"
+        (Malloc_bench.contention_src ~objs:24 ~generations:4 ~churn:12 ()) ]
 
 (* --- 1 vs 4 domains: bit-identical machines ---------------------------------- *)
 
@@ -123,7 +130,12 @@ let check_machine_equal i (a : Fleet.machine_result)
   Alcotest.(check (array int)) (tag "latency stamps")
     a.Fleet.mr_latencies b.Fleet.mr_latencies;
   Alcotest.(check string) (tag "snapshot")
-    a.Fleet.mr_snapshot b.Fleet.mr_snapshot
+    a.Fleet.mr_snapshot b.Fleet.mr_snapshot;
+  List.iter2
+    (fun (n1, v1) (n2, v2) ->
+      Alcotest.(check string) (tag "alloc counter order") n1 n2;
+      Alcotest.(check int) (tag "alloc counter " ^ n1) v1 v2)
+    a.Fleet.mr_alloc b.Fleet.mr_alloc
 
 let test_one_vs_four_domains () =
   Absint.clear_fact_cache ();
@@ -171,7 +183,23 @@ let test_one_vs_four_domains () =
   Alcotest.(check int) "mprotect machine ran 4 passes" 4
     mp.Fleet.mr_requests;
   Alcotest.(check bool) "mprotect machine completed" true
-    (String.ends_with ~suffix:"mprotect done" mp.Fleet.mr_output)
+    (String.ends_with ~suffix:"mprotect done" mp.Fleet.mr_output);
+  let mc = by_label "malloc_contention" in
+  Alcotest.(check int) "contention machine reaped its generations"
+    (Malloc_bench.expected_markers ~generations:4 ()) mc.Fleet.mr_requests;
+  Alcotest.(check bool) "contention machine completed" true
+    (String.ends_with ~suffix:" malloc ok" mc.Fleet.mr_output);
+  (* Allocator quiesce gates on the contention machine: remote traffic
+     actually happened, every enqueued slot was drained, nothing parked. *)
+  let ma n = List.assoc n mc.Fleet.mr_alloc in
+  Alcotest.(check bool) "contention produced remote frees" true
+    (ma "remote_enq" > 0);
+  Alcotest.(check int) "remote queues drained at quiesce" (ma "remote_enq")
+    (ma "remote_drained");
+  Alcotest.(check int) "no pending remote slots at quiesce" 0
+    (ma "pending_remote");
+  Alcotest.(check bool) "ownership-change sweeps happened" true
+    (ma "owner_sweeps" > 0)
 
 (* --- Worker cap and report hygiene ------------------------------------------- *)
 

@@ -93,33 +93,39 @@ let test_free_sweeps_tags () =
   let addr, cap = Malloc_impl.malloc k p 64 in
   let c = Option.get cap in
   let pmap = Addr_space.pmap p.Proc.asp in
-  (* Store a capability into the allocation, then free it: the stale tag
-     must be swept so a recycled slot cannot leak the old owner's
-     capability. *)
+  (* Store a capability into the allocation, then free it. Sweeps are
+     deferred to the ownership change: a locally-freed slot parks dirty
+     and is swept when the slot is handed out again — the recycled
+     allocation can never observe the old owner's capability. *)
   let pa = Option.get (Pmap.kernel_touch pmap addr ~write:true) in
   let mem = Pmap.mem pmap in
   Tagmem.write_cap mem pa c;
   Alcotest.(check bool) "tag present before free" true (Tagmem.get_tag mem pa);
   ignore (Malloc_impl.free k p addr);
-  Alcotest.(check bool) "tag swept by free" false (Tagmem.get_tag mem pa);
-  let st = Malloc_impl.stats p in
-  Alcotest.(check bool) "sweep counted in stats" true
-    (st.Malloc_impl.st_tags_cleared >= 1);
+  Alcotest.(check bool) "sweep deferred until reuse" true
+    (Tagmem.get_tag mem pa);
   (* The recycled slot hands out untagged memory. *)
   let addr2, _ = Malloc_impl.malloc k p 64 in
   Alcotest.(check int) "slot reused" addr addr2;
-  Alcotest.(check bool) "no stale tag after reuse" false (Tagmem.get_tag mem pa)
+  Alcotest.(check bool) "no stale tag after reuse" false (Tagmem.get_tag mem pa);
+  let st = Malloc_impl.stats k p in
+  Alcotest.(check bool) "sweep counted in stats" true
+    (st.Malloc_impl.st_tags_cleared >= 1);
+  Alcotest.(check int) "counted as a reuse sweep, exactly once" 1
+    st.Malloc_impl.st_reuse_sweeps;
+  Alcotest.(check int) "no ownership-change sweep for a local free" 0
+    st.Malloc_impl.st_owner_sweeps
 
 let test_double_free_stats_consistent () =
   let k = boot () in
   let p = proc_for_alloc k in
   let a, _ = Malloc_impl.malloc k p 64 in
   ignore (Malloc_impl.free k p a);
-  let st1 = Malloc_impl.stats p in
+  let st1 = Malloc_impl.stats k p in
   (* A rejected double free must not perturb any counter. *)
   (try ignore (Malloc_impl.free k p a)
    with Malloc_impl.Alloc_fault _ -> ());
-  let st2 = Malloc_impl.stats p in
+  let st2 = Malloc_impl.stats k p in
   Alcotest.(check int) "frees not double counted"
     st1.Malloc_impl.st_frees st2.Malloc_impl.st_frees;
   Alcotest.(check int) "tag sweeps not double counted"
@@ -134,7 +140,7 @@ let test_large_alloc_unmapped_after_free () =
   (* The dedicated region is gone, and the unmap succeeded (no leak). *)
   Alcotest.(check bool) "unmapped" true
     (Pmap.kernel_touch (Addr_space.pmap p.Proc.asp) a ~write:false = None);
-  let st = Malloc_impl.stats p in
+  let st = Malloc_impl.stats k p in
   Alcotest.(check int) "no unmap leak" 0 st.Malloc_impl.st_unmap_leaks
 
 (* --- Behaviour through compiled programs ------------------------------------------ *)
@@ -276,7 +282,7 @@ let test_tls_isolation_after_exec () =
   let p = proc_for_alloc k in
   let a1, _ = Malloc_impl.malloc k p 64 in
   ignore a1;
-  let st = Malloc_impl.stats p in
+  let st = Malloc_impl.stats k p in
   Alcotest.(check int) "one live alloc" 1 st.Malloc_impl.st_live;
   (* run the idle program to completion: its own mallocs are separate *)
   let _ = Kernel.run ~max_steps:1_000_000 k in

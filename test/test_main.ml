@@ -11,6 +11,7 @@ let () =
       "vfs-exec", Test_vfs.suite;
       "kevent", Test_kernel_edge.kevent_suite;
       "libc", Test_libc.suite;
+      "malloc", Test_malloc.suite;
       "cc", Test_cc.suite;
       "cc-ext", Test_cc.extension_suite;
       "cc-errors", Test_cc_errors.suite;
